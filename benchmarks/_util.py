@@ -1,0 +1,24 @@
+"""Shared benchmark-harness helpers (imported by the bench modules)."""
+
+import os
+import sys
+
+#: Set by conftest.pytest_configure: pytest's capture manager.  emit()
+#: temporarily disables capture so rendered figures reach stdout (and
+#: teed log files) without needing ``-s``.
+_capman = None
+
+
+def full_sweep() -> bool:
+    return os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+
+def emit(title: str, body: str) -> None:
+    """Print a rendered artifact past pytest's capture."""
+    text = "\n".join(["", "=" * 72, title, "=" * 72, body])
+    if _capman is not None:
+        with _capman.global_and_fixture_disabled():
+            print(text)
+            sys.stdout.flush()
+    else:  # plain python / -s runs
+        print(text)

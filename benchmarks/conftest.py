@@ -1,0 +1,29 @@
+"""Benchmark-harness fixtures.
+
+Every benchmark regenerates one of the paper's artifacts and prints the
+measured rows next to the paper's reported values.  Set
+``REPRO_BENCH_FULL=1`` to include the largest problem sizes (the full
+1024/2048/4096-equivalent sweep); the default keeps the small/mid sizes
+so ``pytest benchmarks/ --benchmark-only`` completes in minutes.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the measured callable exactly once (simulations are long and
+    deterministic; statistical repetition adds nothing)."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return _run
+
+
+def pytest_configure(config):
+    """Give _util.emit a capture-bypassing output channel."""
+    import _util
+
+    _util._capman = config.pluginmanager.get_plugin("capturemanager")

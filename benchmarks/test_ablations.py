@@ -1,0 +1,126 @@
+"""Design-choice ablations called out in DESIGN.md §5.
+
+Each ablation flips one modelled mechanism and shows the paper's
+corresponding observation appearing/disappearing:
+
+* static vs. unified queue partitioning (the MM-pfetch 'no speedup
+  despite -82% misses' mechanism);
+* hardware prefetcher on/off (the LU neighbour-tile miss reduction);
+* ALU0-only logical ops vs. both ALUs (the MM §5.3 bottleneck);
+* precomputation-span footprint sweep (the §3.2 L2/A..L2/2 window).
+"""
+
+from _util import emit
+
+from repro.core.apps import run_app_experiment
+from repro.cpu import CoreConfig
+from repro.cpu.units import ROUTES
+from repro.isa import Op
+from repro.mem import MemConfig
+from repro.perfmon import Event
+from repro.runtime import Program
+from repro.spr import plan_spans
+from repro.workloads import matmul, lu
+from repro.workloads.common import Variant
+
+
+def test_static_vs_unified_partitioning(once):
+    def run():
+        out = {}
+        for name, cfg in (("static", CoreConfig()),
+                          ("unified", CoreConfig.unified_queues())):
+            r = run_app_experiment("mm", Variant.TLP_PFETCH, {"n": 16},
+                                   core_config=cfg)
+            out[name] = r
+        return out
+
+    res = once(run)
+    emit(
+        "Ablation — static vs unified queue partitioning (MM pfetch)",
+        "\n".join(
+            f"  {k:<8} cycles={v.cycles:>9.0f} worker-misses="
+            f"{v.l2_misses_worker}" for k, v in res.items()
+        )
+        + "\nPaper §5.1: the -82% miss reduction is 'not followed by "
+        "overall speedup,\ndue to the ineffective static resource "
+        "partitioning in the processor'.",
+    )
+
+
+def test_hw_prefetcher_neighbour_tile_effect(once):
+    def run():
+        out = {}
+        for name, mem in (("pf-on", MemConfig()),
+                          ("pf-off", MemConfig.no_prefetch())):
+            out[name] = run_app_experiment("lu", Variant.TLP_COARSE,
+                                           {"n": 32}, mem_config=mem)
+        return out
+
+    res = once(run)
+    emit(
+        "Ablation — HW prefetcher on/off (LU tlp-coarse)",
+        "\n".join(
+            f"  {k:<7} cycles={v.cycles:>9.0f} total-misses="
+            f"{v.l2_misses_total}" for k, v in res.items()
+        )
+        + "\nPaper §5.1.ii: disjoint tiles 'contribute mutually to a "
+        "reduction of the\ntotal L2 misses' because boundary accesses "
+        "trigger neighbour-tile prefetches.",
+    )
+    assert res["pf-on"].l2_misses_total < res["pf-off"].l2_misses_total
+
+
+def test_alu0_logical_restriction(once):
+    """Route logicals to both ALUs and watch the MM TLP gap shrink."""
+
+    def run():
+        out = {}
+        for name, route in (("alu0-only", ("alu0",)),
+                            ("both-alus", ("alu0", "alu1"))):
+            old = ROUTES[Op.ILOGIC]
+            ROUTES[Op.ILOGIC] = route
+            try:
+                serial = run_app_experiment("mm", Variant.SERIAL, {"n": 16})
+                coarse = run_app_experiment("mm", Variant.TLP_COARSE,
+                                            {"n": 16})
+            finally:
+                ROUTES[Op.ILOGIC] = old
+            out[name] = coarse.cycles / serial.cycles
+        return out
+
+    rel = once(run)
+    emit(
+        "Ablation — logical ops on ALU0 only vs both ALUs (MM)",
+        f"  tlp-coarse / serial with alu0-only : {rel['alu0-only']:.3f}\n"
+        f"  tlp-coarse / serial with both ALUs : {rel['both-alus']:.3f}\n"
+        "Paper §5.3: 'only ALU0 can handle logical operations. "
+        "Concurrent requests\nfor this unit in the TLP case will lead "
+        "to serialization.'",
+    )
+    assert rel["both-alus"] <= rel["alu0-only"] + 0.02
+
+
+def test_span_fraction_sweep(once):
+    """§3.2: the span bound ranges over [L2/A, L2/2]; sweep it."""
+
+    def run():
+        out = {}
+        for frac in (1 / 8, 1 / 4, 1 / 2):
+            plan = plan_spans(total_items=64, bytes_per_item=512,
+                              fraction=frac)
+            out[frac] = (plan.items_per_span, plan.num_spans)
+        return out
+
+    plans = once(run)
+    emit(
+        "Ablation — precomputation-span footprint (L2 fraction sweep)",
+        "\n".join(
+            f"  L2x{f:<6.3f}: {ips} tiles/span, {ns} spans"
+            for f, (ips, ns) in plans.items()
+        )
+        + "\nPaper §3.2: bounds between 1/A and 1/2 of L2; 1/4 avoids "
+        "conflict misses.",
+    )
+    fracs = sorted(plans)
+    spans = [plans[f][1] for f in fracs]
+    assert spans[0] >= spans[1] >= spans[2]

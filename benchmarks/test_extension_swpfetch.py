@@ -1,0 +1,47 @@
+"""Extension — the paper's concluding recommendation, built and measured.
+
+§6: "embodying SPR in the working thread seems to be the solution that
+combines low number of µops with reduced cache misses and achieves best
+performance."  The paper never builds this; we do (MM ``sw-pfetch``:
+inline non-blocking PREFETCH µops for the next tile's inputs) and
+compare it against every §5.1 scheme.
+"""
+
+from _util import emit
+
+from repro.core.apps import run_app_experiment
+from repro.perfmon import Event
+from repro.workloads.common import Variant
+
+VARIANTS = [Variant.SERIAL, Variant.SW_PREFETCH, Variant.TLP_PFETCH,
+            Variant.TLP_COARSE, Variant.TLP_FINE, Variant.TLP_PFETCH_WORK]
+
+
+def test_sw_prefetch_extension(once):
+    def run():
+        return {v: run_app_experiment("mm", v, {"n": 32}) for v in VARIANTS}
+
+    res = once(run)
+    serial = res[Variant.SERIAL]
+    lines = []
+    for v in VARIANTS:
+        r = res[v]
+        lines.append(
+            f"  {v.value:<16} time {r.cycles:>9.0f} "
+            f"({r.cycles / serial.cycles:4.2f}x)  L2-misses "
+            f"{r.l2_misses:>5}  µops {r.uops:>8}"
+        )
+    emit(
+        "Extension — inline software prefetch (MM, n=32)",
+        "\n".join(lines)
+        + "\nPaper §6 prediction: SPR embodied in the working thread "
+        "combines low µops\nwith reduced misses and 'achieves best "
+        "performance' — confirmed on the model.",
+    )
+    sw = res[Variant.SW_PREFETCH]
+    assert sw.reference_ok
+    # Best performance of all schemes...
+    assert sw.cycles == min(r.cycles for r in res.values())
+    # ...with reduced misses and a low µop overhead.
+    assert sw.l2_misses < serial.l2_misses
+    assert sw.uops < 1.05 * serial.uops

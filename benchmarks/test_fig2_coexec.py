@@ -1,0 +1,71 @@
+"""Figure 2 — slowdown factors from co-executing stream pairs.
+
+Three panels: (a) fp x fp, (b) int x int, (c) fp x int, each at max ILP
+(plus the min-ILP fp panel backing the 'coexist perfectly' claim).
+"""
+
+from _util import emit, full_sweep
+
+from repro.analysis import render_fig2
+from repro.core import coexec_matrix
+from repro.core.coexec import FIG2A_STREAMS, FIG2B_STREAMS, FIG2C_PAIRS, coexec_pair
+from repro.isa import ILP
+
+PAPER_2A = """\
+Paper (fig 2a): fdiv slowed 120-140% by itself, insensitive to ILP;
+fmul worst with itself; fadd up to 100% with itself, ~180% with fmul;
+at min ILP all *different* fp pairs coexist perfectly except fdiv-fdiv.
+Known deviation: fload/fstore slowing fp arithmetic ~40% is NOT
+reproduced (no replay modelling; see EXPERIMENTS.md)."""
+
+PAPER_2B = """\
+Paper (fig 2b): iadd-iadd ~100% (serialization); other streams affect
+iadd by 10-45%; imul/idiv almost unaffected; int streams insensitive to
+ILP.  Known deviation: the 115%/320% slowdowns of iload/istore under an
+iadd sibling are reproduced in sign only (measured ~5-20%)."""
+
+
+def test_fig2a_fp_pairs(once):
+    results = once(coexec_matrix, FIG2A_STREAMS, ILP.MAX)
+    emit("Figure 2(a) — fp x fp slowdown factors (max ILP)",
+         render_fig2(results, "fp pairs, max ILP"))
+    print(PAPER_2A)
+    by_pair = {(r.stream_a, r.stream_b): r for r in results}
+    assert by_pair[("fdiv", "fdiv")].slowdown_a > 2.0
+    assert by_pair[("fadd", "fmul")].slowdown_a > 2.5
+
+
+def test_fig2a_min_ilp_coexistence(once):
+    results = once(coexec_matrix, ("fadd", "fmul", "fdiv"), ILP.MIN)
+    emit("Figure 2(a) addendum — fp pairs at min ILP",
+         render_fig2(results, "fp pairs, min ILP"))
+    by_pair = {(r.stream_a, r.stream_b): r for r in results}
+    assert by_pair[("fadd", "fdiv")].slowdown_a < 1.1
+    assert by_pair[("fdiv", "fdiv")].slowdown_a > 1.9
+
+
+def test_fig2b_int_pairs(once):
+    results = once(coexec_matrix, FIG2B_STREAMS, ILP.MAX)
+    emit("Figure 2(b) — int x int slowdown factors (max ILP)",
+         render_fig2(results, "int pairs, max ILP"))
+    print(PAPER_2B)
+    by_pair = {(r.stream_a, r.stream_b): r for r in results}
+    assert by_pair[("iadd", "iadd")].slowdown_a > 1.8
+    assert by_pair[("imul", "imul")].slowdown_a < 1.25
+
+
+def test_fig2c_mixed_pairs(once):
+    def run():
+        cache = {}
+        return [
+            coexec_pair(fp, i, ilp=ILP.MAX, _solo_cache=cache)
+            for fp, i in FIG2C_PAIRS
+        ]
+
+    results = once(run)
+    emit("Figure 2(c) — fp x int slowdown factors (max ILP)",
+         render_fig2(results, "mixed fp/int pairs, max ILP"))
+    # Mixed pairs contend far less than same-unit pairs.
+    for r in results:
+        if {r.stream_a, r.stream_b} == {"fadd", "iadd"}:
+            assert r.slowdown_a < 1.5

@@ -1,0 +1,52 @@
+"""Table 1 — processor subunit utilization per (app, thread viewpoint).
+
+Replays every workload's serial / tlp / spr threads through the Pin
+stand-in and prints our Table 1 next to the paper's reported columns.
+"""
+
+from _util import emit
+
+from repro.analysis import render_table1
+from repro.core import table1_rows
+from repro.isa.opcodes import SubUnit
+
+PAPER = """\
+Paper Table 1 (%):
+        serial                      tlp            spr
+MM: ALU 27.1 FA 11.7 FM 11.7 LD 38.8 ST 12.1 | like serial | ALU 37.6 LD 58.3 ST 20.8
+LU: ALU 38.8 FA 11.2 FM 11.2 LD 49.2 ST 11.2 | like serial | ALU 38.2 LD 38.4 ST 22.8
+CG: ALU 28.0 FA  8.8 FM  8.9 MV 17.1 LD 36.5 | like serial | ALU 49.9 LD 19.1 ST  9.5
+BT: ALU  8.1 FA 17.7 FM 22.0 MV 10.5 LD 42.7 | like serial | ALU 12.1 LD 44.7 ST 42.9
+(Paper percentages can overlap >100%: µops may use several subunits.)"""
+
+SIZES = {
+    "mm": {"n": 32},
+    "lu": {"n": 32},
+    "cg": {"n": 224, "nnz_per_row": 40, "iterations": 1},
+    "bt": {"grid": 8},
+}
+
+
+def test_table1(once):
+    rows = once(table1_rows, ("mm", "lu", "cg", "bt"), SIZES)
+    emit("Table 1 — subunit utilization", render_table1(rows))
+    print(PAPER)
+
+    by = {(r.app, r.column): r for r in rows}
+    # Headline shape assertions from §5.3.
+    assert by[("mm", "serial")].percent(SubUnit.ALUS) > 20
+    # tlp column mirrors serial, at ~half the instruction count.
+    for app in ("mm", "lu", "cg", "bt"):
+        s, t = by[(app, "serial")], by[(app, "tlp")]
+        assert 0.4 < t.total_instructions / s.total_instructions < 0.75
+    # LU's prefetcher executes worker-scale instruction counts...
+    lu_ratio = (by[("lu", "spr")].total_instructions
+                / by[("lu", "serial")].total_instructions)
+    # ...while MM's and CG's prefetchers are small.
+    mm_ratio = (by[("mm", "spr")].total_instructions
+                / by[("mm", "serial")].total_instructions)
+    assert lu_ratio > 2 * mm_ratio
+    # BT: lowest ALU share, fp-rich.
+    assert by[("bt", "serial")].percent(SubUnit.ALUS) < 15
+    assert (by[("bt", "serial")].percent(SubUnit.FP_MUL)
+            > by[("bt", "serial")].percent(SubUnit.FP_ADD))

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""TLP vs. speculative precomputation on tiled matrix multiply.
+
+Runs the paper's five MM parallelization schemes (§5.1.i) on the
+simulated hyper-threaded processor and prints a figure-3-style table:
+execution time, L2 misses (per the paper's reporting convention),
+store-buffer stall cycles and retired µops.  Also demonstrates the SPR
+toolchain: the delinquency profiler picks what the helper prefetches.
+
+Run:  python examples/matmul_tlp_vs_spr.py [n]
+"""
+
+import sys
+
+from repro.analysis import render_app_figure
+from repro.core.apps import run_app_experiment, APP_VARIANTS
+from repro.pintool import DryRunAPI
+from repro.spr import find_delinquent_sites
+from repro.workloads import matmul
+from repro.workloads.common import Variant
+
+
+def main():
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 16
+
+    # Step 1 (the paper's Valgrind step): profile the serial kernel and
+    # identify the delinquent loads the SPR helper should cover.
+    build = matmul.build(Variant.SERIAL, n=n)
+    report = find_delinquent_sites(build.factories[0](DryRunAPI(0)))
+    print(f"delinquency profile of serial MM (n={n}):")
+    print(f"  total L2 read misses : {report.total_l2_misses}")
+    print(f"  delinquent sites     : {report.delinquent_sites} "
+          f"(cover {report.coverage:.0%})")
+    print()
+
+    # Step 2: run all five schemes and print the figure-3 table.
+    results = [
+        run_app_experiment("mm", v, {"n": n}) for v in APP_VARIANTS["mm"]
+    ]
+    print(render_app_figure(results))
+    print()
+    serial = next(r for r in results if r.variant is Variant.SERIAL)
+    pf = next(r for r in results if r.variant is Variant.TLP_PFETCH)
+    drop = 1 - pf.l2_misses_worker / max(serial.l2_misses, 1)
+    print(f"SPR cut the worker's L2 misses by {drop:.0%} "
+          f"(paper: ~82%), yet execution time stays ~serial: the "
+          f"helper's presence halves the\nworker's statically "
+          f"partitioned queues — the paper's central finding.")
+
+
+if __name__ == "__main__":
+    main()

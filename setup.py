@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The evaluation environment is offline and lacks the ``wheel`` package, so
+PEP-517 editable installs (which need ``bdist_wheel``) fail.  Keeping a
+``setup.py`` alongside ``pyproject.toml`` lets ``pip install -e .`` fall
+back to ``setup.py develop``, which works with bare setuptools.
+"""
+
+from setuptools import setup
+
+setup()

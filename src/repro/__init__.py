@@ -1,0 +1,52 @@
+"""repro — reproduction of "Exploring the Performance Limits of
+Simultaneous Multithreading for Scientific Codes" (ICPP 2006) on a
+cycle-approximate SMT processor model.
+
+Public API overview
+-------------------
+Machine:
+    :class:`repro.runtime.Program`      assemble + run a 2-thread program
+    :class:`repro.cpu.SMTCore`          the hyper-threaded core model
+    :class:`repro.cpu.CoreConfig`       core parameters (queues, units)
+    :class:`repro.mem.MemConfig`        cache/bus parameters
+
+Instructions & synchronization:
+    :class:`repro.isa.Instr`, :class:`repro.isa.Op`
+    :mod:`repro.runtime.sync`           spin/pause/halt waits, barriers
+
+Experiments (the paper's artifacts):
+    :func:`repro.core.measure_stream_cpi`    figure 1
+    :func:`repro.core.coexec_pair`           figure 2
+    :func:`repro.core.run_app_experiment`    figures 3-5
+    :func:`repro.core.table1_rows`           Table 1
+    :mod:`repro.analysis`                    renderers + shape checks
+
+Workloads:
+    :mod:`repro.workloads` — MM, LU, NAS CG, NAS BT in all the paper's
+    parallelization variants (TLP fine/coarse, SPR, hybrid).
+"""
+
+__version__ = "1.0.0"
+
+from repro.common import AddressSpace, ReproError
+from repro.cpu import CoreConfig, SMTCore
+from repro.isa import ILP, Instr, Op
+from repro.mem import MemConfig, MemoryHierarchy
+from repro.perfmon import Event, PerfMonitor
+from repro.runtime import Program
+
+__all__ = [
+    "__version__",
+    "AddressSpace",
+    "ReproError",
+    "CoreConfig",
+    "SMTCore",
+    "ILP",
+    "Instr",
+    "Op",
+    "MemConfig",
+    "MemoryHierarchy",
+    "Event",
+    "PerfMonitor",
+    "Program",
+]

@@ -1,0 +1,26 @@
+"""Result analysis: rendering the paper's tables/figures as text, and
+checking the reproduction's shape targets.
+
+* :mod:`repro.analysis.render` — ASCII renditions of figure 1 (CPI per
+  TLP x ILP mode), figure 2 (slowdown matrices), figures 3-5 (per-app
+  bar groups) and Table 1, printed by the benchmark harness;
+* :mod:`repro.analysis.expectations` — the DESIGN.md §5 shape targets
+  encoded as checks, used by the integration tests and EXPERIMENTS.md.
+"""
+
+from repro.analysis.render import (
+    render_fig1,
+    render_fig2,
+    render_app_figure,
+    render_table1,
+)
+from repro.analysis.expectations import Expectation, check_app_shapes
+
+__all__ = [
+    "render_fig1",
+    "render_fig2",
+    "render_app_figure",
+    "render_table1",
+    "Expectation",
+    "check_app_shapes",
+]

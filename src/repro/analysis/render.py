@@ -1,0 +1,126 @@
+"""ASCII renderings of the paper's figures and table.
+
+Each renderer takes the corresponding driver's results and returns a
+string laid out like the paper's artifact, so the benchmark harness can
+print paper-vs-measured side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.core.apps import AppRunResult
+from repro.core.coexec import CoexecResult
+from repro.core.streams import StreamCPIResult
+from repro.core.table1 import Table1Row
+from repro.isa.streams import ILP
+from repro.workloads.common import Variant
+
+_MODES = [
+    (1, ILP.MIN), (1, ILP.MED), (1, ILP.MAX),
+    (2, ILP.MIN), (2, ILP.MED), (2, ILP.MAX),
+]
+
+
+def render_fig1(results: Iterable[StreamCPIResult]) -> str:
+    """Figure 1: average CPI per stream across the six TLP x ILP modes."""
+    by_key = {(r.stream, r.threads, r.ilp): r for r in results}
+    streams = sorted({r.stream for r in by_key.values()},
+                     key=lambda s: s)
+    header = "stream    " + "".join(
+        f"{t}thr-{ilp.name.lower():<3}ILP".rjust(13) for t, ilp in _MODES
+    )
+    lines = ["Figure 1 — average CPI per TLP x ILP mode", header,
+             "-" * len(header)]
+    for stream in streams:
+        row = f"{stream:<10}"
+        for t, ilp in _MODES:
+            r = by_key.get((stream, t, ilp))
+            row += (f"{r.cpi:13.3f}" if r else " " * 13)
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def render_fig2(results: Sequence[CoexecResult], title: str) -> str:
+    """Figure 2: slowdown-factor matrix (row = measured stream, column =
+    co-runner)."""
+    streams: list[str] = []
+    for r in results:
+        for s in (r.stream_a, r.stream_b):
+            if s not in streams:
+                streams.append(s)
+    cell: dict[tuple[str, str], float] = {}
+    for r in results:
+        cell[(r.stream_a, r.stream_b)] = r.slowdown_a
+        cell[(r.stream_b, r.stream_a)] = r.slowdown_b
+    header = "measured \\ with " + "".join(f"{s:>9}" for s in streams)
+    lines = [title, header, "-" * len(header)]
+    for a in streams:
+        row = f"{a:<16}"
+        for b in streams:
+            v = cell.get((a, b))
+            row += f"{v:9.2f}" if v is not None else " " * 9
+        lines.append(row)
+    lines.append("(1.00 = unaffected; the paper's '100% slowdown' = 2.00)")
+    return "\n".join(lines)
+
+
+_APP_FIGURE_NO = {"mm": "3", "lu": "4", "cg": "5", "bt": "5"}
+
+
+def render_app_figure(results: Sequence[AppRunResult],
+                      title: Optional[str] = None) -> str:
+    """Figures 3-5: the four panels (time, L2 misses, stalls, µops) as
+    one table per application/size."""
+    if not results:
+        return "(no results)"
+    app = results[0].app
+    title = title or (
+        f"Figure {_APP_FIGURE_NO.get(app, '?')} — {app.upper()} "
+        "(execution time, L2 misses, resource stalls, µops)"
+    )
+    lines = [title]
+    sizes = []
+    for r in results:
+        if r.size_label not in sizes:
+            sizes.append(r.size_label)
+    for size in sizes:
+        group = [r for r in results if r.size_label == size]
+        serial = next(
+            (r for r in group if r.variant is Variant.SERIAL), group[0]
+        )
+        lines.append(f"  size [{size}]  (relative to serial)")
+        lines.append(
+            "    method            time    rel    L2-misses"
+            "    stall-cyc        µops  ok"
+        )
+        for r in group:
+            lines.append(
+                f"    {r.variant.value:<16}{r.cycles:>9.0f}"
+                f"{r.cycles / serial.cycles:7.2f}"
+                f"{r.l2_misses:>12}"
+                f"{r.stall_cycles:>13}"
+                f"{r.uops:>12}"
+                f"  {'Y' if r.reference_ok else 'N'}"
+            )
+    return "\n".join(lines)
+
+
+_TABLE1_UNITS = ("ALUS", "FP_ADD", "FP_MUL", "FP_MOVE", "LOAD", "STORE")
+
+
+def render_table1(rows: Sequence[Table1Row]) -> str:
+    """Table 1: subunit utilization per (app, thread-viewpoint)."""
+    lines = [
+        "Table 1 — processor subunit utilization per thread (%)",
+        "app  column   " + "".join(f"{u:>9}" for u in _TABLE1_UNITS)
+        + "   total-instr",
+    ]
+    lines.append("-" * len(lines[1]))
+    for r in rows:
+        row = f"{r.app:<4} {r.column:<8}"
+        for u in _TABLE1_UNITS:
+            row += f"{r.percentages.get(u, 0.0):9.2f}"
+        row += f"{r.total_instructions:>14}"
+        lines.append(row)
+    return "\n".join(lines)

@@ -1,0 +1,154 @@
+"""Command-line interface: regenerate any of the paper's artifacts.
+
+::
+
+    python -m repro fig1                      # stream CPI table
+    python -m repro fig2 --panel a            # co-execution slowdowns
+    python -m repro app mm --size 32          # one fig-3/4/5 sweep
+    python -m repro app cg --variant tlp-pfetch
+    python -m repro table1                    # subunit utilization
+    python -m repro stream fadd --ilp max --threads 2
+
+Every command prints the same renderings the benchmark harness emits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis import (
+    check_app_shapes,
+    render_app_figure,
+    render_fig1,
+    render_fig2,
+    render_table1,
+)
+from repro.core import (
+    app_sweep,
+    coexec_matrix,
+    fig1_sweep,
+    measure_stream_cpi,
+    run_app_experiment,
+    table1_rows,
+)
+from repro.core.apps import APP_SIZES, APP_VARIANTS
+from repro.core.coexec import FIG2A_STREAMS, FIG2B_STREAMS, FIG2C_PAIRS, coexec_pair
+from repro.isa import ILP
+from repro.workloads.common import Variant
+
+_ILP = {"min": ILP.MIN, "med": ILP.MED, "max": ILP.MAX}
+
+
+def _parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'Exploring the Performance Limits of SMT "
+        "for Scientific Codes' (ICPP 2006) on a simulated "
+        "hyper-threaded processor.",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("fig1", help="figure 1: stream CPI across TLP x ILP")
+
+    f2 = sub.add_parser("fig2", help="figure 2: co-execution slowdowns")
+    f2.add_argument("--panel", choices=["a", "b", "c"], default="a")
+    f2.add_argument("--ilp", choices=sorted(_ILP), default="max")
+
+    ap = sub.add_parser("app", help="figures 3-5: one application sweep")
+    ap.add_argument("name", choices=sorted(APP_SIZES))
+    ap.add_argument("--variant", choices=[v.value for v in Variant])
+    ap.add_argument("--size", type=int,
+                    help="matrix n (mm/lu) or grid (bt); cg is fixed")
+    ap.add_argument("--check", action="store_true",
+                    help="evaluate the paper-shape expectations too")
+
+    sub.add_parser("table1", help="Table 1: subunit utilization")
+
+    st = sub.add_parser("stream", help="CPI of one synthetic stream")
+    st.add_argument("name")
+    st.add_argument("--ilp", choices=sorted(_ILP), default="max")
+    st.add_argument("--threads", type=int, choices=[1, 2], default=1)
+    return p
+
+
+def _size_dict(app: str, size: Optional[int]) -> dict:
+    if size is None:
+        return APP_SIZES[app][min(1, len(APP_SIZES[app]) - 1)]
+    if app in ("mm", "lu"):
+        return {"n": size}
+    if app == "bt":
+        return {"grid": size}
+    raise SystemExit("cg has a fixed scaled size; omit --size")
+
+
+def _cmd_fig1() -> int:
+    print(render_fig1(fig1_sweep()))
+    return 0
+
+
+def _cmd_fig2(panel: str, ilp: ILP) -> int:
+    if panel == "a":
+        results = coexec_matrix(FIG2A_STREAMS, ilp=ilp)
+        title = f"fp x fp pairs ({ilp.name.lower()} ILP)"
+    elif panel == "b":
+        results = coexec_matrix(FIG2B_STREAMS, ilp=ilp)
+        title = f"int x int pairs ({ilp.name.lower()} ILP)"
+    else:
+        cache: dict = {}
+        results = [coexec_pair(a, b, ilp=ilp, _solo_cache=cache)
+                   for a, b in FIG2C_PAIRS]
+        title = f"fp x int pairs ({ilp.name.lower()} ILP)"
+    print(render_fig2(results, f"Figure 2({panel}) — {title}"))
+    return 0
+
+
+def _cmd_app(name: str, variant: Optional[str], size: Optional[int],
+             check: bool) -> int:
+    size_d = _size_dict(name, size)
+    if variant is not None:
+        result = run_app_experiment(name, Variant(variant), size_d)
+        print(render_app_figure([result]))
+        return 0 if result.reference_ok else 1
+    results = app_sweep(name, sizes=[size_d])
+    print(render_app_figure(results))
+    status = 0
+    if check:
+        for c in check_app_shapes(name, results):
+            print(c)
+            if not c.holds:
+                status = 1
+    return status
+
+
+def _cmd_table1() -> int:
+    print(render_table1(table1_rows()))
+    return 0
+
+
+def _cmd_stream(name: str, ilp: ILP, threads: int) -> int:
+    r = measure_stream_cpi(name, ilp=ilp, threads=threads)
+    print(f"{name} [{r.mode}]: CPI {r.cpi:.3f}, "
+          f"cumulative IPC {r.cumulative_ipc:.3f} "
+          f"({r.instrs_per_thread} instrs/thread measured)")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _parser().parse_args(argv)
+    if args.command == "fig1":
+        return _cmd_fig1()
+    if args.command == "fig2":
+        return _cmd_fig2(args.panel, _ILP[args.ilp])
+    if args.command == "app":
+        return _cmd_app(args.name, args.variant, args.size, args.check)
+    if args.command == "table1":
+        return _cmd_table1()
+    if args.command == "stream":
+        return _cmd_stream(args.name, _ILP[args.ilp], args.threads)
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

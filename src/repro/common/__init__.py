@@ -1,0 +1,32 @@
+"""Shared infrastructure: errors, address space allocation, tick helpers.
+
+The simulator measures time in *ticks*, where one tick is half a processor
+clock cycle.  Netburst's double-speed ALUs complete simple integer ops in
+half a cycle; running the whole model at half-cycle granularity lets every
+latency be an integer without special-casing the staggered ALUs.
+"""
+
+from repro.common.errors import (
+    ReproError,
+    ConfigError,
+    SimulationError,
+    DeadlockError,
+)
+from repro.common.addrspace import AddressSpace, Region
+from repro.common.ticks import (
+    TICKS_PER_CYCLE,
+    cycles_to_ticks,
+    ticks_to_cycles,
+)
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "SimulationError",
+    "DeadlockError",
+    "AddressSpace",
+    "Region",
+    "TICKS_PER_CYCLE",
+    "cycles_to_ticks",
+    "ticks_to_cycles",
+]

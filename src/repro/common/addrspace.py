@@ -1,0 +1,101 @@
+"""A flat simulated address space with named, aligned regions.
+
+Workloads allocate one region per array; instruction generators then emit
+loads/stores whose addresses are ``region.addr_of(index)``.  Keeping
+allocation centralized guarantees regions never overlap and are cache-line
+aligned, so the cache model's behaviour depends only on the access pattern,
+not on accidental layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class Region:
+    """A contiguous range of simulated memory holding a named array."""
+
+    name: str
+    base: int
+    nbytes: int
+    elem_size: int = 8
+
+    @property
+    def end(self) -> int:
+        return self.base + self.nbytes
+
+    @property
+    def num_elements(self) -> int:
+        return self.nbytes // self.elem_size
+
+    def addr_of(self, index: int) -> int:
+        """Byte address of element ``index``; bounds-checked."""
+        if index < 0 or index >= self.num_elements:
+            raise IndexError(
+                f"region {self.name!r}: element {index} out of range "
+                f"[0, {self.num_elements})"
+            )
+        return self.base + index * self.elem_size
+
+    def contains(self, addr: int) -> bool:
+        return self.base <= addr < self.end
+
+
+class AddressSpace:
+    """Bump allocator for :class:`Region` objects.
+
+    Regions are aligned to ``align`` bytes (a cache line by default) and
+    padded so that distinct arrays never share a line — mirroring how the
+    paper's benchmarks allocate arrays with ``memalign``.
+    """
+
+    def __init__(self, base: int = 0x10000, align: int = 64):
+        if align <= 0 or align & (align - 1):
+            raise ConfigError(f"alignment must be a power of two, got {align}")
+        self._next = _round_up(base, align)
+        self._align = align
+        self._regions: dict[str, Region] = {}
+
+    def alloc(self, name: str, nbytes: int, elem_size: int = 8) -> Region:
+        """Allocate ``nbytes`` for array ``name``; names must be unique."""
+        if name in self._regions:
+            raise ConfigError(f"region {name!r} already allocated")
+        if nbytes <= 0:
+            raise ConfigError(f"region {name!r}: nbytes must be positive")
+        if elem_size <= 0 or nbytes % elem_size:
+            raise ConfigError(
+                f"region {name!r}: nbytes={nbytes} not a multiple of "
+                f"elem_size={elem_size}"
+            )
+        region = Region(name, self._next, nbytes, elem_size)
+        self._regions[name] = region
+        self._next = _round_up(region.end, self._align)
+        return region
+
+    def alloc_elems(self, name: str, count: int, elem_size: int = 8) -> Region:
+        """Allocate space for ``count`` elements of ``elem_size`` bytes."""
+        return self.alloc(name, count * elem_size, elem_size)
+
+    def __getitem__(self, name: str) -> Region:
+        return self._regions[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._regions
+
+    def region_of(self, addr: int) -> Region | None:
+        """Reverse lookup: which region owns ``addr`` (None if unmapped)."""
+        for region in self._regions.values():
+            if region.contains(addr):
+                return region
+        return None
+
+    @property
+    def regions(self) -> tuple[Region, ...]:
+        return tuple(self._regions.values())
+
+
+def _round_up(value: int, align: int) -> int:
+    return (value + align - 1) & ~(align - 1)

@@ -1,0 +1,25 @@
+"""Exception hierarchy for the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigError(ReproError):
+    """Raised when a configuration value is invalid or inconsistent."""
+
+
+class SimulationError(ReproError):
+    """Raised when the simulated machine reaches an invalid state."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when the simulation makes no progress for too long.
+
+    Carries a human-readable diagnostic of each logical CPU's state so
+    that synchronization bugs in workloads are debuggable.
+    """
+
+    def __init__(self, message: str, diagnostics: str = ""):
+        super().__init__(message + ("\n" + diagnostics if diagnostics else ""))
+        self.diagnostics = diagnostics

@@ -1,0 +1,30 @@
+"""Tick <-> cycle conversion.
+
+One *tick* is half a clock cycle.  All latencies inside the core model are
+integers in ticks; results reported to users (CPI, stall cycles) are in
+cycles.  Conversions that cross the boundary are centralized here so the
+factor of two never leaks into call sites as a bare constant.
+"""
+
+from __future__ import annotations
+
+TICKS_PER_CYCLE = 2
+
+
+def cycles_to_ticks(cycles: float) -> int:
+    """Convert a latency in cycles to an integer number of ticks.
+
+    Half-cycle latencies (e.g. the 0.5-cycle double-speed ALU) are exactly
+    representable.  Anything finer is rounded up: a latency can never be
+    modelled as shorter than requested.
+    """
+    ticks = cycles * TICKS_PER_CYCLE
+    iticks = int(ticks)
+    if iticks != ticks:
+        iticks += 1
+    return iticks
+
+
+def ticks_to_cycles(ticks: int | float) -> float:
+    """Convert ticks back to (possibly fractional) cycles."""
+    return ticks / TICKS_PER_CYCLE

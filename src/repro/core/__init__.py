@@ -1,0 +1,29 @@
+"""Experiment drivers: everything needed to regenerate the paper's
+figures and table.
+
+* :mod:`repro.core.streams`  — fig. 1: per-stream CPI across TLP x ILP;
+* :mod:`repro.core.coexec`   — fig. 2: pairwise co-execution slowdowns;
+* :mod:`repro.core.apps`     — figs. 3-5: application experiments
+  (execution time, L2 misses, resource stall cycles, µops retired per
+  parallelization scheme);
+* :mod:`repro.core.table1`   — Table 1: execution-subunit utilization.
+"""
+
+from repro.core.streams import StreamCPIResult, measure_stream_cpi, fig1_sweep
+from repro.core.coexec import CoexecResult, coexec_pair, coexec_matrix
+from repro.core.apps import AppRunResult, run_app_experiment, app_sweep
+from repro.core.table1 import table1_rows, Table1Row
+
+__all__ = [
+    "StreamCPIResult",
+    "measure_stream_cpi",
+    "fig1_sweep",
+    "CoexecResult",
+    "coexec_pair",
+    "coexec_matrix",
+    "AppRunResult",
+    "run_app_experiment",
+    "app_sweep",
+    "table1_rows",
+    "Table1Row",
+]

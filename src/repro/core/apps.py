@@ -1,0 +1,127 @@
+"""Application experiments: figures 3, 4 and 5.
+
+For every (application, variant, size) this driver runs the workload on
+the simulated machine and reads back exactly the three §5 events —
+execution time (cycles), L2 read misses, resource (store-buffer) stall
+cycles, µops retired — applying the paper's reporting conventions:
+
+* TLP methods (including the hybrid): L2 misses are "the sum of the
+  misses for both threads";
+* the pure prefetch method: "only the misses of the working thread";
+* stall cycles and µops are summed over both logical processors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.errors import ConfigError
+from repro.cpu.config import CoreConfig
+from repro.mem.config import MemConfig
+from repro.perfmon import Event
+from repro.runtime.program import Program
+from repro.workloads import WORKLOADS
+from repro.workloads.common import Variant
+
+#: Scaled stand-ins for the paper's problem sizes, smallest first.
+#: MM/LU: 1024/2048/4096 -> 16/32/64 (1:64 linear scale keeps the
+#: footprint:L2 ratio within 2x of the paper's, see DESIGN.md).
+APP_SIZES: dict[str, list[dict]] = {
+    "mm": [{"n": 16}, {"n": 32}, {"n": 64}],
+    "lu": [{"n": 16}, {"n": 32}, {"n": 64}],
+    "cg": [{"n": 224, "nnz_per_row": 40, "iterations": 3}],
+    "bt": [{"grid": 8}],
+}
+
+#: Variants evaluated per application (exactly the paper's sets).
+APP_VARIANTS: dict[str, list[Variant]] = {
+    "mm": [Variant.SERIAL, Variant.TLP_FINE, Variant.TLP_COARSE,
+           Variant.TLP_PFETCH, Variant.TLP_PFETCH_WORK],
+    "lu": [Variant.SERIAL, Variant.TLP_COARSE, Variant.TLP_PFETCH],
+    "cg": [Variant.SERIAL, Variant.TLP_COARSE, Variant.TLP_PFETCH,
+           Variant.TLP_PFETCH_WORK],
+    "bt": [Variant.SERIAL, Variant.TLP_COARSE, Variant.TLP_PFETCH],
+}
+
+
+@dataclass(frozen=True)
+class AppRunResult:
+    """One bar group of figures 3-5."""
+
+    app: str
+    variant: Variant
+    size: dict
+    cycles: float
+    l2_misses: int           # per the paper's per-method convention
+    l2_misses_total: int     # both threads, for reference
+    l2_misses_worker: int    # worker thread only
+    stall_cycles: int        # RESOURCE_STALL_SB, summed
+    uops: int                # retired, summed
+    uops_per_thread: tuple[int, ...]
+    reference_ok: bool
+
+    @property
+    def size_label(self) -> str:
+        return ",".join(f"{k}={v}" for k, v in self.size.items())
+
+
+def run_app_experiment(
+    app: str,
+    variant: Variant,
+    size: Optional[dict] = None,
+    core_config: Optional[CoreConfig] = None,
+    mem_config: Optional[MemConfig] = None,
+) -> AppRunResult:
+    """Run one workload variant and collect the paper's three events."""
+    if app not in WORKLOADS:
+        raise ConfigError(f"unknown application {app!r}; have {sorted(WORKLOADS)}")
+    size = dict(size or APP_SIZES[app][0])
+    mem = mem_config or MemConfig()
+    build = WORKLOADS[app].build(variant, mem_config=mem, **size)
+    prog = Program(core_config=core_config, mem_config=mem,
+                   aspace=build.aspace)
+    for factory in build.factories:
+        prog.add_thread(factory)
+    result = prog.run()
+    mon = result.monitor
+    worker_tid = build.meta.get("worker_tid", 0)
+    total_misses = mon.read(Event.L2_READ_MISS)
+    worker_misses = mon.read(Event.L2_READ_MISS, worker_tid)
+    reported = (
+        worker_misses if variant is Variant.TLP_PFETCH else total_misses
+    )
+    return AppRunResult(
+        app=app,
+        variant=variant,
+        size=size,
+        cycles=result.cycles,
+        l2_misses=reported,
+        l2_misses_total=total_misses,
+        l2_misses_worker=worker_misses,
+        stall_cycles=mon.read(Event.RESOURCE_STALL_SB),
+        uops=sum(result.retired),
+        uops_per_thread=tuple(result.retired),
+        reference_ok=build.reference_check(),
+    )
+
+
+def app_sweep(
+    app: str,
+    variants: Optional[list[Variant]] = None,
+    sizes: Optional[list[dict]] = None,
+    core_config: Optional[CoreConfig] = None,
+    mem_config: Optional[MemConfig] = None,
+) -> list[AppRunResult]:
+    """All (variant, size) combinations of one figure."""
+    variants = variants if variants is not None else APP_VARIANTS[app]
+    sizes = sizes if sizes is not None else APP_SIZES[app]
+    out = []
+    for size in sizes:
+        for variant in variants:
+            out.append(
+                run_app_experiment(app, variant, size,
+                                   core_config=core_config,
+                                   mem_config=mem_config)
+            )
+    return out

@@ -1,0 +1,163 @@
+"""Figure 2: pairwise co-execution slowdown factors.
+
+The paper co-schedules every pair of streams *of the same ILP level* on
+the two logical CPUs and reports, for each stream of the pair, the ratio
+of its dual-threaded CPI to its single-threaded CPI ("slowdown factor").
+A factor of 2.0 is reported in the paper's text as "100% slowdown".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.errors import ConfigError
+from repro.cpu.config import CoreConfig
+from repro.isa.streams import ILP, StreamSpec, STREAM_OPS
+from repro.mem.config import MemConfig
+from repro.runtime.program import Program
+from repro.core.streams import (
+    _ENDLESS,
+    _VECTOR_BYTES,
+    measure_stream_cpi,
+    measured_stream_factory,
+)
+
+#: Measurement horizon for pair co-execution, in ticks: long enough that
+#: the slowest stream's warm-up (a quarter vector traversal) finishes
+#: and a solid steady-state sample remains.
+_PAIR_HORIZON_TICKS = 220_000
+
+
+@dataclass(frozen=True)
+class CoexecResult:
+    """Outcome of co-executing stream_a (cpu0) with stream_b (cpu1)."""
+
+    stream_a: str
+    stream_b: str
+    ilp: ILP
+    cpi_a: float
+    cpi_b: float
+    solo_cpi_a: float
+    solo_cpi_b: float
+
+    @property
+    def slowdown_a(self) -> float:
+        """Dual CPI of A over solo CPI of A (1.0 = unaffected)."""
+        return self.cpi_a / self.solo_cpi_a
+
+    @property
+    def slowdown_b(self) -> float:
+        return self.cpi_b / self.solo_cpi_b
+
+    @property
+    def slowdown_pct_a(self) -> float:
+        """The paper's phrasing: '100% slowdown' == factor 2.0."""
+        return (self.slowdown_a - 1.0) * 100.0
+
+    @property
+    def slowdown_pct_b(self) -> float:
+        return (self.slowdown_b - 1.0) * 100.0
+
+
+def _run_pair(
+    name_a: str,
+    name_b: str,
+    ilp: ILP,
+    core_config: Optional[CoreConfig],
+    mem_config: Optional[MemConfig],
+) -> tuple[float, float]:
+    """Co-execute the two streams; returns per-thread steady-state CPIs.
+
+    The paper runs both streams continuously for ~10 s and reads the
+    counters; equivalently, both threads here emit effectively endless
+    streams and the machine stops at a fixed tick horizon.  Each
+    thread's CPI is measured from its post-warm-up marker to the
+    horizon, so warm-up asymmetry between a fast and a slow stream
+    cannot pollute the measurement.
+    """
+    prog = Program(core_config, mem_config)
+    marks: dict[int, tuple[int, int]] = {}
+    for t, name in enumerate((name_a, name_b)):
+        spec = StreamSpec(name, ilp=ilp, count=_ENDLESS)
+        region = None
+        if spec.is_memory:
+            region = prog.aspace.alloc(f"vec{t}", _VECTOR_BYTES, elem_size=1)
+        prog.add_thread(measured_stream_factory(spec, region, prog, t, marks))
+    result = prog.run(stop_at_tick=_PAIR_HORIZON_TICKS)
+    cpis = []
+    for t in range(2):
+        if t not in marks:
+            raise ConfigError(
+                f"stream {t} did not reach steady state within the "
+                f"measurement horizon"
+            )
+        mark_tick, mark_retired = marks[t]
+        cycles = (result.ticks - mark_tick) / 2
+        instrs = max(result.retired[t] - mark_retired, 1)
+        cpis.append(cycles / instrs)
+    return cpis[0], cpis[1]
+
+
+def coexec_pair(
+    name_a: str,
+    name_b: str,
+    ilp: ILP = ILP.MAX,
+    core_config: Optional[CoreConfig] = None,
+    mem_config: Optional[MemConfig] = None,
+    _solo_cache: Optional[dict] = None,
+) -> CoexecResult:
+    """Measure the co-execution slowdown of one stream pair."""
+    for name in (name_a, name_b):
+        if name not in STREAM_OPS:
+            raise ConfigError(f"unknown stream {name!r}")
+
+    def solo(name: str) -> float:
+        if _solo_cache is not None and (name, ilp) in _solo_cache:
+            return _solo_cache[(name, ilp)]
+        cpi = measure_stream_cpi(
+            name, ilp=ilp, threads=1,
+            core_config=core_config, mem_config=mem_config,
+        ).cpi
+        if _solo_cache is not None:
+            _solo_cache[(name, ilp)] = cpi
+        return cpi
+
+    cpi_a, cpi_b = _run_pair(name_a, name_b, ilp, core_config, mem_config)
+    return CoexecResult(
+        stream_a=name_a,
+        stream_b=name_b,
+        ilp=ilp,
+        cpi_a=cpi_a,
+        cpi_b=cpi_b,
+        solo_cpi_a=solo(name_a),
+        solo_cpi_b=solo(name_b),
+    )
+
+
+#: Stream sets of the paper's figure 2 panels.
+FIG2A_STREAMS = ("fadd", "fmul", "fdiv", "fload", "fstore")   # fp x fp
+FIG2B_STREAMS = ("iadd", "imul", "idiv", "iload", "istore")   # int x int
+FIG2C_PAIRS = tuple(
+    (fp, i)
+    for fp in ("fadd", "fmul", "fdiv")
+    for i in ("iadd", "imul", "idiv")
+)
+
+
+def coexec_matrix(
+    streams: tuple[str, ...],
+    ilp: ILP = ILP.MAX,
+    core_config: Optional[CoreConfig] = None,
+    mem_config: Optional[MemConfig] = None,
+) -> list[CoexecResult]:
+    """All ordered-unique pairs (including self-pairs) from ``streams``."""
+    cache: dict = {}
+    results = []
+    for i, a in enumerate(streams):
+        for b in streams[i:]:
+            results.append(
+                coexec_pair(a, b, ilp=ilp, core_config=core_config,
+                            mem_config=mem_config, _solo_cache=cache)
+            )
+    return results

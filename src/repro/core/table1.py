@@ -1,0 +1,109 @@
+"""Table 1: processor-subunit utilization per thread.
+
+The paper instruments the benchmark executables with Pin and reports,
+for each application, the percentage of dynamic instructions using each
+execution subunit, "from the viewpoint of a specific thread":
+
+* ``serial`` — the single-threaded version;
+* ``tlp``    — one of the two threads of the TLP implementation (both
+  execute almost equivalent loads, so one representative suffices);
+* ``spr``    — the *prefetcher* thread of the SPR version.
+
+Synchronization instructions are excluded ("not included in the
+profiling process").  Thread factories are replayed functionally, both
+threads interleaved, so primitives resolve without a timing simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.common.errors import ConfigError
+from repro.isa.opcodes import SubUnit
+from repro.pintool.mix import DryRunAPI, InstructionMix, instruction_mix
+from repro.runtime.sync import SYNC_SITE
+from repro.workloads import WORKLOADS
+from repro.workloads.common import Variant
+
+#: Which variant supplies the tlp column per app (the paper uses the
+#: coarse-grained TLP scheme everywhere it exists).
+_TLP_VARIANT = Variant.TLP_COARSE
+_SPR_VARIANT = Variant.TLP_PFETCH
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One (application, column) cell group of Table 1."""
+
+    app: str
+    column: str                      # "serial" | "tlp" | "spr"
+    percentages: dict[str, float]    # SubUnit name -> % of instructions
+    total_instructions: int
+
+    def percent(self, subunit: SubUnit) -> float:
+        return self.percentages.get(subunit.name, 0.0)
+
+
+def _interleaved_mix(factories, observe_tid: int) -> InstructionMix:
+    """Functionally replay all threads round-robin, profiling one.
+
+    Round-robin pulling lets the synchronization primitives resolve:
+    every pull fires the instruction's effect immediately, so barrier
+    counters, span counters and wake-ups progress exactly as they would
+    on the machine — just without timing.
+    """
+    apis = [DryRunAPI(tid) for tid in range(len(factories))]
+    gens = [f(api) for f, api in zip(factories, apis)]
+    alive = [True] * len(gens)
+    observed = []
+    while any(alive):
+        for tid, gen in enumerate(gens):
+            if not alive[tid]:
+                continue
+            try:
+                instr = next(gen)
+            except StopIteration:
+                alive[tid] = False
+                continue
+            if instr.effect is not None:
+                instr.effect()
+            if tid == observe_tid:
+                observed.append(instr)
+    return instruction_mix(observed, include_sync=False, sync_site=SYNC_SITE)
+
+
+def _row(app: str, column: str, mix: InstructionMix) -> Table1Row:
+    return Table1Row(
+        app=app,
+        column=column,
+        percentages=mix.as_percentages(),
+        total_instructions=mix.total,
+    )
+
+
+def table1_rows(
+    apps: Iterable[str] = ("mm", "lu", "cg", "bt"),
+    sizes: Optional[dict[str, dict]] = None,
+) -> list[Table1Row]:
+    """Regenerate Table 1 (all apps x {serial, tlp, spr})."""
+    from repro.core.apps import APP_SIZES
+
+    rows: list[Table1Row] = []
+    for app in apps:
+        if app not in WORKLOADS:
+            raise ConfigError(f"unknown application {app!r}")
+        size = dict((sizes or {}).get(app) or APP_SIZES[app][0])
+        mod = WORKLOADS[app]
+
+        serial = mod.build(Variant.SERIAL, **size)
+        rows.append(_row(app, "serial",
+                         _interleaved_mix(serial.factories, 0)))
+
+        tlp = mod.build(_TLP_VARIANT, **size)
+        rows.append(_row(app, "tlp", _interleaved_mix(tlp.factories, 0)))
+
+        spr = mod.build(_SPR_VARIANT, **size)
+        # The spr column profiles the *prefetcher* thread (tid 1).
+        rows.append(_row(app, "spr", _interleaved_mix(spr.factories, 1)))
+    return rows

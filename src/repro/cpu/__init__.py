@@ -1,0 +1,34 @@
+"""Cycle-approximate model of a 2-way SMT Netburst core.
+
+The model implements exactly the mechanisms the paper blames for its
+results (§2, §3.1, §5.3):
+
+* trace-cache fetch of 3 µops/cycle, alternating between logical CPUs;
+* **statically partitioned** µop queue, reorder buffer, load queue and
+  store queue — each thread owns half while both are active, and `halt`
+  releases a thread's halves to its sibling;
+* dynamically shared execution resources: two double-speed ALUs (with
+  logical ops restricted to ALU0), a single FP execute unit, one load and
+  one store port, all fed by issue ports 0-3;
+* retirement of 3 µops/cycle, alternating between logical CPUs;
+* `pause` (de-pipelines spin loops by gating fetch) and `halt`/IPI
+  (releases partitions, costly transitions).
+
+Time advances in *ticks* (half cycles) so the double-speed ALUs have
+integer latencies.  See DESIGN.md §4 for the parameter table.
+"""
+
+from repro.cpu.config import CoreConfig
+from repro.cpu.units import ExecUnit, UnitPool
+from repro.cpu.thread import ThreadContext, ThreadState
+from repro.cpu.core import SMTCore, CoreResult
+
+__all__ = [
+    "CoreConfig",
+    "ExecUnit",
+    "UnitPool",
+    "ThreadContext",
+    "ThreadState",
+    "SMTCore",
+    "CoreResult",
+]

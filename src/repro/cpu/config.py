@@ -1,0 +1,136 @@
+"""Core model parameters.
+
+All times are in ticks (2 ticks = 1 cycle).  Defaults follow the Netburst
+microarchitecture as documented in the IA-32 Optimization Reference the
+paper cites: 3 µops/cycle fetch from the trace cache, up to 6 µops/cycle
+dispatch, 3 µops/cycle retirement, double-speed integer ALUs, one FP
+execute unit behind port 1, and non-pipelined dividers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigError
+from repro.isa.opcodes import Op
+
+
+@dataclass(frozen=True)
+class OpTiming:
+    """Latency and initiation interval of one opcode on its unit (ticks)."""
+
+    latency: int
+    interval: int  # ticks between successive issues to the unit
+
+
+#: Netburst-like execution timings, in ticks.
+DEFAULT_TIMINGS: dict[Op, OpTiming] = {
+    Op.NOP: OpTiming(1, 1),
+    Op.IADD: OpTiming(1, 1),      # double-speed ALU: 0.5-cycle latency
+    Op.ISUB: OpTiming(1, 1),
+    Op.ILOGIC: OpTiming(2, 2),    # ALU0 only, and not double-pumped there
+    Op.BRANCH: OpTiming(2, 1),
+    Op.IMUL: OpTiming(28, 2),     # 14 cycles on the FP/complex-int unit
+    # Integer divide is microcoded on Netburst; its long-latency sequence
+    # admits new divides well before completion.  (The paper measures
+    # idiv streams "almost unaffected" by a sibling — unlike fdiv, whose
+    # non-pipelined divider serializes, fig. 2.)
+    Op.IDIV: OpTiming(96, 6),
+    Op.FADD: OpTiming(8, 2),      # 4 cycles, fully pipelined (1/cycle)
+    Op.FSUB: OpTiming(8, 2),
+    Op.FMUL: OpTiming(12, 4),     # 6 cycles, one per 2 cycles
+    Op.FDIV: OpTiming(76, 76),    # 38 cycles, non-pipelined
+    Op.FMOVE: OpTiming(12, 2),    # 6 cycles on the FP-move unit (port 0)
+    Op.ILOAD: OpTiming(0, 2),     # latency comes from the hierarchy
+    Op.FLOAD: OpTiming(0, 2),
+    Op.ISTORE: OpTiming(2, 2),    # store µop = address+data dispatch
+    Op.FSTORE: OpTiming(2, 2),
+    Op.PAUSE: OpTiming(1, 1),     # the *fetch gate* is the real cost
+    Op.HALT: OpTiming(1, 1),      # transition costs modelled separately
+    Op.PREFETCH: OpTiming(2, 2),  # load-port slot; completes immediately
+}
+
+
+@dataclass
+class CoreConfig:
+    num_threads: int = 2
+
+    # Bandwidths: width µops every `interval` ticks, alternating threads.
+    fetch_width: int = 3
+    fetch_interval: int = 2
+    alloc_width: int = 3
+    alloc_interval: int = 2
+    retire_width: int = 3
+    retire_interval: int = 2
+    issue_width: int = 3          # per tick (6 µops/cycle peak dispatch)
+
+    # Statically partitioned queues (totals; a thread owns half while its
+    # sibling is active, the whole thing when the sibling halts/exits).
+    uopq_total: int = 48
+    rob_total: int = 126
+    loadq_total: int = 48
+    storeq_total: int = 24
+
+    # Scheduler window: oldest not-yet-issued µops considered per thread
+    # and tick.  Netburst's distributed schedulers hold ~46 µops; the
+    # window has to be deep enough that a single thread extracts the
+    # memory parallelism its ROB allows, otherwise dual-threaded runs
+    # gain artificial latency-overlap wins.
+    sched_window: int = 48
+
+    # Scheduler thread-switching behaviour: issue priority alternates in
+    # bursts (SMT schedulers pick oldest-ready without per-µop fairness),
+    # and an execution unit pays a fractional-interval drain penalty when
+    # consecutive µops come from different threads.  Together these model
+    # the paper's observation that same-unit streams slow each other by
+    # *more* than the 2x of perfect sharing.
+    issue_burst: int = 4
+    unit_switch_penalty: float = 0.75  # fraction of the op's interval
+
+    # Synchronization instruction behaviour (§3.1).
+    pause_fetch_gate: int = 24     # ticks fetch is gated after a pause
+    halt_enter_ticks: int = 1600   # cost to drain + enter halted state
+    halt_exit_ticks: int = 1600    # cost to resume after an IPI
+    ipi_latency: int = 400         # delivery delay of the wake-up IPI
+    flush_penalty: int = 40        # pipeline flush on spin-loop exit
+
+    # Store-buffer drain: one committed store leaves the SQ per interval.
+    store_commit_interval: int = 2
+
+    timings: dict[Op, OpTiming] = field(default_factory=lambda: dict(DEFAULT_TIMINGS))
+
+    # Safety net for lost-wakeup/deadlock bugs in workloads.
+    max_ticks: int = 200_000_000
+
+    def __post_init__(self):
+        if self.num_threads not in (1, 2):
+            raise ConfigError("the HT model supports 1 or 2 logical CPUs")
+        for name in ("fetch_width", "alloc_width", "retire_width",
+                     "issue_width", "sched_window"):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"{name} must be positive")
+        for name in ("uopq_total", "rob_total", "loadq_total", "storeq_total"):
+            value = getattr(self, name)
+            if value < 2 or value % 2:
+                raise ConfigError(f"{name} must be an even count >= 2")
+        missing = [op for op in Op if op not in self.timings]
+        if missing:
+            raise ConfigError(f"timings missing for {missing}")
+
+    @classmethod
+    def paper_default(cls) -> "CoreConfig":
+        return cls()
+
+    @classmethod
+    def unified_queues(cls) -> "CoreConfig":
+        """Ablation: dynamically shared (non-partitioned) queues.
+
+        Used to isolate the paper's claim that *static* partitioning is
+        what denies the MM prefetch scheme its speedup.
+        """
+        cfg = cls()
+        cfg.partitioned = False
+        return cfg
+
+    # Static partitioning can be disabled for the ablation benchmarks.
+    partitioned: bool = True

@@ -1,0 +1,572 @@
+"""The SMT core: fetch → allocate → issue → complete → retire.
+
+Bandwidth sharing
+-----------------
+Fetch, allocation and retirement are each ``width`` µops every
+``interval`` ticks.  Each boundary the slot is offered to the threads in
+round-robin order, but an unusable slot is *donated* to the sibling (as on
+real hyper-threading: a stalled or halted logical CPU does not waste the
+shared front end).  Donation is what makes a memory-stalled or halted peer
+cheap, while two busy symmetric threads split the front end exactly in
+half — the root of most of the paper's fig. 1/2 slowdowns.
+
+Static partitioning
+-------------------
+The µop queue, ROB, load queue and store queue give each thread half of
+their entries while *both* logical CPUs are active; a `halt`ed (or
+finished) thread's halves are released to the survivor (§3.1).  The
+`unified_queues` config ablates this into a dynamically shared pool.
+
+Store lifecycle
+---------------
+alloc (needs SQ entry) → issue on the store port (address+data dispatch)
+→ retire → in-order drain to the cache at one commit per
+``store_commit_interval``; the SQ entry frees only when the drained line
+access completes.  `RESOURCE_STALL_SB` counts allocator cycles a thread's
+store sat blocked on a full SQ — the paper's stall metric.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.common.errors import ConfigError, DeadlockError
+from repro.cpu.config import CoreConfig
+from repro.cpu.thread import ThreadContext, ThreadState, _FAR_FUTURE
+from repro.cpu.units import UnitPool
+from repro.isa.instr import Instr
+from repro.isa.opcodes import Op
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.perfmon import Event, PerfMonitor
+
+_OP_ILOAD = int(Op.ILOAD)
+_OP_FLOAD = int(Op.FLOAD)
+_OP_ISTORE = int(Op.ISTORE)
+_OP_FSTORE = int(Op.FSTORE)
+_OP_PAUSE = int(Op.PAUSE)
+_OP_HALT = int(Op.HALT)
+_OP_PREFETCH = int(Op.PREFETCH)
+
+
+@dataclass
+class CoreResult:
+    """Summary of one simulation run."""
+
+    ticks: int
+    instrs: tuple[int, ...]            # per thread, fetched instruction count
+    retired: tuple[int, ...]           # per thread, retired µop count
+    monitor: PerfMonitor
+    unit_issue_counts: dict[str, int] = field(default_factory=dict)
+    done_ticks: tuple[int, ...] = ()   # per thread, tick it drained
+
+    @property
+    def cycles(self) -> float:
+        return self.ticks / 2
+
+    def cpi(self, tid: Optional[int] = None) -> float:
+        """Cycles per retired µop (per thread, or overall)."""
+        n = sum(self.retired) if tid is None else self.retired[tid]
+        if n == 0:
+            return float("inf")
+        return self.cycles / n
+
+    def ipc(self, tid: Optional[int] = None) -> float:
+        return 1.0 / self.cpi(tid)
+
+
+class SMTCore:
+    def __init__(
+        self,
+        config: Optional[CoreConfig] = None,
+        hierarchy: Optional[MemoryHierarchy] = None,
+        monitor: Optional[PerfMonitor] = None,
+    ):
+        self.config = config or CoreConfig()
+        self.monitor = monitor or PerfMonitor(self.config.num_threads)
+        self.hierarchy = hierarchy or MemoryHierarchy(
+            monitor=self.monitor, num_cpus=self.config.num_threads
+        )
+        if self.hierarchy.monitor is not self.monitor:
+            raise ConfigError("hierarchy and core must share one PerfMonitor")
+        self.units = UnitPool(self.config)
+        self.threads: list[ThreadContext] = []
+        self.tick = 0
+        self._gseq = 0
+        self._comp_heap: list[tuple[int, int, Instr]] = []
+        self._drain_q: deque[Instr] = deque()
+        # Store-buffer entries release *in order* per thread (head-of-line
+        # blocking): a store miss pins every younger entry of that thread.
+        # This is what makes the halved SQ bite miss-heavy store streams
+        # when the sibling is active (fig 2b: iadd vs istore).
+        self._sq_release: list[deque[int]] = []
+        self._store_commit_free = 0
+        self._rr = 0  # round-robin pointer shared by fetch/alloc/retire
+        self._issue_rr = 0  # issue priority; flips after a burst of issues
+        self._issue_burst = 0
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+
+    def add_thread(self, gen: Iterator[Instr]) -> int:
+        """Bind an instruction generator to the next logical CPU."""
+        if len(self.threads) >= self.config.num_threads:
+            raise ConfigError(
+                f"core supports {self.config.num_threads} logical CPUs"
+            )
+        tid = len(self.threads)
+        self.threads.append(ThreadContext(tid, gen))
+        self._sq_release.append(deque())
+        return tid
+
+    # ------------------------------------------------------------------
+    # Inter-processor interface (used by the runtime's sync primitives)
+    # ------------------------------------------------------------------
+
+    def wake(self, tid: int, now: Optional[int] = None) -> None:
+        """Deliver an IPI to logical CPU ``tid`` (§3.1 kernel extension)."""
+        now = self.tick if now is None else now
+        th = self.threads[tid]
+        cfg = self.config
+        self.monitor.raw[Event.IPI_SENT][tid] += 1
+        resume = now + cfg.ipi_latency + cfg.halt_exit_ticks
+        if th.state is ThreadState.HALTED:
+            if resume < th.wake_at:
+                th.wake_at = resume
+        else:
+            # IPI raced ahead of the halt: remember it so the wake-up is
+            # not lost when the halt finally retires.
+            th.wake_pending = True
+
+    def gate_fetch(self, tid: int, ticks: int) -> None:
+        """Gate a thread's fetch (pipeline-flush penalty on spin exit)."""
+        th = self.threads[tid]
+        gate = self.tick + ticks
+        if gate > th.fetch_gate_until:
+            th.fetch_gate_until = gate
+        self.monitor.raw[Event.PIPELINE_FLUSH][tid] += 1
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        max_ticks: Optional[int] = None,
+        stop_on_first_done: bool = False,
+        stop_at_tick: Optional[int] = None,
+    ) -> CoreResult:
+        """Simulate until every thread drains (default).
+
+        Two measurement-style stop conditions support the §4 CPI
+        experiments: ``stop_on_first_done`` halts when the *first*
+        thread drains (each thread's CPI then reflects only the interval
+        during which both ran), and ``stop_at_tick`` halts cleanly at a
+        fixed horizon (for co-running effectively-endless streams).
+        """
+        if not self.threads:
+            raise ConfigError("no threads bound to the core")
+        limit = max_ticks if max_ticks is not None else self.config.max_ticks
+        threads = self.threads
+        t = self.tick
+        while True:
+            if stop_at_tick is not None and t >= stop_at_tick:
+                break
+            if stop_on_first_done and any(
+                th.state is ThreadState.DONE for th in threads
+            ):
+                break
+            if all(th.state is ThreadState.DONE for th in threads):
+                break
+            if t >= limit:
+                raise DeadlockError(
+                    f"simulation exceeded {limit} ticks",
+                    "\n".join(th.describe() for th in threads),
+                )
+            # Keep the public clock current: effects fired mid-cycle
+            # (sync sampling, measurement markers) read core.tick.
+            self.tick = t
+            boundary = not (t & 1)
+            if boundary:
+                self._process_wakes(t)
+                self._retire(t)
+            self._complete(t)
+            self._drain_stores(t)
+            self._issue(t)
+            if boundary:
+                self._allocate(t)
+                self._fetch(t)
+                self._count_stalls(t)
+            t = self._advance(t)
+        self.tick = t
+        self._flush_drains(t)
+        return self._result()
+
+    def _flush_drains(self, t: int) -> None:
+        """Commit any store drains still in flight at run end.
+
+        The reported runtime ends at the last retirement, but the cache
+        state and write counters must reflect every retired store.
+        """
+        while self._drain_q:
+            uop = self._drain_q.popleft()
+            self.hierarchy.store(uop.addr, uop.thread, t)
+            self.threads[uop.thread].sq_used -= 1
+        for tid, rel in enumerate(self._sq_release):
+            self.threads[tid].sq_used -= len(rel)
+            rel.clear()
+
+    def _result(self) -> CoreResult:
+        return CoreResult(
+            ticks=self.tick,
+            instrs=tuple(th.instrs_emitted for th in self.threads),
+            retired=tuple(th.uops_retired for th in self.threads),
+            monitor=self.monitor,
+            unit_issue_counts=dict(self.units.issue_counts),
+            done_ticks=tuple(th.done_tick for th in self.threads),
+        )
+
+    # ------------------------------------------------------------------
+    # Stages
+    # ------------------------------------------------------------------
+
+    def _process_wakes(self, t: int) -> None:
+        for th in self.threads:
+            if th.state is ThreadState.HALTED:
+                if th.wake_at <= t:
+                    th.state = ThreadState.ACTIVE
+                    th.wake_at = _FAR_FUTURE
+                    th.wake_pending = False
+                    th.fetch_gate_until = t
+            elif th.state is ThreadState.ACTIVE and not th.halt_inflight:
+                self.monitor.raw[Event.CYCLES_ACTIVE][th.tid] += 1
+
+    def _rr_order(self) -> tuple[ThreadContext, ...]:
+        """Threads in round-robin order; advances the shared pointer."""
+        threads = self.threads
+        n = len(threads)
+        if n == 1:
+            return (threads[0],)
+        first = self._rr
+        self._rr = (first + 1) % n
+        return (threads[first], threads[1 - first])
+
+    def _retire(self, t: int) -> None:
+        budget = self.config.retire_width
+        retired_counts = self.monitor.raw[Event.UOPS_RETIRED]
+        pause_counts = self.monitor.raw[Event.PAUSE_RETIRED]
+        for th in self._rr_order():
+            if budget <= 0:
+                break
+            rob = th.rob
+            while budget > 0 and rob:
+                uop = rob[0]
+                if not uop.completed:
+                    break
+                rob.popleft()
+                budget -= 1
+                th.uops_retired += 1
+                op = uop.op
+                retired_counts[th.tid] += 1
+                if op is Op.ISTORE or op is Op.FSTORE:
+                    if uop.effect is not None:
+                        uop.effect()
+                    self._drain_q.append(uop)
+                elif op is Op.ILOAD or op is Op.FLOAD:
+                    th.lq_used -= 1
+                elif op is Op.PAUSE:
+                    pause_counts[th.tid] += 1
+                elif op is Op.HALT:
+                    self._enter_halt(th, t)
+            if (
+                th.gen_done
+                and th.state is ThreadState.ACTIVE
+                and th.pipeline_empty()
+            ):
+                th.state = ThreadState.DONE
+                th.done_tick = t
+
+    def _enter_halt(self, th: ThreadContext, t: int) -> None:
+        th.halt_inflight = False
+        th.state = ThreadState.HALTED
+        self.monitor.raw[Event.HALT_TRANSITIONS][th.tid] += 1
+        if th.wake_pending:
+            # An IPI arrived while we were entering the halt state.
+            th.wake_pending = False
+            cfg = self.config
+            th.wake_at = t + cfg.ipi_latency + cfg.halt_exit_ticks
+
+    def _complete(self, t: int) -> None:
+        heap = self._comp_heap
+        while heap and heap[0][0] <= t:
+            _, _, uop = heapq.heappop(heap)
+            uop.completed = True
+            op = uop.op
+            if uop.effect is not None and op is not Op.ISTORE and op is not Op.FSTORE:
+                uop.effect()
+
+    def _drain_stores(self, t: int) -> None:
+        for tid, rel in enumerate(self._sq_release):
+            released = 0
+            while rel and rel[0] <= t:
+                rel.popleft()
+                released += 1
+            if released:
+                self.threads[tid].sq_used -= released
+        q = self._drain_q
+        while q and t >= self._store_commit_free:
+            uop = q.popleft()
+            access = self.hierarchy.store(uop.addr, uop.thread, t)
+            self._store_commit_free = t + self.config.store_commit_interval
+            rel = self._sq_release[uop.thread]
+            done = t + access.latency
+            # In-order release: never before the previous entry.
+            if rel and rel[-1] > done:
+                done = rel[-1]
+            rel.append(done)
+
+    def _issue(self, t: int) -> None:
+        budget = self.config.issue_width
+        window = self.config.sched_window
+        units = self.units
+        hierarchy = self.hierarchy
+        heap = self._comp_heap
+        threads = self.threads
+        if len(threads) == 1:
+            order = threads
+        else:
+            # Priority alternates on *use*, not on tick parity: unit
+            # free slots recur with even periods, so parity-based
+            # priority would starve one thread systematically.
+            first = self._issue_rr
+            order = (threads[first], threads[1 - first])
+        for th in order:
+            if budget <= 0:
+                break
+            waiting = th.waiting
+            if not waiting:
+                continue
+            issued_any = False
+            limit = window if window < len(waiting) else len(waiting)
+            for k in range(limit):
+                if budget <= 0:
+                    break
+                uop = waiting[k]
+                if uop.issued:
+                    continue
+                ready = True
+                for dep in uop.deps:
+                    if not dep.completed:
+                        ready = False
+                        break
+                if not ready:
+                    continue
+                op = int(uop.op)
+                ok, comp = units.try_issue(op, t, th.tid)
+                if not ok:
+                    continue
+                if op == _OP_ILOAD or op == _OP_FLOAD:
+                    access = hierarchy.load(uop.addr, th.tid, t)
+                    comp += access.latency
+                elif op == _OP_PREFETCH:
+                    hierarchy.swprefetch(uop.addr, th.tid, t)
+                    self.monitor.raw[Event.SW_PREFETCH_ISSUED][th.tid] += 1
+                elif op == _OP_HALT:
+                    comp = t + self.config.halt_enter_ticks
+                uop.issued = True
+                budget -= 1
+                issued_any = True
+                if comp <= t:
+                    uop.completed = True
+                    if uop.effect is not None:
+                        uop.effect()
+                else:
+                    self._gseq += 1
+                    heapq.heappush(heap, (comp, self._gseq, uop))
+            if issued_any:
+                th.waiting = [u for u in waiting if not u.issued]
+                if len(threads) == 2 and th is order[0]:
+                    self._issue_burst += 1
+                    if self._issue_burst >= self.config.issue_burst:
+                        self._issue_rr = 1 - self._issue_rr
+                        self._issue_burst = 0
+
+    # -- capacity helpers ----------------------------------------------
+
+    def _cap(self, th: ThreadContext, total: int, peer_used: int) -> int:
+        if not self.config.partitioned:
+            return total - peer_used
+        peer = self._peer(th)
+        if peer is None or not peer.occupies_partition:
+            return total
+        return total // 2
+
+    def _peer(self, th: ThreadContext) -> Optional[ThreadContext]:
+        if len(self.threads) == 1:
+            return None
+        return self.threads[1 - th.tid]
+
+    def _allocate(self, t: int) -> None:
+        budget = self.config.alloc_width
+        cfg = self.config
+        for th in self._rr_order():
+            if budget <= 0:
+                break
+            uopq = th.uopq
+            if not uopq or th.state is not ThreadState.ACTIVE:
+                continue
+            peer = self._peer(th)
+            peer_rob = len(peer.rob) if peer else 0
+            peer_lq = peer.lq_used if peer else 0
+            peer_sq = peer.sq_used if peer else 0
+            rob_cap = self._cap(th, cfg.rob_total, peer_rob)
+            lq_cap = self._cap(th, cfg.loadq_total, peer_lq)
+            sq_cap = self._cap(th, cfg.storeq_total, peer_sq)
+            rob = th.rob
+            waiting = th.waiting
+            regmap = th.regmap
+            while budget > 0 and uopq:
+                uop = uopq[0]
+                if len(rob) >= rob_cap:
+                    break
+                op = uop.op
+                if op is Op.ILOAD or op is Op.FLOAD:
+                    if th.lq_used >= lq_cap:
+                        break
+                    th.lq_used += 1
+                elif op is Op.ISTORE or op is Op.FSTORE:
+                    if th.sq_used >= sq_cap:
+                        break
+                    th.sq_used += 1
+                uopq.popleft()
+                budget -= 1
+                srcs = uop.srcs
+                if srcs:
+                    deps = []
+                    for s in srcs:
+                        producer = regmap.get(s)
+                        if producer is not None and not producer.completed:
+                            deps.append(producer)
+                    if deps:
+                        uop.deps = tuple(deps)
+                dst = uop.dst
+                if dst is not None:
+                    regmap[dst] = uop
+                rob.append(uop)
+                waiting.append(uop)
+
+    def _count_stalls(self, t: int) -> None:
+        """Per-cycle allocator-stall accounting (the paper's metric)."""
+        cfg = self.config
+        mon = self.monitor.raw
+        for th in self.threads:
+            if th.state is not ThreadState.ACTIVE or not th.uopq:
+                continue
+            uop = th.uopq[0]
+            op = uop.op
+            peer = self._peer(th)
+            if op is Op.ISTORE or op is Op.FSTORE:
+                sq_cap = self._cap(th, cfg.storeq_total, peer.sq_used if peer else 0)
+                if th.sq_used >= sq_cap:
+                    mon[Event.RESOURCE_STALL_SB][th.tid] += 1
+                    continue
+            elif op is Op.ILOAD or op is Op.FLOAD:
+                lq_cap = self._cap(th, cfg.loadq_total, peer.lq_used if peer else 0)
+                if th.lq_used >= lq_cap:
+                    mon[Event.RESOURCE_STALL_LQ][th.tid] += 1
+                    continue
+            rob_cap = self._cap(th, cfg.rob_total, len(peer.rob) if peer else 0)
+            if len(th.rob) >= rob_cap:
+                mon[Event.RESOURCE_STALL_ROB][th.tid] += 1
+
+    def _fetch(self, t: int) -> None:
+        budget = self.config.fetch_width
+        cfg = self.config
+        fetched_counts = self.monitor.raw[Event.UOPS_FETCHED]
+        for th in self._rr_order():
+            if budget <= 0:
+                break
+            if not th.can_fetch(t):
+                continue
+            peer = self._peer(th)
+            cap = self._cap(th, cfg.uopq_total, len(peer.uopq) if peer else 0)
+            uopq = th.uopq
+            while budget > 0 and len(uopq) < cap:
+                instr = th.pull()
+                if instr is None:
+                    break
+                uopq.append(instr)
+                fetched_counts[th.tid] += 1
+                th.uops_fetched += 1
+                budget -= 1
+                op = instr.op
+                if op is Op.PAUSE:
+                    # De-pipeline the spin loop: stop fetching for a while.
+                    th.fetch_gate_until = t + cfg.pause_fetch_gate
+                    break
+                if op is Op.HALT:
+                    # Nothing may be fetched past a halt until the IPI.
+                    th.halt_inflight = True
+                    th.fetch_gate_until = _FAR_FUTURE
+                    break
+
+    # ------------------------------------------------------------------
+
+    def _advance(self, t: int) -> int:
+        """Advance time, skipping ticks where provably nothing can happen.
+
+        The skip is conservative: it only fast-forwards when no thread can
+        fetch, allocate or issue, so the next interesting moment is the
+        earliest of: a completion, a store-commit slot (if drains are
+        queued), a wake-up, or a fetch gate expiring.
+        """
+        all_done = True
+        for th in self.threads:
+            state = th.state
+            if state is not ThreadState.DONE:
+                all_done = False
+            if state is ThreadState.ACTIVE:
+                if th.uopq or th.waiting:
+                    return t + 1
+                if th.rob and th.rob[0].completed:
+                    return t + 1  # retirement due at the next boundary
+                if not th.gen_done and t + 1 >= th.fetch_gate_until:
+                    return t + 1
+        if all_done:
+            # Programs end at the last retirement; in-flight store
+            # drains must not stretch the reported runtime.
+            return t + 1
+        horizon = t + 1_000_000
+        nxt = horizon
+        if self._comp_heap:
+            nxt = min(nxt, self._comp_heap[0][0])
+        if self._drain_q:
+            nxt = min(nxt, self._store_commit_free)
+        for rel in self._sq_release:
+            if rel:
+                nxt = min(nxt, rel[0])
+        for th in self.threads:
+            if th.state is ThreadState.HALTED and th.wake_at < _FAR_FUTURE:
+                nxt = min(nxt, th.wake_at)
+            if th.state is ThreadState.ACTIVE and not th.gen_done:
+                nxt = min(nxt, th.fetch_gate_until)
+        if nxt <= t:
+            return t + 1
+        if nxt == horizon:
+            # No future event at all: either we are done (loop exits) or
+            # the machine is deadlocked (halted threads, no wake in
+            # flight).  Step once; run()'s max_ticks guard produces the
+            # diagnostic if this persists.
+            alive = [th for th in self.threads if th.state is not ThreadState.DONE]
+            if alive and all(th.state is ThreadState.HALTED for th in alive):
+                raise DeadlockError(
+                    "all remaining logical CPUs are halted with no IPI in flight",
+                    "\n".join(th.describe() for th in self.threads),
+                )
+            return t + 1
+        # Land on the event tick, preserving boundary alignment semantics
+        # (boundaries are even ticks; an odd event tick is still handled).
+        return nxt

@@ -1,0 +1,117 @@
+"""Per-logical-CPU state.
+
+A :class:`ThreadContext` owns the thread's instruction source (a Python
+generator), its half of the statically partitioned queues, its register
+rename map, and its scheduling bookkeeping.  The core manipulates these
+contexts; nothing here advances time by itself.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Iterator, Optional
+
+from repro.isa.instr import Instr
+
+_FAR_FUTURE = 1 << 62
+
+
+class ThreadState(enum.Enum):
+    ACTIVE = "active"
+    HALTED = "halted"    # executed `halt`; partitions released, sleeping
+    DONE = "done"        # generator exhausted and pipeline drained
+
+
+class ThreadContext:
+    __slots__ = (
+        "tid",
+        "gen",
+        "state",
+        "uopq",
+        "rob",
+        "waiting",
+        "regmap",
+        "lq_used",
+        "sq_used",
+        "gen_done",
+        "fetch_gate_until",
+        "wake_at",
+        "wake_pending",
+        "halt_inflight",
+        "seq_next",
+        "uops_fetched",
+        "uops_retired",
+        "instrs_emitted",
+        "done_tick",
+    )
+
+    def __init__(self, tid: int, gen: Iterator[Instr]):
+        self.tid = tid
+        self.gen = gen
+        self.state = ThreadState.ACTIVE
+        self.uopq: deque[Instr] = deque()
+        self.rob: deque[Instr] = deque()
+        self.waiting: list[Instr] = []
+        self.regmap: dict[int, Instr] = {}
+        self.lq_used = 0
+        self.sq_used = 0
+        self.gen_done = False
+        self.fetch_gate_until = 0
+        self.wake_at = _FAR_FUTURE
+        self.wake_pending = False
+        self.halt_inflight = False
+        self.seq_next = 0
+        self.uops_fetched = 0
+        self.uops_retired = 0
+        self.instrs_emitted = 0
+        self.done_tick = -1
+
+    # ------------------------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        return self.state is ThreadState.ACTIVE
+
+    @property
+    def occupies_partition(self) -> bool:
+        """True while this thread's queue halves are reserved for it.
+
+        A halted or finished logical CPU has relinquished its statically
+        partitioned entries (the `halt` behaviour of §3.1).
+        """
+        return self.state is ThreadState.ACTIVE
+
+    def can_fetch(self, tick: int) -> bool:
+        return (
+            self.state is ThreadState.ACTIVE
+            and not self.gen_done
+            and tick >= self.fetch_gate_until
+        )
+
+    def pipeline_empty(self) -> bool:
+        return not self.uopq and not self.rob
+
+    def pull(self) -> Optional[Instr]:
+        """Fetch the next instruction from the generator, if any."""
+        try:
+            instr = next(self.gen)
+        except StopIteration:
+            self.gen_done = True
+            return None
+        instr.thread = self.tid
+        instr.seq = self.seq_next
+        self.seq_next += 1
+        self.instrs_emitted += 1
+        return instr
+
+    def describe(self) -> str:
+        """One-line diagnostic used by deadlock reports."""
+        return (
+            f"T{self.tid}[{self.state.value}] uopq={len(self.uopq)} "
+            f"rob={len(self.rob)} waiting={len(self.waiting)} "
+            f"lq={self.lq_used} sq={self.sq_used} "
+            f"fetched={self.uops_fetched} retired={self.uops_retired} "
+            f"gen_done={self.gen_done} gate_until={self.fetch_gate_until} "
+            f"wake_at={'-' if self.wake_at >= _FAR_FUTURE else self.wake_at}"
+        )

@@ -1,0 +1,41 @@
+"""Instruction-set model: opcodes, registers, instructions, streams.
+
+The simulator executes RISC-like micro-operations (µops).  Workloads emit
+:class:`~repro.isa.instr.Instr` objects from Python generators; the core
+model timestamps them through fetch/allocate/issue/retire.  An ``Instr``
+carries everything the timing model needs — opcode, destination and source
+registers, memory address — plus a static ``site`` id used by the
+profiling tools (the Pin / Valgrind stand-ins).
+"""
+
+from repro.isa.opcodes import Op, SubUnit, OP_SUBUNIT, is_load, is_store, is_mem, is_fp
+from repro.isa.registers import R, F, reg_name, NUM_INT_REGS, NUM_FP_REGS
+from repro.isa.instr import Instr
+from repro.isa.streams import (
+    ILP,
+    StreamSpec,
+    STREAM_OPS,
+    make_stream,
+    stream_thread,
+)
+
+__all__ = [
+    "Op",
+    "SubUnit",
+    "OP_SUBUNIT",
+    "is_load",
+    "is_store",
+    "is_mem",
+    "is_fp",
+    "R",
+    "F",
+    "reg_name",
+    "NUM_INT_REGS",
+    "NUM_FP_REGS",
+    "Instr",
+    "ILP",
+    "StreamSpec",
+    "STREAM_OPS",
+    "make_stream",
+    "stream_thread",
+]

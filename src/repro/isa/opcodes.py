@@ -1,0 +1,109 @@
+"""Opcodes and their mapping onto Netburst execution subunits.
+
+The opcode set mirrors the instruction classes the paper studies in §4
+(iadd/isub, imul, idiv, iload, istore, fadd/fsub, fmul, fdiv, fload,
+fstore) plus the classes its applications need: logical ops (the blocked
+array layout masks of MM), FP moves (CG/BT, Table 1), branches (loop
+control), and the synchronization opcodes PAUSE and HALT of §3.1.
+
+``SubUnit`` is the Table-1 taxonomy: the busiest execution subunits whose
+utilization the paper reports (ALUs, FP_ADD, FP_MUL, FP_MOVE, LOAD,
+STORE).  Every opcode maps to exactly one subunit; NOP/PAUSE/HALT map to
+``OTHER`` and are excluded from mix percentages, matching the paper's
+remark that synchronization instructions were "not included in the
+profiling process".
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Op(enum.IntEnum):
+    """Micro-operation opcodes understood by the core model."""
+
+    NOP = 0
+    # Integer arithmetic (register-to-register).
+    IADD = 1   # also covers isub: identical unit, latency, ports
+    ISUB = 2
+    ILOGIC = 3  # and/or/xor/shift — executable *only* by ALU0 (port 0)
+    IMUL = 4
+    IDIV = 5
+    # Integer memory.
+    ILOAD = 6
+    ISTORE = 7
+    # Floating point arithmetic.
+    FADD = 8   # also covers fsub
+    FSUB = 9
+    FMUL = 10
+    FDIV = 11
+    FMOVE = 12  # register-to-register FP move / shuffle
+    # FP memory.
+    FLOAD = 13
+    FSTORE = 14
+    # Control.
+    BRANCH = 15
+    # Synchronization / power (§3.1).
+    PAUSE = 16  # de-pipelines a spin loop; gates fetch briefly
+    HALT = 17   # releases statically partitioned resources, sleeps until IPI
+    # Non-blocking software prefetch (prefetchnta-style): occupies the
+    # load port but no load-queue entry, retires immediately, and its
+    # line fill is not a demand miss.  Used by the SW_PREFETCH variant
+    # implementing the paper's concluding recommendation.
+    PREFETCH = 18
+
+
+class SubUnit(enum.IntEnum):
+    """Execution-subunit classes as reported in the paper's Table 1."""
+
+    ALUS = 0
+    FP_ADD = 1
+    FP_MUL = 2
+    FP_DIV = 3
+    FP_MOVE = 4
+    LOAD = 5
+    STORE = 6
+    OTHER = 7
+
+
+OP_SUBUNIT: dict[Op, SubUnit] = {
+    Op.NOP: SubUnit.OTHER,
+    Op.IADD: SubUnit.ALUS,
+    Op.ISUB: SubUnit.ALUS,
+    Op.ILOGIC: SubUnit.ALUS,
+    Op.IMUL: SubUnit.ALUS,
+    Op.IDIV: SubUnit.ALUS,
+    Op.ILOAD: SubUnit.LOAD,
+    Op.ISTORE: SubUnit.STORE,
+    Op.FADD: SubUnit.FP_ADD,
+    Op.FSUB: SubUnit.FP_ADD,
+    Op.FMUL: SubUnit.FP_MUL,
+    Op.FDIV: SubUnit.FP_DIV,
+    Op.FMOVE: SubUnit.FP_MOVE,
+    Op.FLOAD: SubUnit.LOAD,
+    Op.FSTORE: SubUnit.STORE,
+    Op.BRANCH: SubUnit.ALUS,
+    Op.PAUSE: SubUnit.OTHER,
+    Op.HALT: SubUnit.OTHER,
+    Op.PREFETCH: SubUnit.LOAD,
+}
+
+_LOADS = frozenset({Op.ILOAD, Op.FLOAD})
+_STORES = frozenset({Op.ISTORE, Op.FSTORE})
+_FP = frozenset({Op.FADD, Op.FSUB, Op.FMUL, Op.FDIV, Op.FMOVE, Op.FLOAD, Op.FSTORE})
+
+
+def is_load(op: Op) -> bool:
+    return op in _LOADS
+
+
+def is_store(op: Op) -> bool:
+    return op in _STORES
+
+
+def is_mem(op: Op) -> bool:
+    return op in _LOADS or op in _STORES
+
+
+def is_fp(op: Op) -> bool:
+    return op in _FP

@@ -1,0 +1,37 @@
+"""Architectural register names.
+
+Registers are plain small integers for speed.  Integer registers occupy
+ids ``0..NUM_INT_REGS-1``; floating-point registers are offset above them.
+Register ids are *per logical CPU* — the core renames each thread's
+architectural registers independently, so two threads using ``R(0)`` never
+alias.
+"""
+
+from __future__ import annotations
+
+NUM_INT_REGS = 32
+NUM_FP_REGS = 32
+_FP_BASE = NUM_INT_REGS
+
+
+def R(i: int) -> int:
+    """Integer register ``i`` (0-based)."""
+    if not 0 <= i < NUM_INT_REGS:
+        raise ValueError(f"integer register index {i} out of range")
+    return i
+
+
+def F(i: int) -> int:
+    """Floating-point register ``i`` (0-based)."""
+    if not 0 <= i < NUM_FP_REGS:
+        raise ValueError(f"fp register index {i} out of range")
+    return _FP_BASE + i
+
+
+def reg_name(reg: int) -> str:
+    """Human-readable name for diagnostics."""
+    if 0 <= reg < _FP_BASE:
+        return f"r{reg}"
+    if _FP_BASE <= reg < _FP_BASE + NUM_FP_REGS:
+        return f"f{reg - _FP_BASE}"
+    return f"?{reg}"

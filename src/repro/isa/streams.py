@@ -1,0 +1,173 @@
+"""Synthetic homogeneous instruction streams (paper §4).
+
+The paper constructs streams of one instruction repeated back-to-back and
+tunes instruction-level parallelism by using |T| disjoint target registers
+rotated cyclically, with sources drawn from a disjoint set S.  Because the
+arithmetic is two-operand (``dst <- dst op src``), reusing a target every
+|T| instructions creates RAW chains of spacing |T|:
+
+* ``ILP.MIN``  — |T| = 1 → one serial dependence chain (maximal hazards);
+* ``ILP.MED``  — |T| = 3 → three independent chains;
+* ``ILP.MAX``  — |T| = 6 → six independent chains (hazards eliminated
+  relative to the machine's scheduling window).
+
+Memory streams traverse a private per-thread vector sequentially (the
+paper uses 32-bit scalars); the stride controls the cache-miss rate —
+``miss rate = stride / line_size`` once the vector exceeds the cache, so
+the paper's "3% miss rate" load/store streams correspond to a 1-byte
+stride with this model's 32-byte lines (2 bytes with the Xeon's 64-byte
+lines).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.common.addrspace import Region
+from repro.common.errors import ConfigError
+from repro.isa.instr import Instr
+from repro.isa.opcodes import Op, is_mem, is_store, is_fp
+from repro.isa.registers import R, F
+
+
+class ILP(enum.Enum):
+    """ILP level of a stream = number of disjoint target registers."""
+
+    MIN = 1
+    MED = 3
+    MAX = 6
+
+    @property
+    def num_targets(self) -> int:
+        return self.value
+
+
+#: The streams evaluated in the paper's §4, by name.  ``fadd-mul`` mixes
+#: fp-add and fp-mul "in a circular fashion in the same thread".
+STREAM_OPS: dict[str, tuple[Op, ...]] = {
+    "iadd": (Op.IADD,),
+    "isub": (Op.ISUB,),
+    "imul": (Op.IMUL,),
+    "idiv": (Op.IDIV,),
+    "ilogic": (Op.ILOGIC,),
+    "iload": (Op.ILOAD,),
+    "istore": (Op.ISTORE,),
+    "fadd": (Op.FADD,),
+    "fsub": (Op.FSUB,),
+    "fmul": (Op.FMUL,),
+    "fdiv": (Op.FDIV,),
+    "fload": (Op.FLOAD,),
+    "fstore": (Op.FSTORE,),
+    "fadd-mul": (Op.FADD, Op.FMUL),
+}
+
+#: Default element stride giving the paper's ~3% miss rate on 32 B lines.
+DEFAULT_MEM_STRIDE = 1
+
+
+@dataclass(frozen=True)
+class StreamSpec:
+    """Full description of one synthetic stream.
+
+    Attributes
+    ----------
+    name:
+        Key into :data:`STREAM_OPS`.
+    ilp:
+        ILP level (|T|).
+    count:
+        Number of instructions to emit.
+    stride:
+        Byte stride for memory streams (ignored for arithmetic ones).
+    site:
+        Static site id stamped on every emitted instruction.
+    """
+
+    name: str
+    ilp: ILP = ILP.MAX
+    count: int = 10_000
+    stride: int = DEFAULT_MEM_STRIDE
+    site: int = 0
+    ops: tuple[Op, ...] = field(init=False)
+
+    def __post_init__(self):
+        if self.name not in STREAM_OPS:
+            raise ConfigError(
+                f"unknown stream {self.name!r}; known: {sorted(STREAM_OPS)}"
+            )
+        if self.count <= 0:
+            raise ConfigError("stream count must be positive")
+        if self.stride <= 0:
+            raise ConfigError("stream stride must be positive")
+        object.__setattr__(self, "ops", STREAM_OPS[self.name])
+
+    @property
+    def is_memory(self) -> bool:
+        return any(is_mem(op) for op in self.ops)
+
+
+def make_stream(spec: StreamSpec, region: Optional[Region] = None) -> Iterator[Instr]:
+    """Yield ``spec.count`` instructions of the requested stream.
+
+    Memory streams require ``region`` — the private vector this thread
+    traverses.  The traversal wraps around at the end of the region, so
+    steady-state miss behaviour is uniform for arbitrarily long streams.
+    """
+    if spec.is_memory:
+        if region is None:
+            raise ConfigError(f"stream {spec.name!r} needs a memory region")
+        yield from _memory_stream(spec, region)
+    else:
+        yield from _arith_stream(spec)
+
+
+def _arith_stream(spec: StreamSpec) -> Iterator[Instr]:
+    n_targets = spec.ilp.num_targets
+    # Disjoint S and T register sets (fp streams use fp registers).
+    fp = is_fp(spec.ops[0])
+    regs = F if fp else R
+    targets = [regs(i) for i in range(n_targets)]
+    sources = [regs(i) for i in range(8, 8 + 6)]  # |S| fixed, disjoint from T
+    ops = spec.ops
+    n_ops = len(ops)
+    site = spec.site
+    for i in range(spec.count):
+        yield Instr.arith(
+            ops[i % n_ops],
+            dst=targets[i % n_targets],
+            src=sources[i % len(sources)],
+            site=site,
+        )
+
+
+def _memory_stream(spec: StreamSpec, region: Region) -> Iterator[Instr]:
+    op = spec.ops[0]
+    n_targets = spec.ilp.num_targets
+    fp = is_fp(op)
+    regs = F if fp else R
+    targets = [regs(i) for i in range(n_targets)]
+    data_reg = regs(15)  # constant data source for stores; never written
+    store = is_store(op)
+    base, span = region.base, region.nbytes
+    stride, site = spec.stride, spec.site
+    offset = 0
+    for i in range(spec.count):
+        addr = base + offset
+        offset += stride
+        if offset >= span:
+            offset = 0
+        if store:
+            yield Instr.store(addr, src=data_reg, op=op, site=site)
+        else:
+            yield Instr.load(addr, dst=targets[i % n_targets], op=op, site=site)
+
+
+def stream_thread(spec: StreamSpec, region: Optional[Region] = None):
+    """Return a zero-argument generator factory suitable for the runtime."""
+
+    def factory() -> Iterator[Instr]:
+        return make_stream(spec, region)
+
+    return factory

@@ -1,0 +1,21 @@
+"""Memory hierarchy: set-associative caches, HW prefetch, shared bus.
+
+Geometry is a *scaled* Netburst (see DESIGN.md §4): the workloads' problem
+sizes are shrunk by the same factor as the caches, so footprint-to-cache
+ratios — and therefore miss regimes — match the paper's 8 KB L1 / 512 KB
+L2 Xeon against 1024–4096 matrices.  Both logical CPUs share every level,
+exactly as two hyper-threads share one physical package.
+"""
+
+from repro.mem.cache import Cache
+from repro.mem.config import MemConfig
+from repro.mem.hierarchy import MemoryHierarchy, AccessResult
+from repro.mem.prefetch import AdjacentLinePrefetcher
+
+__all__ = [
+    "Cache",
+    "MemConfig",
+    "MemoryHierarchy",
+    "AccessResult",
+    "AdjacentLinePrefetcher",
+]

@@ -1,0 +1,102 @@
+"""A set-associative cache with true-LRU replacement.
+
+Each set is an insertion-ordered dict mapping line id -> dirty flag; a hit
+re-inserts the key (constant-time LRU update), a fill evicts the oldest
+key when the set is full.  Line ids are global (``addr // line_size``), so
+tag/index arithmetic is implicit and exact.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.errors import ConfigError
+
+
+class Cache:
+    """One cache level.
+
+    Parameters
+    ----------
+    size:
+        Capacity in bytes (power of two).
+    assoc:
+        Ways per set.
+    line_size:
+        Bytes per line (power of two).
+    name:
+        For diagnostics ("L1D", "L2").
+    """
+
+    __slots__ = ("name", "size", "assoc", "line_size", "num_sets", "_sets",
+                 "_set_mask")
+
+    def __init__(self, size: int, assoc: int, line_size: int, name: str = ""):
+        if size <= 0 or size & (size - 1):
+            raise ConfigError(f"cache size must be a power of two, got {size}")
+        if line_size <= 0 or line_size & (line_size - 1):
+            raise ConfigError(f"line size must be a power of two, got {line_size}")
+        num_lines = size // line_size
+        if assoc <= 0 or num_lines % assoc:
+            raise ConfigError(
+                f"associativity {assoc} does not divide {num_lines} lines"
+            )
+        self.name = name
+        self.size = size
+        self.assoc = assoc
+        self.line_size = line_size
+        self.num_sets = num_lines // assoc
+        self._set_mask = self.num_sets - 1
+        self._sets: list[dict[int, bool]] = [dict() for _ in range(self.num_sets)]
+
+    def line_of(self, addr: int) -> int:
+        return addr // self.line_size
+
+    def lookup(self, line: int, write: bool = False) -> bool:
+        """Probe for ``line``; on hit, refresh LRU (and set dirty if write)."""
+        s = self._sets[line & self._set_mask]
+        if line in s:
+            dirty = s.pop(line) or write
+            s[line] = dirty
+            return True
+        return False
+
+    def fill(self, line: int, dirty: bool = False) -> Optional[tuple[int, bool]]:
+        """Insert ``line``; returns ``(victim_line, victim_dirty)`` if one
+        was evicted, else ``None``.  Filling a resident line refreshes it."""
+        s = self._sets[line & self._set_mask]
+        if line in s:
+            d = s.pop(line) or dirty
+            s[line] = d
+            return None
+        victim = None
+        if len(s) >= self.assoc:
+            vline, vdirty = next(iter(s.items()))
+            del s[vline]
+            victim = (vline, vdirty)
+        s[line] = dirty
+        return victim
+
+    def invalidate(self, line: int) -> bool:
+        """Drop ``line`` if present; returns whether it was resident."""
+        s = self._sets[line & self._set_mask]
+        return s.pop(line, None) is not None
+
+    def contains(self, line: int) -> bool:
+        """Non-intrusive probe (no LRU update) — for tests and profilers."""
+        return line in self._sets[line & self._set_mask]
+
+    def resident_lines(self) -> set[int]:
+        """All currently resident line ids (for invariant checks)."""
+        out: set[int] = set()
+        for s in self._sets:
+            out.update(s)
+        return out
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def flush(self) -> None:
+        for s in self._sets:
+            s.clear()

@@ -1,0 +1,14 @@
+"""Performance-monitoring counters, qualified by logical CPU id.
+
+The paper extends the Xeon's monitoring registers with a small custom
+library so events can be attributed to each logical processor; this
+package is that library's stand-in.  The core and memory hierarchy
+increment counters as side effects of simulation; experiment drivers read
+them through the same three headline events the paper reports (§5):
+``L2 misses``, ``resource stall cycles`` and ``µops retired``.
+"""
+
+from repro.perfmon.events import Event
+from repro.perfmon.monitor import PerfMonitor
+
+__all__ = ["Event", "PerfMonitor"]

@@ -1,0 +1,14 @@
+"""Pin stand-in: dynamic instruction-mix instrumentation.
+
+The paper profiles its benchmark executables with the Pin binary
+instrumentation tool and reports, per thread, the fraction of dynamic
+instructions using each execution subunit (Table 1).  Here the "binary"
+is an instruction generator; :func:`instruction_mix` replays it
+functionally (no timing) and aggregates by subunit.  Synchronization
+instructions are excluded by default, matching the paper's note that
+sync primitives were "not included in the profiling process".
+"""
+
+from repro.pintool.mix import InstructionMix, instruction_mix, DryRunAPI
+
+__all__ = ["InstructionMix", "instruction_mix", "DryRunAPI"]

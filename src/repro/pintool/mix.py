@@ -1,0 +1,80 @@
+"""Instruction-mix aggregation (the Table-1 measurement)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional
+
+from repro.common.addrspace import AddressSpace
+from repro.isa.instr import Instr
+from repro.isa.opcodes import OP_SUBUNIT, SubUnit
+
+
+@dataclass
+class InstructionMix:
+    """Dynamic instruction counts bucketed by execution subunit."""
+
+    counts: dict[SubUnit, int] = field(default_factory=dict)
+    total: int = 0
+    sites: dict[int, int] = field(default_factory=dict)
+
+    def fraction(self, subunit: SubUnit) -> float:
+        """Fraction of profiled instructions using ``subunit`` (0..1)."""
+        if self.total == 0:
+            return 0.0
+        return self.counts.get(subunit, 0) / self.total
+
+    def percent(self, subunit: SubUnit) -> float:
+        return 100.0 * self.fraction(subunit)
+
+    def as_percentages(self) -> dict[str, float]:
+        return {su.name: self.percent(su) for su in SubUnit
+                if su is not SubUnit.OTHER}
+
+
+class DryRunAPI:
+    """A ThreadAPI lookalike for functional (untimed) replay.
+
+    Wake-ups and flush penalties are no-ops: there is no machine.  Used
+    by the profiler and by tests that validate workload numerics without
+    paying for a timing simulation.
+    """
+
+    def __init__(self, tid: int = 0, aspace: Optional[AddressSpace] = None):
+        self.tid = tid
+        self.aspace = aspace or AddressSpace()
+        self.now = 0
+
+    def wake(self, tid: int) -> None:  # pragma: no cover - trivial
+        pass
+
+    def flush_self(self, penalty: Optional[int] = None) -> None:
+        pass
+
+
+def instruction_mix(
+    instrs: Iterable[Instr] | Iterator[Instr],
+    include_sync: bool = False,
+    sync_site: int = -1,
+) -> InstructionMix:
+    """Replay a generator functionally and bucket µops by subunit.
+
+    ``include_sync=False`` drops instructions stamped with the
+    synchronization site id.  Load/store effects still fire so that any
+    functional bookkeeping embedded in the trace stays consistent.
+    """
+    mix = InstructionMix()
+    counts = mix.counts
+    sites = mix.sites
+    for instr in instrs:
+        if instr.effect is not None:
+            instr.effect()
+        if not include_sync and instr.site == sync_site:
+            continue
+        su = OP_SUBUNIT[instr.op]
+        if su is SubUnit.OTHER:
+            continue
+        counts[su] = counts.get(su, 0) + 1
+        sites[instr.site] = sites.get(instr.site, 0) + 1
+        mix.total += 1
+    return mix

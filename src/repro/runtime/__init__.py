@@ -1,0 +1,33 @@
+"""Threading runtime: programs, logical-CPU binding, synchronization.
+
+The paper binds NPTL threads to logical processors with
+``sched_setaffinity`` and synchronizes them with hand-written user-space
+primitives (§3.1).  Here a *thread* is a Python generator yielding
+instructions; a :class:`Program` binds one generator per logical CPU of
+an :class:`~repro.cpu.SMTCore` and runs the machine.  The synchronization
+primitives in :mod:`repro.runtime.sync` are instruction *emitters*: they
+yield the loads, stores, pauses and halts a real spin loop would execute,
+while their functional side effects (shared-variable updates, IPIs) fire
+when those instructions complete in the simulated pipeline.
+"""
+
+from repro.runtime.program import Program, ThreadAPI
+from repro.runtime.sync import (
+    SyncVar,
+    WaitMode,
+    spin_until,
+    advance_var,
+    wait_ge,
+    SenseBarrier,
+)
+
+__all__ = [
+    "Program",
+    "ThreadAPI",
+    "SyncVar",
+    "WaitMode",
+    "spin_until",
+    "advance_var",
+    "wait_ge",
+    "SenseBarrier",
+]

@@ -1,0 +1,108 @@
+"""Program assembly: bind thread generators to logical CPUs and run.
+
+A thread factory is a callable ``factory(api: ThreadAPI) -> Iterator[Instr]``.
+The :class:`ThreadAPI` is the stand-in for the paper's kernel extensions:
+it exposes the IPI wake-up (`wake`) and the pipeline-flush penalty hook
+used by spin-loop exits, plus the program's address space for allocating
+shared data.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional
+
+from repro.common.addrspace import AddressSpace
+from repro.common.errors import ConfigError
+from repro.cpu.config import CoreConfig
+from repro.cpu.core import CoreResult, SMTCore
+from repro.isa.instr import Instr
+from repro.mem.config import MemConfig
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.perfmon import PerfMonitor
+
+ThreadFactory = Callable[["ThreadAPI"], Iterator[Instr]]
+
+
+class ThreadAPI:
+    """Per-thread view of the machine, passed to thread factories."""
+
+    def __init__(self, program: "Program", tid: int):
+        self._program = program
+        self.tid = tid
+
+    def wake(self, tid: int) -> None:
+        """Send an IPI to logical CPU ``tid`` (the §3.1 kernel extension)."""
+        self._program.core.wake(tid)
+
+    def flush_self(self, penalty: Optional[int] = None) -> None:
+        """Charge this thread the spin-exit pipeline-flush penalty."""
+        core = self._program.core
+        core.gate_fetch(
+            self.tid,
+            penalty if penalty is not None else core.config.flush_penalty,
+        )
+
+    @property
+    def aspace(self) -> AddressSpace:
+        return self._program.aspace
+
+    @property
+    def now(self) -> int:
+        return self._program.core.tick
+
+
+class Program:
+    """One multithreaded program on one simulated physical package."""
+
+    def __init__(
+        self,
+        core_config: Optional[CoreConfig] = None,
+        mem_config: Optional[MemConfig] = None,
+        aspace: Optional[AddressSpace] = None,
+    ):
+        self.core_config = core_config or CoreConfig()
+        self.mem_config = mem_config or MemConfig()
+        self.monitor = PerfMonitor(self.core_config.num_threads)
+        self.hierarchy = MemoryHierarchy(
+            self.mem_config, self.monitor, self.core_config.num_threads
+        )
+        self.core = SMTCore(self.core_config, self.hierarchy, self.monitor)
+        self.aspace = aspace or AddressSpace()
+        self._factories: list[ThreadFactory] = []
+        self._ran = False
+
+    def add_thread(self, factory: ThreadFactory) -> int:
+        """Register a thread; it is bound to the next logical CPU.
+
+        Mirrors pthread_create + sched_setaffinity in the paper's codes:
+        thread 0 goes to logical CPU 0, thread 1 to logical CPU 1 of the
+        same physical package.
+        """
+        if self._ran:
+            raise ConfigError("program already ran")
+        if len(self._factories) >= self.core_config.num_threads:
+            raise ConfigError(
+                f"machine has {self.core_config.num_threads} logical CPUs"
+            )
+        self._factories.append(factory)
+        return len(self._factories) - 1
+
+    def run(
+        self,
+        max_ticks: Optional[int] = None,
+        stop_on_first_done: bool = False,
+        stop_at_tick: Optional[int] = None,
+    ) -> CoreResult:
+        if self._ran:
+            raise ConfigError("program already ran")
+        if not self._factories:
+            raise ConfigError("no threads registered")
+        self._ran = True
+        for tid, factory in enumerate(self._factories):
+            api = ThreadAPI(self, tid)
+            self.core.add_thread(factory(api))
+        return self.core.run(
+            max_ticks,
+            stop_on_first_done=stop_on_first_done,
+            stop_at_tick=stop_at_tick,
+        )

@@ -1,0 +1,27 @@
+"""Speculative precomputation (SPR) support (paper §3.2).
+
+Three pieces, mirroring the paper's workflow:
+
+* :mod:`repro.spr.profile` — the Valgrind stand-in: replay a workload's
+  serial trace through a standalone cache simulation and rank static load
+  sites by the L2 misses they cause; the sites covering ~92-96% of misses
+  are the *delinquent loads* the precomputation slice keeps.
+* :mod:`repro.spr.spans` — precomputation-span planning: choose a span
+  footprint between L2/A and L2/2 (A = associativity) so the helper
+  thread prefetches far enough ahead without evicting unconsumed data.
+* The throttling protocol itself — worker publishes a span-progress
+  counter; the helper waits (`spin` or `halt` mode, chosen per the
+  paper's "selective approach") whenever it gets more than ``lookahead``
+  spans ahead — implemented with :mod:`repro.runtime.sync` primitives
+  inside each workload's prefetch variant.
+"""
+
+from repro.spr.profile import DelinquencyReport, find_delinquent_sites
+from repro.spr.spans import SpanPlan, plan_spans
+
+__all__ = [
+    "DelinquencyReport",
+    "find_delinquent_sites",
+    "SpanPlan",
+    "plan_spans",
+]

@@ -1,0 +1,64 @@
+"""Precomputation-span planning (paper §3.2).
+
+"The upper bound we enforced in our codes ranges from 1/A to 1/2 of the
+L2 cache size, where A is the associativity of the cache (8 in our
+case).  The fraction 1/4 is proposed [by Wang et al.] as a means to
+eliminate potential conflict misses."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.errors import ConfigError
+from repro.mem.config import MemConfig
+
+
+@dataclass(frozen=True)
+class SpanPlan:
+    """Span geometry for one SPR workload."""
+
+    span_bytes: int        # memory footprint of one precomputation span
+    items_per_span: int    # workload items (tiles, rows, cells) per span
+    num_spans: int
+    lookahead: int = 1     # spans the helper may run ahead of the worker
+
+    def span_of(self, item_index: int) -> int:
+        return item_index // self.items_per_span
+
+
+def plan_spans(
+    total_items: int,
+    bytes_per_item: int,
+    mem_config: Optional[MemConfig] = None,
+    fraction: float = 0.25,
+    lookahead: int = 1,
+) -> SpanPlan:
+    """Size spans so each footprint is ``fraction`` of L2.
+
+    ``fraction`` must lie in the paper's [1/A, 1/2] window; the default
+    is the conflict-miss-safe 1/4.  At least one item per span is always
+    planned, even if a single item exceeds the bound (the paper's LU
+    tiles stretch the bound the same way).
+    """
+    cfg = mem_config or MemConfig()
+    lo, hi = 1.0 / cfg.l2_assoc, 0.5
+    if not lo <= fraction <= hi:
+        raise ConfigError(
+            f"span fraction {fraction} outside the paper's window "
+            f"[1/{cfg.l2_assoc}, 1/2]"
+        )
+    if total_items <= 0 or bytes_per_item <= 0:
+        raise ConfigError("need positive item count and size")
+    span_bytes = int(cfg.l2_size * fraction)
+    items = max(1, span_bytes // bytes_per_item)
+    if items > total_items:
+        items = total_items
+    num = (total_items + items - 1) // items
+    return SpanPlan(
+        span_bytes=items * bytes_per_item,
+        items_per_span=items,
+        num_spans=num,
+        lookahead=lookahead,
+    )

@@ -1,0 +1,44 @@
+"""Reference applications (paper §5).
+
+Each workload module implements the paper's parallelization variants as
+thread factories over the same numerical kernel:
+
+========================  ===========================================
+``matmul``                tiled Matrix Multiplication, blocked array
+                          layouts (serial, tlp-fine, tlp-coarse,
+                          tlp-pfetch, tlp-pfetch+work)
+``lu``                    tiled LU decomposition (serial, tlp-coarse,
+                          tlp-pfetch)
+``cg``                    NAS CG — conjugate gradient, random sparse
+                          pattern (serial, tlp-coarse, tlp-pfetch,
+                          tlp-pfetch+work)
+``bt``                    NAS BT — 5x5 block-tridiagonal solves
+                          (serial, tlp-coarse, tlp-pfetch)
+========================  ===========================================
+
+Every workload both *emits the µop trace* the timing model executes and
+*performs the actual numerical computation* at block granularity with
+numpy, so tests can validate the kernel logic against dense references.
+Problem sizes are scaled 16x linearly from the paper's (DESIGN.md §4).
+"""
+
+from repro.workloads.common import Variant, BlockedMatrix, WorkloadBuild
+from repro.workloads import matmul, lu, cg, bt
+
+WORKLOADS = {
+    "mm": matmul,
+    "lu": lu,
+    "cg": cg,
+    "bt": bt,
+}
+
+__all__ = [
+    "Variant",
+    "BlockedMatrix",
+    "WorkloadBuild",
+    "matmul",
+    "lu",
+    "cg",
+    "bt",
+    "WORKLOADS",
+]

@@ -1,0 +1,83 @@
+"""Tests for the shape-expectation checker (with synthetic results)."""
+
+from repro.analysis import check_app_shapes
+from repro.core.apps import AppRunResult
+from repro.workloads.common import Variant
+
+
+def result(variant, cycles, app="mm", misses=100, worker=100, stalls=0,
+           uops=1000):
+    return AppRunResult(app=app, variant=variant, size={"n": 16},
+                        cycles=cycles, l2_misses=misses,
+                        l2_misses_total=misses, l2_misses_worker=worker,
+                        stall_cycles=stalls, uops=uops,
+                        uops_per_thread=(uops,), reference_ok=True)
+
+
+def paper_perfect_mm():
+    """Synthetic results that match the paper's fig-3 numbers exactly."""
+    return [
+        result(Variant.SERIAL, 1000, misses=100, worker=100),
+        result(Variant.TLP_PFETCH, 1005, misses=18, worker=18),
+        result(Variant.TLP_COARSE, 1120, misses=95, worker=50),
+        result(Variant.TLP_FINE, 1340, misses=95, worker=50),
+        result(Variant.TLP_PFETCH_WORK, 1580, misses=95, worker=50),
+    ]
+
+
+class TestMMChecks:
+    def test_paper_numbers_pass(self):
+        checks = check_app_shapes("mm", paper_perfect_mm())
+        assert checks
+        assert all(c.holds for c in checks), [str(c) for c in checks]
+
+    def test_ht_speedup_detected_as_miss(self):
+        results = paper_perfect_mm()
+        results[2] = result(Variant.TLP_COARSE, 700)  # speedup: wrong
+        checks = check_app_shapes("mm", results)
+        assert any(not c.holds for c in checks)
+
+    def test_expectation_str(self):
+        checks = check_app_shapes("mm", paper_perfect_mm())
+        s = str(checks[0])
+        assert "PASS" in s or "MISS" in s
+        assert "fig3" in s
+
+
+class TestOtherApps:
+    def test_lu_paper_numbers_pass(self):
+        results = [
+            result(Variant.SERIAL, 1000, app="lu", misses=100, worker=100,
+                   stalls=10, uops=1000),
+            result(Variant.TLP_COARSE, 950, app="lu", misses=80, worker=40,
+                   stalls=500, uops=1050),
+            result(Variant.TLP_PFETCH, 1800, app="lu", misses=2, worker=2,
+                   stalls=300, uops=2100),
+        ]
+        checks = check_app_shapes("lu", results)
+        assert all(c.holds for c in checks), [str(c) for c in checks]
+
+    def test_bt_paper_numbers_pass(self):
+        results = [
+            result(Variant.SERIAL, 1000, app="bt", misses=100, worker=100),
+            result(Variant.TLP_COARSE, 940, app="bt", misses=90, worker=45,
+                   stalls=100),
+            result(Variant.TLP_PFETCH, 1010, app="bt", misses=30, worker=30,
+                   stalls=50, uops=1200),
+        ]
+        checks = check_app_shapes("bt", results)
+        assert all(c.holds for c in checks), [str(c) for c in checks]
+
+    def test_cg_paper_numbers_pass(self):
+        results = [
+            result(Variant.SERIAL, 1000, app="cg", misses=100, worker=100,
+                   stalls=50, uops=1000),
+            result(Variant.TLP_COARSE, 1030, app="cg", misses=80, worker=40,
+                   stalls=55, uops=1180),
+            result(Variant.TLP_PFETCH, 1820, app="cg", misses=20, worker=20,
+                   stalls=50, uops=1500),
+            result(Variant.TLP_PFETCH_WORK, 1910, app="cg", misses=85,
+                   worker=45, stalls=60, uops=1600),
+        ]
+        checks = check_app_shapes("cg", results)
+        assert all(c.holds for c in checks), [str(c) for c in checks]

@@ -1,0 +1,64 @@
+"""Tests for the ASCII renderers."""
+
+from repro.analysis import (
+    render_app_figure,
+    render_fig1,
+    render_fig2,
+    render_table1,
+)
+from repro.core.apps import AppRunResult
+from repro.core.coexec import CoexecResult
+from repro.core.streams import StreamCPIResult
+from repro.core.table1 import Table1Row
+from repro.isa import ILP
+from repro.workloads.common import Variant
+
+
+def fake_stream(stream="fadd", threads=1, ilp=ILP.MAX, cpi=1.0):
+    return StreamCPIResult(stream=stream, ilp=ilp, threads=threads,
+                           cpi=cpi, cumulative_ipc=1 / cpi, cycles=1000,
+                           instrs_per_thread=100)
+
+
+def fake_app(variant, cycles, app="mm"):
+    return AppRunResult(app=app, variant=variant, size={"n": 16},
+                        cycles=cycles, l2_misses=10, l2_misses_total=12,
+                        l2_misses_worker=10, stall_cycles=5, uops=100,
+                        uops_per_thread=(60, 40), reference_ok=True)
+
+
+class TestRenderers:
+    def test_fig1_contains_all_modes(self):
+        results = [
+            fake_stream(threads=t, ilp=i)
+            for t in (1, 2)
+            for i in ILP
+        ]
+        out = render_fig1(results)
+        assert "1thr-minILP" in out and "2thr-maxILP" in out
+        assert "fadd" in out
+
+    def test_fig2_matrix_symmetric_cells(self):
+        r = CoexecResult(stream_a="fadd", stream_b="fmul", ilp=ILP.MAX,
+                         cpi_a=2.0, cpi_b=4.0, solo_cpi_a=1.0,
+                         solo_cpi_b=2.0)
+        out = render_fig2([r], "test")
+        assert "fadd" in out and "fmul" in out
+        assert "2.00" in out  # both slowdowns are 2.0
+
+    def test_app_figure_relative_column(self):
+        results = [fake_app(Variant.SERIAL, 1000),
+                   fake_app(Variant.TLP_COARSE, 1500)]
+        out = render_app_figure(results)
+        assert "1.50" in out
+        assert "serial" in out and "tlp-coarse" in out
+
+    def test_app_figure_empty(self):
+        assert "no results" in render_app_figure([])
+
+    def test_table1_layout(self):
+        rows = [Table1Row(app="mm", column="serial",
+                          percentages={"ALUS": 27.0, "LOAD": 38.0},
+                          total_instructions=1234)]
+        out = render_table1(rows)
+        assert "ALUS" in out and "1234" in out and "27.00" in out

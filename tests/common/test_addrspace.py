@@ -1,0 +1,76 @@
+"""Unit tests for the simulated address space allocator."""
+
+import pytest
+
+from repro.common import AddressSpace, ConfigError
+
+
+class TestAlloc:
+    def test_regions_are_disjoint(self):
+        aspace = AddressSpace()
+        a = aspace.alloc("a", 100, elem_size=4)
+        b = aspace.alloc("b", 64)
+        assert a.end <= b.base
+
+    def test_line_alignment(self):
+        aspace = AddressSpace(align=64)
+        a = aspace.alloc("a", 10, elem_size=2)
+        b = aspace.alloc("b", 10, elem_size=2)
+        assert a.base % 64 == 0
+        assert b.base % 64 == 0
+        # Padding: regions never share a 64-byte line.
+        assert b.base - a.end >= 0
+        assert a.end <= (b.base // 64) * 64
+
+    def test_duplicate_name_rejected(self):
+        aspace = AddressSpace()
+        aspace.alloc("x", 8)
+        with pytest.raises(ConfigError):
+            aspace.alloc("x", 8)
+
+    def test_bad_sizes_rejected(self):
+        aspace = AddressSpace()
+        with pytest.raises(ConfigError):
+            aspace.alloc("neg", -8)
+        with pytest.raises(ConfigError):
+            aspace.alloc("frac", 10, elem_size=8)
+
+    def test_non_power_of_two_alignment_rejected(self):
+        with pytest.raises(ConfigError):
+            AddressSpace(align=48)
+
+    def test_alloc_elems(self):
+        aspace = AddressSpace()
+        r = aspace.alloc_elems("v", 16, elem_size=4)
+        assert r.nbytes == 64
+        assert r.num_elements == 16
+
+
+class TestRegion:
+    def test_addr_of(self):
+        aspace = AddressSpace()
+        r = aspace.alloc_elems("v", 8, elem_size=8)
+        assert r.addr_of(0) == r.base
+        assert r.addr_of(3) == r.base + 24
+
+    def test_addr_of_bounds(self):
+        aspace = AddressSpace()
+        r = aspace.alloc_elems("v", 8)
+        with pytest.raises(IndexError):
+            r.addr_of(8)
+        with pytest.raises(IndexError):
+            r.addr_of(-1)
+
+    def test_reverse_lookup(self):
+        aspace = AddressSpace()
+        a = aspace.alloc("a", 64)
+        b = aspace.alloc("b", 64)
+        assert aspace.region_of(a.base + 10) is a
+        assert aspace.region_of(b.base) is b
+        assert aspace.region_of(5) is None
+
+    def test_contains(self):
+        aspace = AddressSpace()
+        a = aspace.alloc("a", 64)
+        assert a.contains(a.base)
+        assert not a.contains(a.end)

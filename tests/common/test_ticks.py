@@ -1,0 +1,22 @@
+"""Tick/cycle conversion tests."""
+
+from repro.common import TICKS_PER_CYCLE, cycles_to_ticks, ticks_to_cycles
+
+
+def test_half_cycle_is_one_tick():
+    assert cycles_to_ticks(0.5) == 1
+
+
+def test_integer_cycles():
+    assert cycles_to_ticks(4) == 4 * TICKS_PER_CYCLE
+
+
+def test_rounds_up_never_down():
+    # A latency can never be modelled shorter than requested.
+    assert cycles_to_ticks(0.3) == 1
+    assert cycles_to_ticks(1.26) == 3
+
+
+def test_round_trip():
+    assert ticks_to_cycles(cycles_to_ticks(6)) == 6.0
+    assert ticks_to_cycles(3) == 1.5

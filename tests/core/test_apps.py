@@ -1,0 +1,54 @@
+"""Tests for the figures 3-5 experiment driver."""
+
+import pytest
+
+from repro.common import ConfigError
+from repro.core import run_app_experiment, app_sweep
+from repro.core.apps import APP_SIZES, APP_VARIANTS
+from repro.workloads.common import Variant
+
+SMALL_MM = {"n": 16}
+
+
+class TestRunner:
+    def test_unknown_app_rejected(self):
+        with pytest.raises(ConfigError):
+            run_app_experiment("nope", Variant.SERIAL)
+
+    def test_serial_run_collects_counters(self):
+        r = run_app_experiment("mm", Variant.SERIAL, SMALL_MM)
+        assert r.cycles > 0
+        assert r.uops == sum(r.uops_per_thread)
+        assert r.l2_misses == r.l2_misses_total == r.l2_misses_worker
+        assert r.reference_ok
+
+    def test_pfetch_reports_worker_misses_only(self):
+        """Paper: 'For the pure software prefetch method, only the
+        misses of the working thread are presented.'"""
+        r = run_app_experiment("mm", Variant.TLP_PFETCH, SMALL_MM)
+        assert r.l2_misses == r.l2_misses_worker
+        assert r.l2_misses_total > r.l2_misses_worker
+
+    def test_tlp_reports_sum_of_misses(self):
+        r = run_app_experiment("mm", Variant.TLP_COARSE, SMALL_MM)
+        assert r.l2_misses == r.l2_misses_total
+
+    def test_size_label(self):
+        r = run_app_experiment("mm", Variant.SERIAL, SMALL_MM)
+        assert r.size_label == "n=16"
+
+    def test_sweep_covers_variants_and_sizes(self):
+        results = app_sweep(
+            "mm",
+            variants=[Variant.SERIAL, Variant.TLP_COARSE],
+            sizes=[{"n": 16}],
+        )
+        assert len(results) == 2
+        assert {r.variant for r in results} == {Variant.SERIAL,
+                                                Variant.TLP_COARSE}
+
+    def test_declared_sizes_and_variants_consistent(self):
+        assert set(APP_SIZES) == set(APP_VARIANTS) == {"mm", "lu", "cg", "bt"}
+        for app, variants in APP_VARIANTS.items():
+            assert Variant.SERIAL in variants
+            assert Variant.TLP_PFETCH in variants

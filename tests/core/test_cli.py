@@ -1,0 +1,39 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_stream(self, capsys):
+        assert main(["stream", "iadd", "--ilp", "max"]) == 0
+        out = capsys.readouterr().out
+        assert "iadd" in out and "CPI" in out
+
+    def test_stream_dual(self, capsys):
+        assert main(["stream", "fadd", "--threads", "2"]) == 0
+        assert "2thr" in capsys.readouterr().out
+
+    def test_app_single_variant(self, capsys):
+        assert main(["app", "mm", "--variant", "serial",
+                     "--size", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "serial" in out
+
+    def test_app_bad_name(self):
+        with pytest.raises(SystemExit):
+            main(["app", "bogus"])
+
+    def test_cg_size_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["app", "cg", "--size", "100"])
+
+    def test_fig2_panel_c(self, capsys):
+        assert main(["fig2", "--panel", "c", "--ilp", "min"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2(c)" in out
+
+    def test_no_command(self):
+        with pytest.raises(SystemExit):
+            main([])

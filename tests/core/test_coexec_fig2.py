@@ -1,0 +1,116 @@
+"""Integration tests: the paper's figure-2 claims (§4.2)."""
+
+import pytest
+
+from repro.core import coexec_pair, coexec_matrix
+from repro.core.coexec import FIG2A_STREAMS, FIG2B_STREAMS
+from repro.isa import ILP
+
+
+@pytest.fixture(scope="module")
+def cache():
+    return {}
+
+
+def pair(a, b, ilp=ILP.MAX, cache=None):
+    return coexec_pair(a, b, ilp=ilp, _solo_cache=cache)
+
+
+class TestFpPairs:
+    """Figure 2(a) claims."""
+
+    def test_fdiv_most_affected_by_itself(self, cache):
+        r = pair("fdiv", "fdiv", cache=cache)
+        assert r.slowdown_a > 2.0  # paper: 120%-140% slowdown
+
+    def test_fdiv_unaffected_by_ilp_variations(self, cache):
+        slow = [
+            pair("fdiv", "fdiv", ilp=ilp).slowdown_a
+            for ilp in (ILP.MIN, ILP.MED, ILP.MAX)
+        ]
+        assert max(slow) / min(slow) < 1.1
+
+    def test_fmul_major_slowdown_with_itself(self, cache):
+        r = pair("fmul", "fmul", cache=cache)
+        assert r.slowdown_a >= 1.9
+
+    def test_fadd_with_itself_about_100pct(self, cache):
+        r = pair("fadd", "fadd", cache=cache)
+        assert 1.9 <= r.slowdown_a <= 2.4
+
+    def test_fadd_hit_harder_by_fmul_than_itself(self, cache):
+        """'slowdown of 180% with fmul' > the ~100% with itself."""
+        with_self = pair("fadd", "fadd", cache=cache).slowdown_a
+        with_fmul = pair("fadd", "fmul", cache=cache).slowdown_a
+        assert with_fmul > with_self
+        assert with_fmul >= 2.6  # ~180% + model spread
+
+    def test_min_ilp_fp_pairs_coexist_except_fdiv_fdiv(self, cache):
+        """'In lowest ILP mode, all different pairs of fadd, fmul and
+        fdiv streams can co-exist perfectly (except fdiv-fdiv).'"""
+        for a, b in (("fadd", "fmul"), ("fadd", "fdiv"), ("fmul", "fdiv")):
+            r = pair(a, b, ilp=ILP.MIN)
+            assert r.slowdown_a <= 1.55, (a, b)
+            assert r.slowdown_b <= 1.25, (a, b)
+        assert pair("fdiv", "fdiv", ilp=ILP.MIN).slowdown_a > 1.9
+
+
+class TestIntPairs:
+    """Figure 2(b) claims."""
+
+    def test_iadd_pair_serializes(self, cache):
+        """'When both threads execute iadd/isub, a 100% slowdown arises,
+        which is equivalent to serial execution.'"""
+        r = pair("iadd", "iadd", cache=cache)
+        assert r.slowdown_a == pytest.approx(2.0, rel=0.1)
+
+    def test_other_streams_affect_iadd_less(self, cache):
+        """'Other types of arithmetic or memory operations affect
+        iadd/isub less, by a factor of 10%-45%.'"""
+        for other in ("imul", "idiv", "iload", "istore"):
+            r = pair("iadd", other, cache=cache)
+            assert r.slowdown_a < 1.6, other
+
+    def test_imul_idiv_almost_unaffected(self, cache):
+        for name in ("imul", "idiv"):
+            r = pair(name, name, cache=cache)
+            assert r.slowdown_a < 1.25, name
+            r2 = pair(name, "iadd", cache=cache)
+            assert r2.slowdown_a < 1.25, name
+
+    def test_iadd_slows_memory_streams(self, cache):
+        """'iadd/isub induce a slowdown of about 115% and 320% to iload
+        and istore.'  The model reproduces the *sign* (an arithmetic
+        sibling measurably slows both memory streams) but not the
+        Netburst replay-storm magnitudes — a documented deviation, see
+        EXPERIMENTS.md ('fig2b istore/iload magnitudes')."""
+        load = pair("iload", "iadd", cache=cache).slowdown_a
+        store = pair("istore", "iadd", cache=cache).slowdown_a
+        assert load > 1.05
+        assert store > 1.05
+
+    def test_int_streams_insensitive_to_ilp(self, cache):
+        """'the throughput of integer streams is not affected by
+        variations of ILP, as happens in the case of fp streams.'"""
+        for name in ("iadd", "iload"):
+            slow = [
+                pair(name, name, ilp=ilp).slowdown_a
+                for ilp in (ILP.MIN, ILP.MAX)
+            ]
+            assert max(slow) / min(slow) < 1.6
+
+
+class TestMatrix:
+    def test_matrix_covers_unique_pairs(self):
+        streams = ("fadd", "fmul")
+        results = coexec_matrix(streams, ilp=ILP.MIN)
+        pairs = {(r.stream_a, r.stream_b) for r in results}
+        assert pairs == {("fadd", "fadd"), ("fadd", "fmul"), ("fmul", "fmul")}
+
+    def test_fig2_stream_sets(self):
+        assert set(FIG2A_STREAMS) == {"fadd", "fmul", "fdiv", "fload", "fstore"}
+        assert set(FIG2B_STREAMS) == {"iadd", "imul", "idiv", "iload", "istore"}
+
+    def test_slowdown_pct(self):
+        r = pair("iadd", "iadd")
+        assert r.slowdown_pct_a == pytest.approx((r.slowdown_a - 1) * 100)

@@ -1,0 +1,41 @@
+"""Tests for the co-execution measurement machinery (not the claims)."""
+
+import pytest
+
+from repro.common import ConfigError
+from repro.core import coexec_pair, coexec_matrix
+from repro.core.coexec import CoexecResult
+from repro.isa import ILP
+
+
+class TestCoexecPair:
+    def test_unknown_stream_rejected(self):
+        with pytest.raises(ConfigError):
+            coexec_pair("fadd", "bogus")
+
+    def test_solo_cache_reused(self):
+        cache = {}
+        r1 = coexec_pair("iadd", "iadd", _solo_cache=cache)
+        assert ("iadd", ILP.MAX) in cache
+        r2 = coexec_pair("iadd", "imul", _solo_cache=cache)
+        # The cached solo CPI must be identical across calls.
+        assert r1.solo_cpi_a == r2.solo_cpi_a
+
+    def test_result_fields(self):
+        r = coexec_pair("iadd", "imul")
+        assert isinstance(r, CoexecResult)
+        assert r.stream_a == "iadd" and r.stream_b == "imul"
+        assert r.cpi_a > 0 and r.cpi_b > 0
+        assert r.slowdown_a == r.cpi_a / r.solo_cpi_a
+        assert r.slowdown_pct_b == pytest.approx(
+            (r.slowdown_b - 1) * 100
+        )
+
+    def test_symmetric_pair_roughly_symmetric(self):
+        r = coexec_pair("fadd", "fadd")
+        assert r.slowdown_a == pytest.approx(r.slowdown_b, rel=0.1)
+
+    def test_matrix_unique_unordered_pairs(self):
+        results = coexec_matrix(("iadd", "imul", "idiv"), ilp=ILP.MIN)
+        pairs = {(r.stream_a, r.stream_b) for r in results}
+        assert len(pairs) == 6  # 3 self-pairs + 3 cross-pairs

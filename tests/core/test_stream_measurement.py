@@ -1,0 +1,61 @@
+"""Tests for the steady-state stream-measurement machinery itself."""
+
+import pytest
+
+from repro.core.streams import (
+    MEASURE_HORIZON_TICKS,
+    _warmup_count,
+    measure_stream_cpi,
+    measured_stream_factory,
+)
+from repro.isa import ILP, StreamSpec
+from repro.runtime import Program
+
+
+class TestWarmup:
+    def test_memory_streams_warm_a_full_l2(self):
+        spec = StreamSpec("iload", count=100)
+        # quarter of the 16 KiB vector at stride 1 = 4096 accesses.
+        assert _warmup_count(spec) == 4096
+
+    def test_arith_streams_warm_briefly(self):
+        assert _warmup_count(StreamSpec("fadd", count=100)) == 200
+
+    def test_marker_snapshots_after_warmup(self):
+        prog = Program()
+        marks = {}
+        spec = StreamSpec("fadd", ilp=ILP.MAX, count=1 << 30)
+        prog.add_thread(measured_stream_factory(spec, None, prog, 0, marks))
+        prog.run(stop_at_tick=20_000)
+        assert 0 in marks
+        mark_tick, mark_retired = marks[0]
+        assert mark_tick > 0
+        # Most of the warm-up has retired when the marker completes
+        # (a pipeline's worth of µops may still be in flight).
+        assert mark_retired >= 100
+
+
+class TestMeasurement:
+    def test_insufficient_horizon_raises(self):
+        from repro.common import ConfigError
+
+        with pytest.raises(ConfigError):
+            # Far too short for the memory warm-up to finish.
+            measure_stream_cpi("iload", horizon_ticks=2_000)
+
+    def test_cpi_stable_across_horizons(self):
+        """Doubling the horizon must not change steady-state CPI much."""
+        a = measure_stream_cpi("fadd", ilp=ILP.MAX, threads=1,
+                               horizon_ticks=40_000).cpi
+        b = measure_stream_cpi("fadd", ilp=ILP.MAX, threads=1,
+                               horizon_ticks=80_000).cpi
+        assert a == pytest.approx(b, rel=0.03)
+
+    def test_dual_threads_get_private_vectors(self):
+        r = measure_stream_cpi("iload", ilp=ILP.MAX, threads=2,
+                               horizon_ticks=150_000)
+        assert r.threads == 2
+        assert r.cpi > 0
+
+    def test_default_horizon_reasonable(self):
+        assert MEASURE_HORIZON_TICKS >= 100_000

@@ -1,0 +1,113 @@
+"""Integration tests: the paper's figure-1 claims, as measured on the
+simulated machine.  Each test names the §4.1 sentence it reproduces."""
+
+import pytest
+
+from repro.core import measure_stream_cpi
+from repro.isa import ILP
+
+H = 90_000  # measurement horizon in ticks: fast but steady-state
+
+
+def cpi(name, ilp, threads, horizon=H):
+    return measure_stream_cpi(
+        name, ilp=ilp, threads=threads, horizon_ticks=horizon
+    ).cpi
+
+
+def cum_ipc(name, ilp, threads, horizon=H):
+    return measure_stream_cpi(
+        name, ilp=ilp, threads=threads, horizon_ticks=horizon
+    ).cumulative_ipc
+
+
+class TestFaddClaims:
+    def test_min_ilp_cycles_unchanged_from_1_to_2_threads(self):
+        """'In the case of minimum ILP, the cycles of the instruction do
+        not alter when moving from 1 to 2 threads' -> overall speedup."""
+        assert cpi("fadd", ILP.MIN, 2) == pytest.approx(
+            cpi("fadd", ILP.MIN, 1), rel=0.05
+        )
+
+    def test_best_throughput_is_single_thread_max_ilp(self):
+        """'The best instruction throughput is obtained in the
+        single-threaded mode of maximum ILP.'"""
+        best = cum_ipc("fadd", ILP.MAX, 1)
+        for ilp in ILP:
+            for threads in (1, 2):
+                if (ilp, threads) == (ILP.MAX, 1):
+                    continue
+                assert cum_ipc("fadd", ilp, threads) <= best * 1.02
+
+    def test_splitting_a_max_ilp_window_across_threads_loses(self):
+        """'W_fadd6 executed by a single thread can complete in less time
+        than splitting the window in two' — C(2thr,med) > 2 x C(1thr,max)."""
+        assert cpi("fadd", ILP.MED, 2) > 2 * cpi("fadd", ILP.MAX, 1)
+
+    def test_distributing_max_ilp_windows_gains_nothing(self):
+        """'even if we distribute evenly a bunch of W_fadd6 windows to two
+        threads, there is no performance gain' (2thr-maxILP vs 1thr-max)."""
+        assert cum_ipc("fadd", ILP.MAX, 2) <= cum_ipc("fadd", ILP.MAX, 1) * 1.02
+
+
+class TestOtherStreams:
+    def test_fmul_variation_similar_to_fadd(self):
+        """'fmul stream exhibits a similar variation in its CPI.'"""
+        # Same ordering of modes as fadd: min-ILP roughly flat across
+        # threads (within scheduler-interleaving noise), dual max-ILP
+        # about twice single max-ILP.
+        assert cpi("fmul", ILP.MIN, 2) == pytest.approx(
+            cpi("fmul", ILP.MIN, 1), rel=0.3
+        )
+        assert cpi("fmul", ILP.MAX, 2) >= 1.9 * cpi("fmul", ILP.MAX, 1)
+
+    def test_fadd_mul_mix_averages_constituents(self):
+        """'mixing fp-add and fp-mul ... results in a stream whose final
+        behavior is averaged over those of its constituent streams.'"""
+        for ilp in (ILP.MIN, ILP.MAX):
+            mix = cpi("fadd-mul", ilp, 1)
+            lo = cpi("fadd", ilp, 1)
+            hi = cpi("fmul", ilp, 1)
+            assert lo < mix < hi
+
+    def test_iadd_throughput_same_across_modes(self):
+        """'for iadd it is not clear which mode gives the best execution
+        times, since the throughput remains the same in all cases' —
+        cumulative IPC varies far less than fadd's 4x swing."""
+        ipcs = [
+            cum_ipc("iadd", ilp, thr)
+            for ilp in ILP
+            for thr in (1, 2)
+        ]
+        assert max(ipcs) / min(ipcs) < 2.2
+
+    def test_iload_favors_tlp(self):
+        """'Hyper-threading achieved to favor TLP over ILP only for iload:
+        cumulative dual-threaded throughput beats single-threaded.'"""
+        for ilp in ILP:
+            assert cum_ipc("iload", ilp, 2, horizon=150_000) > 1.2 * cum_ipc(
+                "iload", ilp, 1, horizon=150_000
+            )
+
+    def test_iload_unlike_fadd(self):
+        """fadd does NOT enjoy the iload TLP win (contrast within fig 1)."""
+        assert cum_ipc("fadd", ILP.MAX, 2) < 1.1 * cum_ipc("fadd", ILP.MAX, 1)
+
+
+class TestMeasurementMachinery:
+    def test_mode_label(self):
+        r = measure_stream_cpi("fadd", ilp=ILP.MED, threads=2,
+                                horizon_ticks=20_000)
+        assert r.mode == "2thr-medILP"
+
+    def test_unknown_stream_rejected(self):
+        from repro.common import ConfigError
+
+        with pytest.raises(ConfigError):
+            measure_stream_cpi("nope")
+
+    def test_three_threads_rejected(self):
+        from repro.common import ConfigError
+
+        with pytest.raises(ConfigError):
+            measure_stream_cpi("fadd", threads=3)

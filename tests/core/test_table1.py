@@ -1,0 +1,76 @@
+"""Tests for the Table-1 generator."""
+
+import pytest
+
+from repro.core import table1_rows
+from repro.core.table1 import Table1Row, _interleaved_mix
+from repro.isa.opcodes import SubUnit
+from repro.workloads import matmul
+from repro.workloads.common import Variant
+
+SIZES = {
+    "mm": {"n": 16},
+    "lu": {"n": 16},
+    "cg": {"n": 128, "nnz_per_row": 12, "iterations": 1},
+    "bt": {"grid": 4},
+}
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return table1_rows(("mm", "lu", "cg", "bt"), SIZES)
+
+
+class TestTable1:
+    def test_all_cells_present(self, rows):
+        keys = {(r.app, r.column) for r in rows}
+        assert keys == {
+            (app, col)
+            for app in ("mm", "lu", "cg", "bt")
+            for col in ("serial", "tlp", "spr")
+        }
+
+    def test_percentages_sum_to_100(self, rows):
+        for r in rows:
+            assert sum(r.percentages.values()) == pytest.approx(100, abs=0.5)
+
+    def test_tlp_mix_matches_serial(self, rows):
+        """Paper §5.3: 'TLP implementations do not generally change the
+        mix for various instructions.'"""
+        by = {(r.app, r.column): r for r in rows}
+        for app in ("mm", "lu", "bt"):
+            s, t = by[(app, "serial")], by[(app, "tlp")]
+            for unit in ("FP_ADD", "FP_MUL", "LOAD"):
+                assert s.percentages.get(unit, 0) == pytest.approx(
+                    t.percentages.get(unit, 0), abs=6
+                ), (app, unit)
+
+    def test_spr_mix_differs_from_worker(self, rows):
+        """'this is not the case for SPR implementations' — the
+        prefetcher has no FP arithmetic at all."""
+        by = {(r.app, r.column): r for r in rows}
+        for app in ("mm", "lu", "cg"):
+            spr = by[(app, "spr")]
+            assert spr.percentages.get("FP_ADD", 0) == 0
+            assert spr.percentages.get("FP_MUL", 0) == 0
+
+    def test_unknown_app_rejected(self):
+        from repro.common import ConfigError
+
+        with pytest.raises(ConfigError):
+            table1_rows(("bogus",))
+
+
+class TestInterleavedMix:
+    def test_barrier_programs_resolve_functionally(self):
+        """Two barrier-synchronized threads replay to completion without
+        a timing simulation."""
+        build = matmul.build(Variant.TLP_PFETCH_WORK, n=16)
+        mix = _interleaved_mix(build.factories, observe_tid=0)
+        assert mix.total > 0
+
+    def test_observed_thread_selection(self):
+        build = matmul.build(Variant.TLP_PFETCH, n=16)
+        worker = _interleaved_mix(build.factories, observe_tid=0)
+        helper = _interleaved_mix(build.factories, observe_tid=1)
+        assert worker.total > helper.total

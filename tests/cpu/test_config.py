@@ -1,0 +1,79 @@
+"""Validation tests for core configuration."""
+
+import pytest
+
+from repro.common import ConfigError
+from repro.cpu import CoreConfig
+from repro.cpu.config import DEFAULT_TIMINGS, OpTiming
+from repro.isa import Op
+
+
+class TestCoreConfig:
+    def test_defaults_valid(self):
+        CoreConfig()
+
+    def test_three_threads_rejected(self):
+        with pytest.raises(ConfigError):
+            CoreConfig(num_threads=3)
+
+    def test_odd_queue_rejected(self):
+        with pytest.raises(ConfigError):
+            CoreConfig(rob_total=127)
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ConfigError):
+            CoreConfig(fetch_width=0)
+
+    def test_missing_timing_rejected(self):
+        timings = dict(DEFAULT_TIMINGS)
+        del timings[Op.FADD]
+        with pytest.raises(ConfigError):
+            CoreConfig(timings=timings)
+
+    def test_all_ops_have_timings(self):
+        assert set(DEFAULT_TIMINGS) == set(Op)
+
+    def test_netburst_signature_latencies(self):
+        """The latencies the paper's analysis leans on (in ticks)."""
+        t = DEFAULT_TIMINGS
+        assert t[Op.IADD].latency == 1          # double-speed ALU
+        assert t[Op.FADD].latency == 8          # 4 cycles
+        assert t[Op.FMUL].latency == 12         # 6 cycles
+        assert t[Op.FDIV].interval == t[Op.FDIV].latency  # not pipelined
+        assert t[Op.ILOGIC].interval > t[Op.IADD].interval  # ALU0-only path
+
+    def test_unified_queue_preset(self):
+        cfg = CoreConfig.unified_queues()
+        assert cfg.partitioned is False
+        assert CoreConfig().partitioned is True
+
+    def test_paper_default_preset(self):
+        cfg = CoreConfig.paper_default()
+        assert cfg.num_threads == 2
+        assert cfg.rob_total == 126             # Netburst's 126-entry ROB
+
+
+class TestMemConfigValidation:
+    def test_l1_smaller_than_l2(self):
+        from repro.mem import MemConfig
+
+        with pytest.raises(ConfigError):
+            MemConfig(l1_size=8192, l2_size=4096)
+
+    def test_latency_ordering(self):
+        from repro.mem import MemConfig
+
+        with pytest.raises(ConfigError):
+            MemConfig(l1_latency=50, l2_latency=36)
+
+    def test_negative_prefetch_degree(self):
+        from repro.mem import MemConfig
+
+        with pytest.raises(ConfigError):
+            MemConfig(prefetch_degree=-1)
+
+    def test_no_prefetch_preset(self):
+        from repro.mem import MemConfig
+
+        assert MemConfig.no_prefetch().prefetch_enabled is False
+        assert MemConfig.paper_scaled().prefetch_enabled is True

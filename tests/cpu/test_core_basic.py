@@ -1,0 +1,138 @@
+"""Basic single-thread behaviour of the SMT core model."""
+
+import pytest
+
+from repro.common import DeadlockError
+from repro.cpu import CoreConfig, SMTCore
+from repro.isa import Instr, Op, F, R
+from repro.mem import MemConfig, MemoryHierarchy
+from repro.perfmon import Event, PerfMonitor
+
+
+def run_single(instrs, config=None, mem=None):
+    cfg = config or CoreConfig()
+    mon = PerfMonitor(cfg.num_threads)
+    hier = MemoryHierarchy(mem or MemConfig(), mon, cfg.num_threads)
+    core = SMTCore(cfg, hier, mon)
+    core.add_thread(iter(instrs))
+    return core.run()
+
+
+class TestLifecycle:
+    def test_empty_thread_finishes(self):
+        result = run_single([])
+        assert result.retired == (0,)
+
+    def test_all_uops_retire(self):
+        n = 100
+        result = run_single(
+            [Instr.arith(Op.IADD, dst=R(0), src=R(8)) for _ in range(n)]
+        )
+        assert result.retired[0] == n
+        assert result.monitor.read(Event.UOPS_RETIRED, 0) == n
+
+    def test_no_threads_is_an_error(self):
+        from repro.common import ConfigError
+
+        core = SMTCore(CoreConfig())
+        with pytest.raises(ConfigError):
+            core.run()
+
+    def test_max_ticks_guard(self):
+        cfg = CoreConfig()
+        instrs = [Instr.arith(Op.FDIV, dst=F(0), src=F(8)) for _ in range(1000)]
+        mon = PerfMonitor(cfg.num_threads)
+        hier = MemoryHierarchy(MemConfig(), mon, cfg.num_threads)
+        core = SMTCore(cfg, hier, mon)
+        core.add_thread(iter(instrs))
+        with pytest.raises(DeadlockError):
+            core.run(max_ticks=100)
+
+
+class TestDependencyTiming:
+    def test_dependent_chain_runs_at_unit_latency(self):
+        # 100 fadds in one RAW chain: 8 ticks (4 cycles) each.
+        n = 100
+        result = run_single(
+            [Instr.arith(Op.FADD, dst=F(0), src=F(8)) for _ in range(n)]
+        )
+        assert result.cpi(0) == pytest.approx(4.0, rel=0.1)
+
+    def test_independent_fadds_run_at_unit_throughput(self):
+        # Six rotating targets: pipelined FP unit sustains 1 per cycle.
+        n = 300
+        instrs = [
+            Instr.arith(Op.FADD, dst=F(i % 6), src=F(8)) for i in range(n)
+        ]
+        result = run_single(instrs)
+        assert result.cpi(0) == pytest.approx(1.0, rel=0.1)
+
+    def test_independent_iadds_are_fetch_bound(self):
+        # 3 µops/cycle fetch is the single-thread ceiling.
+        n = 600
+        instrs = [
+            Instr.arith(Op.IADD, dst=R(i % 6), src=R(8)) for i in range(n)
+        ]
+        result = run_single(instrs)
+        assert result.cpi(0) == pytest.approx(1 / 3, rel=0.15)
+
+    def test_iadd_chain_runs_at_double_speed(self):
+        # Serial dependence through one register: 0.5 cycles per op.
+        n = 400
+        instrs = [Instr.arith(Op.IADD, dst=R(0), src=R(8)) for _ in range(n)]
+        result = run_single(instrs)
+        assert result.cpi(0) == pytest.approx(0.5, rel=0.1)
+
+    def test_load_to_use_latency(self):
+        # A serial load->fadd->load chain pays L1 latency + fadd latency
+        # per iteration (the load's address depends on the previous fadd).
+        mem = MemConfig()
+        instrs = [Instr.load(0x1000, dst=F(1))]  # warm the line
+        for _ in range(50):
+            instrs.append(Instr.load(0x1000, dst=F(1), srcs=(F(1),)))
+            instrs.append(Instr(Op.FADD, dst=F(1), srcs=(F(1),)))
+        result = run_single(instrs, mem=mem)
+        # Each pair costs at least load-to-use (2 cycles) + fadd (4 cycles);
+        # allow ~250 cycles for the initial cold miss.
+        assert result.cycles >= 50 * 6
+        assert result.cycles <= 50 * 6 + 300
+
+
+class TestMemoryIntegration:
+    def test_l2_misses_counted_per_thread(self):
+        mem = MemConfig(prefetch_enabled=False)
+        instrs = [
+            Instr.load(0x10000 + i * 4096, dst=F(0)) for i in range(10)
+        ]
+        result = run_single(instrs, mem=mem)
+        assert result.monitor.read(Event.L2_READ_MISS, 0) == 10
+
+    def test_store_drains_to_cache(self):
+        instrs = [Instr.store(0x2000, src=F(1)) for _ in range(5)]
+        result = run_single(instrs)
+        assert result.monitor.read(Event.L1D_WRITE_ACCESS, 0) == 5
+
+    def test_effect_fires_on_load_completion(self):
+        seen = []
+        instrs = [
+            Instr.load(0x3000, dst=F(0), effect=lambda: seen.append("load")),
+            Instr.store(0x3000, src=F(0), effect=lambda: seen.append("store")),
+        ]
+        run_single(instrs)
+        assert seen == ["load", "store"]
+
+
+class TestPause:
+    def test_pause_gates_fetch(self):
+        # pause + adds: the adds after each pause wait for the gate.
+        cfg = CoreConfig()
+        instrs = []
+        for _ in range(20):
+            instrs.append(Instr(Op.PAUSE))
+        result = run_single(instrs, config=cfg)
+        # 20 pauses, each gating fetch for pause_fetch_gate ticks.
+        assert result.ticks >= 20 * cfg.pause_fetch_gate
+
+    def test_pause_retired_counted(self):
+        result = run_single([Instr(Op.PAUSE)] * 7)
+        assert result.monitor.read(Event.PAUSE_RETIRED, 0) == 7

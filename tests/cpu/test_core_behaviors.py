@@ -1,0 +1,159 @@
+"""Focused behavioural tests of individual core mechanisms."""
+
+import pytest
+
+from repro.cpu import CoreConfig, SMTCore
+from repro.isa import Instr, Op, F, R
+from repro.mem import MemConfig, MemoryHierarchy
+from repro.perfmon import Event, PerfMonitor
+
+
+def make_core(config=None, mem=None):
+    cfg = config or CoreConfig()
+    mon = PerfMonitor(cfg.num_threads)
+    hier = MemoryHierarchy(mem or MemConfig(), mon, cfg.num_threads)
+    return SMTCore(cfg, hier, mon)
+
+
+def iadds(n, ilp=6):
+    return [Instr.arith(Op.IADD, dst=R(i % ilp), src=R(8)) for i in range(n)]
+
+
+class TestRetirementOrder:
+    def test_effects_fire_in_program_order_for_stores(self):
+        """Store effects fire at retirement, which is in order — so a
+        thread's store effects observe program order."""
+        order = []
+        core = make_core()
+        instrs = []
+        for k in range(20):
+            instrs.append(
+                Instr.store(0x1000 + 32 * k, src=F(0), op=Op.FSTORE,
+                            effect=lambda k=k: order.append(k))
+            )
+        core.add_thread(iter(instrs))
+        core.run()
+        assert order == list(range(20))
+
+    def test_fast_uop_waits_behind_slow_one(self):
+        """In-order retirement: an iadd after an fdiv retires after it."""
+        order = []
+        core = make_core()
+        core.add_thread(iter([
+            Instr(Op.FDIV, dst=F(0), srcs=(F(0),),
+                  effect=lambda: order.append("fdiv-complete")),
+            Instr.store(0x40, src=F(1), op=Op.FSTORE,
+                        effect=lambda: order.append("store-retired")),
+        ]))
+        core.run()
+        assert order == ["fdiv-complete", "store-retired"]
+
+
+class TestFrontEndSharing:
+    def test_uopq_capacity_limits_fetch_runahead(self):
+        """A stalled thread cannot fetch unboundedly far ahead."""
+        cfg = CoreConfig()
+        core = make_core(cfg)
+        # One fdiv chain (slow) followed by many iadds: the queue fills.
+        instrs = [Instr(Op.FDIV, dst=F(0), srcs=(F(0),)) for _ in range(4)]
+        instrs += iadds(500)
+        core.add_thread(iter(instrs))
+        core.add_thread(iter(iadds(5)))
+
+        fetched_early = []
+
+        orig_fetch = SMTCore._fetch
+
+        def spy(self, t):
+            orig_fetch(self, t)
+            if t == 100:
+                fetched_early.append(self.threads[0].uops_fetched)
+
+        SMTCore._fetch = spy
+        try:
+            core.run()
+        finally:
+            SMTCore._fetch = orig_fetch
+        # At tick 100 the fdivs are still blocking retirement; fetch can
+        # run ahead by at most ROB + µop-queue capacity (the structural
+        # window), never unboundedly.
+        limit = cfg.rob_total + cfg.uopq_total + 10
+        assert fetched_early and fetched_early[0] <= limit
+
+    def test_pause_frees_slots_for_sibling(self):
+        """A pausing thread costs its sibling almost nothing."""
+        n = 20_000
+        solo = make_core()
+        solo.add_thread(iter(iadds(n)))
+        t_solo = solo.run().ticks
+
+        with_pauser = make_core()
+        with_pauser.add_thread(iter(iadds(n)))
+        with_pauser.add_thread(iter([Instr(Op.PAUSE) for _ in range(200)]))
+        t_paused = with_pauser.run().ticks
+        assert t_paused < t_solo * 1.15
+
+
+class TestLoadQueueAccounting:
+    def test_lq_stall_event_fires_under_pressure(self):
+        mem = MemConfig(prefetch_enabled=False)
+        # Far-striding loads: every one misses to memory, LQ backs up.
+        loads = [Instr.load(0x100000 + i * 4096, dst=F(0))
+                 for i in range(300)]
+        core = make_core(mem=mem)
+        core.add_thread(iter(loads))
+        core.add_thread(iter(iadds(2000)))
+        result = core.run()
+        assert result.monitor.read(Event.RESOURCE_STALL_LQ, 0) > 0
+
+    def test_lq_drains_to_zero(self):
+        core = make_core()
+        core.add_thread(iter([Instr.load(0x40 * i, dst=F(0))
+                              for i in range(50)]))
+        core.run()
+        assert core.threads[0].lq_used == 0
+
+
+class TestStoreDrainOrdering:
+    def test_sq_releases_in_fifo_order(self):
+        """In-order SQ release: a store miss pins younger hit stores."""
+        mem = MemConfig(prefetch_enabled=False)
+        core = make_core(mem=mem)
+        # Warm line 0x80 so the second store hits; first store misses.
+        warm = [Instr.load(0x80, dst=F(0))]
+        stores = [
+            Instr.store(0x200000, src=F(0), op=Op.FSTORE),  # miss
+            Instr.store(0x80, src=F(0), op=Op.FSTORE),      # hit
+        ]
+        core.add_thread(iter(warm + stores))
+        core.run()
+        rel = core._sq_release[0]
+        assert core.threads[0].sq_used == 0  # flushed at end
+
+
+class TestHaltEdgeCases:
+    def test_double_wake_is_harmless(self):
+        core = make_core()
+
+        def waker():
+            for i in iadds(3000):
+                yield i
+            yield Instr(Op.NOP, effect=lambda: core.wake(0))
+            yield Instr(Op.NOP, effect=lambda: core.wake(0))
+
+        core.add_thread(iter([Instr(Op.HALT)] + iadds(10)))
+        core.add_thread(waker())
+        result = core.run()
+        assert result.retired[0] == 11
+
+    def test_wake_on_active_thread_is_a_pending_noop(self):
+        core = make_core()
+
+        def waker():
+            yield Instr(Op.NOP, effect=lambda: core.wake(0))
+            yield from iadds(50)
+
+        core.add_thread(iter(iadds(50)))  # never halts
+        core.add_thread(waker())
+        result = core.run()  # must terminate normally
+        assert result.retired == (50, 51)

@@ -1,0 +1,124 @@
+"""Property-based tests of the core model's structural invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu import CoreConfig, SMTCore, ThreadState
+from repro.isa import Instr, Op, F, R
+from repro.mem import MemConfig, MemoryHierarchy
+from repro.perfmon import Event, PerfMonitor
+
+
+def build_core(config=None):
+    cfg = config or CoreConfig()
+    mon = PerfMonitor(cfg.num_threads)
+    hier = MemoryHierarchy(MemConfig(), mon, cfg.num_threads)
+    return SMTCore(cfg, hier, mon)
+
+
+_OPS = st.sampled_from([
+    Op.IADD, Op.ISUB, Op.ILOGIC, Op.IMUL, Op.FADD, Op.FMUL, Op.FMOVE,
+    Op.ILOAD, Op.FLOAD, Op.ISTORE, Op.FSTORE, Op.BRANCH, Op.NOP,
+])
+
+
+@st.composite
+def instr_lists(draw, max_len=120):
+    ops = draw(st.lists(_OPS, min_size=0, max_size=max_len))
+    out = []
+    for k, op in enumerate(ops):
+        if op in (Op.ILOAD, Op.FLOAD):
+            addr = draw(st.integers(0, 1 << 14)) * 8
+            out.append(Instr.load(addr, dst=F(k % 8) if op is Op.FLOAD
+                                  else R(k % 8), op=op))
+        elif op in (Op.ISTORE, Op.FSTORE):
+            addr = draw(st.integers(0, 1 << 14)) * 8
+            out.append(Instr.store(addr, src=F(0), op=op))
+        elif op in (Op.BRANCH, Op.NOP):
+            out.append(Instr(op))
+        elif op in (Op.FADD, Op.FMUL, Op.FMOVE):
+            out.append(Instr.arith(op, dst=F(k % 8), src=F(8 + k % 4)))
+        else:
+            out.append(Instr.arith(op, dst=R(k % 8), src=R(8 + k % 4)))
+    return out
+
+
+@settings(max_examples=30, deadline=None)
+@given(a=instr_lists(), b=instr_lists())
+def test_every_uop_retires_and_machine_drains(a, b):
+    """For any pair of straight-line programs: both threads drain, all
+    µops retire exactly once, and all queues end empty."""
+    core = build_core()
+    core.add_thread(iter(a))
+    core.add_thread(iter(b))
+    result = core.run()
+    assert result.retired == (len(a), len(b))
+    for th in core.threads:
+        assert th.state is ThreadState.DONE
+        assert not th.uopq and not th.rob and not th.waiting
+        assert th.lq_used == 0
+    assert result.monitor.read(Event.UOPS_RETIRED) == len(a) + len(b)
+
+
+@settings(max_examples=20, deadline=None)
+@given(a=instr_lists(max_len=60))
+def test_busy_disjoint_sibling_never_speeds_a_thread_up(a):
+    """A sibling running the same program over *disjoint* data can only
+    slow a thread down (with identical addresses it could legitimately
+    speed it up by warming the shared caches)."""
+    solo = build_core()
+    solo.add_thread(iter(list(a)))
+
+    # fresh Instr objects (they are single-use); offset addresses far
+    # away for the sibling so no cache lines are shared.
+    def clone(instrs, offset=0):
+        return [
+            Instr(i.op, dst=i.dst, srcs=i.srcs,
+                  addr=None if i.addr is None else i.addr + offset,
+                  site=i.site)
+            for i in instrs
+        ]
+
+    t_solo = solo.run().ticks
+
+    busy = build_core()
+    busy.add_thread(iter(clone(a)))
+    busy.add_thread(iter(clone(a, offset=1 << 20)))
+    t_busy = busy.run().ticks
+    # Small tolerance: run-end rounding to the next boundary can differ
+    # by a couple of ticks between the two machines.
+    assert t_busy >= t_solo - 4
+
+
+@settings(max_examples=20, deadline=None)
+@given(a=instr_lists(max_len=80))
+def test_determinism(a):
+    """Identical programs produce identical cycle counts."""
+
+    def clone(instrs):
+        return [
+            Instr(i.op, dst=i.dst, srcs=i.srcs, addr=i.addr, site=i.site)
+            for i in instrs
+        ]
+
+    r1 = build_core()
+    r1.add_thread(iter(clone(a)))
+    r2 = build_core()
+    r2.add_thread(iter(clone(a)))
+    assert r1.run().ticks == r2.run().ticks
+
+
+@settings(max_examples=15, deadline=None)
+@given(a=instr_lists(max_len=80), b=instr_lists(max_len=80))
+def test_stall_counters_only_with_pressure(a, b):
+    """SB stalls require stores; LQ stalls require loads."""
+    core = build_core()
+    core.add_thread(iter(a))
+    core.add_thread(iter(b))
+    result = core.run()
+    has_stores = any(i.op in (Op.ISTORE, Op.FSTORE) for i in a + b)
+    has_loads = any(i.op in (Op.ILOAD, Op.FLOAD) for i in a + b)
+    if not has_stores:
+        assert result.monitor.read(Event.RESOURCE_STALL_SB) == 0
+    if not has_loads:
+        assert result.monitor.read(Event.RESOURCE_STALL_LQ) == 0

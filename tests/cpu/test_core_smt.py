@@ -1,0 +1,271 @@
+"""Two-thread (hyper-threading) behaviour of the core model."""
+
+import pytest
+
+from repro.common import DeadlockError
+from repro.cpu import CoreConfig, SMTCore, ThreadState
+from repro.isa import Instr, Op, F, R
+from repro.mem import MemConfig, MemoryHierarchy
+from repro.perfmon import Event, PerfMonitor
+
+
+def make_core(config=None, mem=None):
+    cfg = config or CoreConfig()
+    mon = PerfMonitor(cfg.num_threads)
+    hier = MemoryHierarchy(mem or MemConfig(), mon, cfg.num_threads)
+    return SMTCore(cfg, hier, mon)
+
+
+def iadds(n, ilp=6):
+    return [Instr.arith(Op.IADD, dst=R(i % ilp), src=R(8)) for i in range(n)]
+
+
+def fadds(n, ilp=6):
+    return [Instr.arith(Op.FADD, dst=F(i % ilp), src=F(8)) for i in range(n)]
+
+
+class TestFetchSharing:
+    def test_two_busy_threads_split_fetch(self):
+        """iadd x iadd at max ILP: each thread is fetch-bound at 1.5/cycle
+        -> per-thread CPI doubles vs single-threaded (the paper's 100%
+        iadd-iadd slowdown)."""
+        n = 600
+        core = make_core()
+        core.add_thread(iter(iadds(n)))
+        core.add_thread(iter(iadds(n)))
+        result = core.run()
+        # Combined throughput = full fetch bandwidth of 3 µops/cycle.
+        assert result.cycles / n == pytest.approx(1 / 1.5, rel=0.15)
+
+    def test_single_thread_on_smt_core_gets_full_bandwidth(self):
+        n = 600
+        core = make_core()
+        core.add_thread(iter(iadds(n)))
+        core.add_thread(iter([]))
+        result = core.run()
+        assert result.cpi(0) == pytest.approx(1 / 3, rel=0.15)
+
+    def test_finished_peer_donates_bandwidth(self):
+        """After the short thread drains, the long one speeds back up."""
+        n_long, n_short = 2000, 100
+        core = make_core()
+        core.add_thread(iter(iadds(n_long)))
+        core.add_thread(iter(iadds(n_short)))
+        result = core.run()
+        # Far closer to solo time (n/3 cycles) than to shared (n/1.5).
+        solo = n_long / 3
+        assert result.cycles < solo * 1.25
+
+
+class TestExecutionContention:
+    def test_fp_unit_shared_fairly(self):
+        """fadd x fadd at max ILP: one FP unit -> each thread halves."""
+        n = 400
+        core = make_core()
+        core.add_thread(iter(fadds(n)))
+        core.add_thread(iter(fadds(n)))
+        result = core.run()
+        assert result.cpi(0) == pytest.approx(2.0, rel=0.15)
+
+    def test_min_ilp_fadds_coexist_perfectly(self):
+        """Two latency-bound chains fit in one pipelined unit (fig 1)."""
+        n = 200
+        solo = make_core()
+        solo.add_thread(iter(fadds(n, ilp=1)))
+        solo_cpi = solo.run().cpi(0)
+
+        dual = make_core()
+        dual.add_thread(iter(fadds(n, ilp=1)))
+        dual.add_thread(iter(fadds(n, ilp=1)))
+        dual_cpi = dual.run().cpi(0)
+        assert dual_cpi == pytest.approx(solo_cpi, rel=0.1)
+
+    def test_int_and_fp_do_not_contend(self):
+        """iadd chain + fadd chain use different units: no slowdown."""
+        n = 300
+        solo = make_core()
+        solo.add_thread(iter(fadds(n, ilp=1)))
+        base = solo.run().cpi(0)
+
+        dual = make_core()
+        dual.add_thread(iter(fadds(n, ilp=1)))
+        dual.add_thread(iter(iadds(n, ilp=1)))
+        mixed = dual.run().cpi(0)
+        assert mixed == pytest.approx(base, rel=0.12)
+
+
+class TestStaticPartitioning:
+    def _mm_like_misses(self, n):
+        """Loads striding whole pages: every one is an L2 miss."""
+        return [
+            Instr.load(0x100000 + i * 4096, dst=F(0)) for i in range(n)
+        ]
+
+    def test_partitioned_rob_halves_mlp(self):
+        """A miss-bound thread overlaps fewer misses when its sibling is
+        active (halved ROB/LQ) — even if the sibling does nothing else."""
+        n = 120
+        mem = MemConfig(prefetch_enabled=False)
+        solo = make_core(mem=mem)
+        solo.add_thread(iter(self._mm_like_misses(n)))
+        t_solo = solo.run().ticks
+
+        dual = make_core(mem=mem)
+        dual.add_thread(iter(self._mm_like_misses(n)))
+        dual.add_thread(iter(iadds(40_000, ilp=1)))
+        t_dual = dual.run().ticks
+        assert t_dual > t_solo
+
+    def test_unified_queue_ablation_restores_capacity(self):
+        """A *light* sibling (a pausing helper, like an SPR prefetcher
+        waiting at a barrier) costs a miss-bound worker real capacity
+        under static partitioning; the unified ablation restores it.
+        This isolates the paper's MM-pfetch 'no speedup despite -82%
+        misses' mechanism."""
+        cfg_part = CoreConfig()
+        cfg_unif = CoreConfig.unified_queues()
+        mem = MemConfig(prefetch_enabled=False)
+        n = 120
+
+        runs = {}
+        for name, cfg in (("part", cfg_part), ("unif", cfg_unif)):
+            core = make_core(cfg, mem=mem)
+            core.add_thread(iter(self._mm_like_misses(n)))
+            # Light sibling: stays active but fetches almost nothing.
+            core.add_thread(iter([Instr(Op.PAUSE)] * 60))
+            runs[name] = core.run().ticks
+        assert runs["unif"] < runs["part"]
+
+    def test_greedy_sibling_hogs_unified_queues(self):
+        """Converse of the above: with *two busy* threads, unified queues
+        let the fast in-order thread starve the miss-bound one — the
+        reason hyper-threading partitions statically (paper §2: static
+        partitioning 'mitigates significant slowdowns')."""
+        mem = MemConfig(prefetch_enabled=False)
+        n = 120
+        runs = {}
+        for name, cfg in (("part", CoreConfig()),
+                          ("unif", CoreConfig.unified_queues())):
+            core = make_core(cfg, mem=mem)
+            core.add_thread(iter(self._mm_like_misses(n)))
+            core.add_thread(iter(iadds(3000, ilp=1)))
+            runs[name] = core.run().ticks
+        assert runs["part"] < runs["unif"]
+
+    def test_sb_stall_counter_fires_when_sq_full(self):
+        # A long burst of striding stores overwhelms the 12-entry SQ half.
+        n = 400
+        stores = [
+            Instr.store(0x200000 + i * 4096, src=F(1)) for i in range(n)
+        ]
+        core = make_core(mem=MemConfig(prefetch_enabled=False))
+        core.add_thread(iter(stores))
+        core.add_thread(iter(iadds(2000)))
+        result = core.run()
+        assert result.monitor.read(Event.RESOURCE_STALL_SB, 0) > 0
+
+
+class TestHaltSemantics:
+    def test_halt_without_wake_deadlocks(self):
+        core = make_core()
+        core.add_thread(iter([Instr(Op.HALT)]))
+        core.add_thread(iter([]))
+        with pytest.raises(DeadlockError):
+            core.run()
+
+    def test_halt_then_ipi_resumes(self):
+        core = make_core()
+
+        def waker():
+            for i in iadds(2000):
+                yield i
+            yield Instr(Op.NOP, effect=lambda: core.wake(0))
+            yield from iadds(10)
+
+        core.add_thread(iter([Instr(Op.HALT)] + iadds(50)))
+        core.add_thread(waker())
+        result = core.run()
+        assert result.retired[0] == 51
+        assert result.monitor.read(Event.HALT_TRANSITIONS, 0) == 1
+        assert result.monitor.read(Event.IPI_SENT, 0) == 1
+
+    def test_wake_before_halt_retires_is_not_lost(self):
+        """IPI racing the halt entry must still wake the sleeper."""
+        core = make_core()
+
+        def sleeper():
+            yield Instr(Op.HALT)
+            yield from iadds(5)
+
+        def waker():
+            # Wake immediately — almost surely before HALT retires
+            # (halt entry costs ~600 ticks).
+            yield Instr(Op.NOP, effect=lambda: core.wake(0))
+            yield from iadds(100)
+
+        core.add_thread(sleeper())
+        core.add_thread(waker())
+        result = core.run()
+        assert result.retired[0] == 6
+
+    def test_halted_thread_releases_partition_to_peer(self):
+        """The survivor of a halt runs as fast as a true solo thread."""
+        n = 3000
+
+        solo = make_core()
+        solo.add_thread(iter(iadds(n)))
+        t_solo = solo.run().ticks
+
+        core = make_core()
+        done = {}
+
+        def worker():
+            for i in iadds(n):
+                yield i
+            yield Instr(Op.NOP, effect=lambda: core.wake(1))
+
+        core.add_thread(iter([Instr(Op.HALT)])), core.add_thread(worker())
+        # Reorder: sleeper is thread 0... rebuild properly below.
+        core2 = make_core()
+
+        def sleeper():
+            yield Instr(Op.HALT)
+
+        def worker2():
+            for i in iadds(n):
+                yield i
+            yield Instr(Op.NOP, effect=lambda: core2.wake(0))
+
+        core2.add_thread(sleeper())
+        core2.add_thread(worker2())
+        t_with_sleeper = core2.run().ticks
+        # Within halt-transition overhead of the solo time.
+        assert t_with_sleeper <= t_solo + 3000
+
+    def test_gate_fetch_injects_flush_penalty(self):
+        core = make_core()
+        core.add_thread(iter(iadds(10)))
+        core.add_thread(iter([]))
+        core.gate_fetch(0, 100)
+        result = core.run()
+        assert result.ticks >= 100
+        assert result.monitor.read(Event.PIPELINE_FLUSH, 0) == 1
+
+
+class TestResultAccounting:
+    def test_retired_split_per_thread(self):
+        core = make_core()
+        core.add_thread(iter(iadds(100)))
+        core.add_thread(iter(fadds(50)))
+        result = core.run()
+        assert result.retired == (100, 50)
+        assert result.instrs == (100, 50)
+
+    def test_cpi_per_thread_and_overall(self):
+        core = make_core()
+        core.add_thread(iter(iadds(100)))
+        core.add_thread(iter([]))
+        result = core.run()
+        assert result.cpi(0) == result.cycles / 100
+        assert result.cpi() == result.cycles / 100
+        assert result.ipc(0) == pytest.approx(1 / result.cpi(0))

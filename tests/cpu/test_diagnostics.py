@@ -1,0 +1,43 @@
+"""Tests for failure diagnostics (deadlock reports, thread describe)."""
+
+import pytest
+
+from repro.common import DeadlockError
+from repro.cpu import CoreConfig, SMTCore, ThreadContext, ThreadState
+from repro.isa import Instr, Op, R
+
+
+class TestDescribe:
+    def test_describe_mentions_state_and_counts(self):
+        th = ThreadContext(1, iter([]))
+        text = th.describe()
+        assert "T1" in text and "active" in text
+        assert "rob=0" in text
+
+    def test_describe_shows_wake(self):
+        th = ThreadContext(0, iter([]))
+        th.wake_at = 1234
+        assert "wake_at=1234" in th.describe()
+        th2 = ThreadContext(0, iter([]))
+        assert "wake_at=-" in th2.describe()
+
+
+class TestDeadlockReporting:
+    def test_halted_forever_raises_with_diagnostics(self):
+        core = SMTCore(CoreConfig())
+        core.add_thread(iter([Instr(Op.HALT)]))
+        core.add_thread(iter([Instr.arith(Op.IADD, dst=R(0), src=R(8))]))
+        with pytest.raises(DeadlockError) as exc:
+            core.run()
+        assert "halted" in str(exc.value)
+        assert "T0" in exc.value.diagnostics
+
+    def test_max_ticks_reports_thread_states(self):
+        core = SMTCore(CoreConfig())
+        core.add_thread(
+            iter(Instr.arith(Op.IADD, dst=R(0), src=R(0))
+                 for _ in range(10**6))
+        )
+        with pytest.raises(DeadlockError) as exc:
+            core.run(max_ticks=50)
+        assert "exceeded" in str(exc.value)

@@ -1,0 +1,80 @@
+"""Tests for execution units and routing."""
+
+import pytest
+
+from repro.cpu import CoreConfig, UnitPool
+from repro.cpu.units import ROUTES
+from repro.isa import Op
+
+
+@pytest.fixture
+def pool():
+    return UnitPool(CoreConfig())
+
+
+class TestRouting:
+    def test_every_opcode_routed(self):
+        assert set(ROUTES) == set(Op)
+
+    def test_logical_only_on_alu0(self):
+        assert ROUTES[Op.ILOGIC] == ("alu0",)
+
+    def test_fp_share_one_unit(self):
+        for op in (Op.FADD, Op.FMUL, Op.IMUL):
+            assert ROUTES[op] == ("fpexec",)
+
+    def test_divides_use_the_divider(self):
+        for op in (Op.FDIV, Op.IDIV):
+            assert ROUTES[op] == ("fpdiv",)
+
+    def test_int_add_uses_both_alus(self):
+        assert set(ROUTES[Op.IADD]) == {"alu0", "alu1"}
+
+
+class TestIssue:
+    def test_pipelined_unit_accepts_every_interval(self, pool):
+        ok1, c1 = pool.try_issue(int(Op.FADD), 0)
+        assert ok1 and c1 == 8  # 4-cycle latency
+        ok2, _ = pool.try_issue(int(Op.FADD), 1)
+        assert not ok2  # initiation interval is 2 ticks
+        ok3, _ = pool.try_issue(int(Op.FADD), 2)
+        assert ok3
+
+    def test_non_pipelined_divider_blocks_for_latency(self, pool):
+        ok, comp = pool.try_issue(int(Op.FDIV), 0)
+        assert ok and comp == 76
+        assert not pool.try_issue(int(Op.FDIV), 75)[0]
+        assert pool.try_issue(int(Op.FDIV), 76)[0]
+
+    def test_divider_does_not_block_other_fp(self, pool):
+        """fadd issues around an in-flight divide (min-ILP coexistence)."""
+        pool.try_issue(int(Op.FDIV), 0)
+        assert pool.try_issue(int(Op.FADD), 10)[0]
+
+    def test_two_iadds_per_tick_via_two_alus(self, pool):
+        assert pool.try_issue(int(Op.IADD), 0)[0]
+        assert pool.try_issue(int(Op.IADD), 0)[0]
+        assert not pool.try_issue(int(Op.IADD), 0)[0]  # both ALUs busy
+
+    def test_logical_pair_serializes_on_alu0(self, pool):
+        assert pool.try_issue(int(Op.ILOGIC), 0)[0]
+        assert not pool.try_issue(int(Op.ILOGIC), 0)[0]
+        assert not pool.try_issue(int(Op.ILOGIC), 1)[0]
+        assert pool.try_issue(int(Op.ILOGIC), 2)[0]
+
+    def test_loads_and_alu_independent(self, pool):
+        assert pool.try_issue(int(Op.FLOAD), 0)[0]
+        assert pool.try_issue(int(Op.IADD), 0)[0]
+
+    def test_issue_counts(self, pool):
+        pool.try_issue(int(Op.IADD), 0)
+        pool.try_issue(int(Op.ILOGIC), 0)
+        # IADD prefers ALU1, so ALU0 was free for the logical op.
+        assert pool.issue_counts["alu1"] == 1
+        assert pool.issue_counts["alu0"] == 1
+
+    def test_reset(self, pool):
+        pool.try_issue(int(Op.FDIV), 0)
+        pool.reset()
+        assert pool.try_issue(int(Op.FADD), 0)[0]
+        assert pool.issue_counts["fpexec"] == 1

@@ -1,0 +1,92 @@
+"""End-to-end coherence checks across the whole stack."""
+
+import pytest
+
+from repro.isa import Op
+from repro.perfmon import Event
+from repro.pintool import DryRunAPI
+from repro.runtime import Program
+from repro.workloads import matmul, lu, cg, bt
+from repro.workloads.common import Variant
+
+
+def run_build(build):
+    prog = Program(aspace=build.aspace)
+    for f in build.factories:
+        prog.add_thread(f)
+    return prog.run()
+
+
+BUILDS = [
+    ("mm", lambda: matmul.build(Variant.SERIAL, n=16)),
+    ("lu", lambda: lu.build(Variant.SERIAL, n=16)),
+    ("cg", lambda: cg.build(Variant.SERIAL, n=128, nnz_per_row=12,
+                            iterations=1)),
+    ("bt", lambda: bt.build(Variant.SERIAL, grid=4)),
+]
+
+
+class TestCounterCoherence:
+    @pytest.mark.parametrize("name,make", BUILDS, ids=[b[0] for b in BUILDS])
+    def test_counter_identities(self, name, make):
+        """Invariants that must hold for any workload:
+
+        * retired µops == emitted instructions;
+        * L1 read accesses == number of load µops;
+        * L2 accesses == L1 misses; L2 misses <= L2 accesses;
+        * every executed load/store address falls inside a region.
+        """
+        build = make()
+        # Count loads/stores functionally first (fresh build: the
+        # functional state must not be consumed twice).
+        probe = make()
+        loads = stores = 0
+        for instr in probe.factories[0](DryRunAPI(0)):
+            if instr.op in (Op.ILOAD, Op.FLOAD):
+                loads += 1
+                assert probe.aspace.region_of(instr.addr) is not None
+            elif instr.op in (Op.ISTORE, Op.FSTORE):
+                stores += 1
+                assert probe.aspace.region_of(instr.addr) is not None
+
+        result = run_build(build)
+        mon = result.monitor
+        assert result.retired[0] == result.instrs[0]
+        assert mon.read(Event.L1D_READ_ACCESS) == loads
+        assert mon.read(Event.L1D_WRITE_ACCESS) == stores
+        assert mon.read(Event.L2_READ_ACCESS) == mon.read(Event.L1D_READ_MISS)
+        assert mon.read(Event.L2_READ_MISS) <= mon.read(Event.L2_READ_ACCESS)
+        assert build.reference_check()
+
+    def test_dual_thread_counters_split(self):
+        build = matmul.build(Variant.TLP_COARSE, n=16)
+        result = run_build(build)
+        mon = result.monitor
+        for tid in (0, 1):
+            assert result.retired[tid] > 0
+            assert mon.read(Event.UOPS_RETIRED, tid) == result.retired[tid]
+
+    def test_cycles_active_positive(self):
+        build = matmul.build(Variant.SERIAL, n=16)
+        result = run_build(build)
+        assert result.cycles > 0
+        assert result.cpi() > 0.3  # cannot beat 3 µops/cycle fetch
+
+
+class TestCrossVariantConsistency:
+    def test_same_functional_answer_every_variant(self):
+        """All MM variants compute the same C (different schedules)."""
+        import numpy as np
+
+        answers = []
+        for v in (Variant.SERIAL, Variant.TLP_COARSE, Variant.TLP_PFETCH):
+            build = matmul.build(v, n=16)
+            run_build(build)
+            assert build.reference_check()
+
+    def test_uops_scale_with_problem_size(self):
+        small = run_build(matmul.build(Variant.SERIAL, n=16))
+        big = run_build(matmul.build(Variant.SERIAL, n=32))
+        # n^3 work scaling: 8x the µops (within loop-overhead noise).
+        assert sum(big.retired) == pytest.approx(8 * sum(small.retired),
+                                                 rel=0.05)

@@ -1,0 +1,36 @@
+"""Smoke tests: the shipped examples must run and print sane output."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, *args, timeout=240):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        proc = run_example("quickstart.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "logical CPU 0" in proc.stdout
+        assert "L2 read misses" in proc.stdout
+
+    def test_sync_primitives(self):
+        proc = run_example("sync_primitives.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "halt + IPI" in proc.stdout
+        assert "tradeoff" in proc.stdout
+
+    def test_matmul_tlp_vs_spr(self):
+        proc = run_example("matmul_tlp_vs_spr.py", "16")
+        assert proc.returncode == 0, proc.stderr
+        assert "delinquency profile" in proc.stdout
+        assert "tlp-pfetch" in proc.stdout

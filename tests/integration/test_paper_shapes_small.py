@@ -1,0 +1,67 @@
+"""Fast integration checks of the headline paper shapes at small sizes.
+
+The benchmark harness validates the full-size shapes; these tests keep
+the most load-bearing ones under CI-speed guard (n=16 MM, small CG) so a
+model regression is caught by ``pytest tests/`` alone.
+"""
+
+import pytest
+
+from repro.core import run_app_experiment
+from repro.workloads.common import Variant
+
+
+@pytest.fixture(scope="module")
+def mm16():
+    variants = [Variant.SERIAL, Variant.TLP_COARSE, Variant.TLP_FINE,
+                Variant.TLP_PFETCH, Variant.TLP_PFETCH_WORK]
+    return {v: run_app_experiment("mm", v, {"n": 16}) for v in variants}
+
+
+class TestMMHeadlines:
+    def test_no_ht_speedup(self, mm16):
+        """'HT technology did not provide any speedup' (fig 3a)."""
+        serial = mm16[Variant.SERIAL].cycles
+        for v, r in mm16.items():
+            assert r.cycles >= serial * 0.97, v
+
+    def test_pfetch_is_fastest_dual_method(self, mm16):
+        serial = mm16[Variant.SERIAL].cycles
+        duals = {v: r.cycles for v, r in mm16.items()
+                 if v is not Variant.SERIAL}
+        assert min(duals, key=duals.get) is Variant.TLP_PFETCH
+
+    def test_pfetch_cuts_worker_misses(self, mm16):
+        assert (mm16[Variant.TLP_PFETCH].l2_misses_worker
+                < mm16[Variant.SERIAL].l2_misses)
+
+    def test_fine_slower_than_coarse(self, mm16):
+        assert (mm16[Variant.TLP_FINE].cycles
+                > mm16[Variant.TLP_COARSE].cycles)
+
+    def test_all_reference_checks(self, mm16):
+        assert all(r.reference_ok for r in mm16.values())
+
+
+class TestCGHeadlines:
+    @pytest.fixture(scope="class")
+    def cg(self):
+        size = {"n": 128, "nnz_per_row": 16, "iterations": 2}
+        return {
+            v: run_app_experiment("cg", v, size)
+            for v in (Variant.SERIAL, Variant.TLP_COARSE,
+                      Variant.TLP_PFETCH)
+        }
+
+    def test_spr_slower_than_tlp(self, cg):
+        """fig 5a ordering: prefetch methods well behind tlp-coarse."""
+        assert (cg[Variant.TLP_PFETCH].cycles
+                > cg[Variant.TLP_COARSE].cycles)
+
+    def test_spr_uop_blowup(self, cg):
+        """fig 5d: the prefetch method's µop increase."""
+        assert cg[Variant.TLP_PFETCH].uops > 1.1 * cg[Variant.SERIAL].uops
+
+    def test_spr_improves_worker_locality(self, cg):
+        assert (cg[Variant.TLP_PFETCH].l2_misses_worker
+                < cg[Variant.SERIAL].l2_misses)

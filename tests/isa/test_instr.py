@@ -1,0 +1,64 @@
+"""Unit tests for the Instr µop record."""
+
+import pytest
+
+from repro.isa import Instr, Op, R, F
+
+
+class TestConstruction:
+    def test_arith_is_two_operand(self):
+        i = Instr.arith(Op.FADD, dst=F(0), src=F(8))
+        assert i.dst == F(0)
+        # x86 two-operand semantics: the destination is also a source.
+        assert F(0) in i.srcs and F(8) in i.srcs
+
+    def test_load_requires_address(self):
+        with pytest.raises(ValueError):
+            Instr(Op.FLOAD, dst=F(0))
+
+    def test_store_requires_address(self):
+        with pytest.raises(ValueError):
+            Instr(Op.ISTORE, srcs=(R(0),))
+
+    def test_arith_requires_destination(self):
+        with pytest.raises(ValueError):
+            Instr(Op.IADD, srcs=(R(0),))
+
+    def test_branch_pause_halt_need_no_destination(self):
+        for op in (Op.BRANCH, Op.PAUSE, Op.HALT, Op.NOP):
+            Instr(op)  # must not raise
+
+    def test_store_constructor(self):
+        s = Instr.store(0x1000, src=F(2))
+        assert s.addr == 0x1000
+        assert s.srcs == (F(2),)
+        assert s.dst is None
+
+    def test_store_without_data_dep(self):
+        s = Instr.store(0x40, op=Op.ISTORE)
+        assert s.srcs == ()
+
+    def test_load_with_address_deps(self):
+        ld = Instr.load(0x2000, dst=F(1), srcs=(R(3),))
+        assert ld.srcs == (R(3),)
+
+    def test_effect_stored(self):
+        fired = []
+        i = Instr(Op.NOP, effect=lambda: fired.append(1))
+        i.effect()
+        assert fired == [1]
+
+    def test_repr_smoke(self):
+        assert "FADD" in repr(Instr.arith(Op.FADD, dst=F(0), src=F(8)))
+
+
+class TestRegisters:
+    def test_int_fp_disjoint(self):
+        assert R(0) != F(0)
+        assert len({R(i) for i in range(8)} | {F(i) for i in range(8)}) == 16
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            R(99)
+        with pytest.raises(ValueError):
+            F(-1)

@@ -1,0 +1,45 @@
+"""Tests for the opcode taxonomy."""
+
+from repro.isa import Op, SubUnit, OP_SUBUNIT, is_fp, is_load, is_mem, is_store
+
+
+class TestTaxonomy:
+    def test_every_opcode_classified(self):
+        assert set(OP_SUBUNIT) == set(Op)
+
+    def test_loads(self):
+        assert is_load(Op.ILOAD) and is_load(Op.FLOAD)
+        assert not is_load(Op.ISTORE)
+        assert not is_load(Op.PREFETCH)  # non-binding: no LQ entry
+
+    def test_stores(self):
+        assert is_store(Op.ISTORE) and is_store(Op.FSTORE)
+        assert not is_store(Op.FLOAD)
+
+    def test_mem(self):
+        for op in (Op.ILOAD, Op.FLOAD, Op.ISTORE, Op.FSTORE):
+            assert is_mem(op)
+        assert not is_mem(Op.FADD)
+
+    def test_fp_classification(self):
+        for op in (Op.FADD, Op.FSUB, Op.FMUL, Op.FDIV, Op.FMOVE,
+                   Op.FLOAD, Op.FSTORE):
+            assert is_fp(op)
+        for op in (Op.IADD, Op.ILOGIC, Op.ILOAD, Op.BRANCH):
+            assert not is_fp(op)
+
+    def test_table1_subunits(self):
+        """The Table-1 buckets the paper reports."""
+        assert OP_SUBUNIT[Op.IADD] is SubUnit.ALUS
+        assert OP_SUBUNIT[Op.ILOGIC] is SubUnit.ALUS
+        assert OP_SUBUNIT[Op.FADD] is SubUnit.FP_ADD
+        assert OP_SUBUNIT[Op.FSUB] is SubUnit.FP_ADD
+        assert OP_SUBUNIT[Op.FMUL] is SubUnit.FP_MUL
+        assert OP_SUBUNIT[Op.FMOVE] is SubUnit.FP_MOVE
+        assert OP_SUBUNIT[Op.FLOAD] is SubUnit.LOAD
+        assert OP_SUBUNIT[Op.FSTORE] is SubUnit.STORE
+
+    def test_sync_ops_are_other(self):
+        """Sync/power instructions are excluded from Table-1 mixes."""
+        for op in (Op.NOP, Op.PAUSE, Op.HALT):
+            assert OP_SUBUNIT[op] is SubUnit.OTHER

@@ -1,0 +1,121 @@
+"""Unit + property tests for the §4 synthetic stream generator."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common import AddressSpace, ConfigError
+from repro.isa import ILP, Instr, Op, StreamSpec, STREAM_OPS, make_stream
+
+
+def collect(name, ilp=ILP.MAX, count=100, region=None, stride=2):
+    spec = StreamSpec(name, ilp=ilp, count=count, stride=stride)
+    return list(make_stream(spec, region))
+
+
+class TestArithStreams:
+    def test_count(self):
+        assert len(collect("fadd", count=37)) == 37
+
+    def test_homogeneous_opcode(self):
+        assert all(i.op == Op.FMUL for i in collect("fmul"))
+
+    def test_fadd_mul_alternates_circularly(self):
+        ops = [i.op for i in collect("fadd-mul", count=6)]
+        assert ops == [Op.FADD, Op.FMUL] * 3
+
+    @pytest.mark.parametrize("ilp", list(ILP))
+    def test_target_rotation_matches_ilp(self, ilp):
+        instrs = collect("fadd", ilp=ilp, count=24)
+        targets = {i.dst for i in instrs}
+        assert len(targets) == ilp.num_targets
+        # A target register is reused exactly every |T| instructions.
+        for k, instr in enumerate(instrs):
+            assert instr.dst == instrs[k % ilp.num_targets].dst
+
+    @pytest.mark.parametrize("ilp", list(ILP))
+    def test_source_and_target_sets_disjoint(self, ilp):
+        """The paper keeps S and T disjoint so only chain hazards remain."""
+        instrs = collect("iadd", ilp=ilp, count=50)
+        targets = {i.dst for i in instrs}
+        pure_sources = set()
+        for i in instrs:
+            pure_sources.update(s for s in i.srcs if s != i.dst)
+        assert targets.isdisjoint(pure_sources)
+
+    def test_min_ilp_is_single_chain(self):
+        instrs = collect("fadd", ilp=ILP.MIN, count=10)
+        # Every instruction reads the register written by its predecessor.
+        for prev, cur in zip(instrs, instrs[1:]):
+            assert prev.dst in cur.srcs
+
+
+class TestMemoryStreams:
+    @pytest.fixture
+    def region(self):
+        return AddressSpace().alloc("vec", 1 << 12, elem_size=2)
+
+    def test_memory_stream_requires_region(self):
+        with pytest.raises(ConfigError):
+            collect("iload")
+
+    def test_sequential_traversal(self, region):
+        instrs = collect("iload", count=10, region=region, stride=2)
+        addrs = [i.addr for i in instrs]
+        assert addrs == [region.base + 2 * k for k in range(10)]
+
+    def test_wraparound(self, region):
+        n = region.nbytes // 2 + 5
+        instrs = collect("fload", count=n, region=region, stride=2)
+        assert instrs[-1].addr < region.end
+        assert instrs[region.nbytes // 2].addr == region.base
+
+    def test_store_stream_has_no_dest(self, region):
+        instrs = collect("istore", count=5, region=region)
+        assert all(i.dst is None for i in instrs)
+        assert all(i.op == Op.ISTORE for i in instrs)
+
+    def test_miss_rate_from_stride(self, region):
+        """stride/line = expected fraction of accesses touching a new line."""
+        instrs = collect("fload", count=1024, region=region, stride=1)
+        lines = {i.addr // 32 for i in instrs}
+        assert len(lines) / len(instrs) == pytest.approx(1 / 32, rel=0.1)
+
+
+class TestSpecValidation:
+    def test_unknown_stream(self):
+        with pytest.raises(ConfigError):
+            StreamSpec("bogus")
+
+    def test_all_declared_streams_constructible(self):
+        aspace = AddressSpace()
+        region = aspace.alloc("v", 4096, elem_size=2)
+        for name in STREAM_OPS:
+            instrs = collect(name, count=12, region=region)
+            assert len(instrs) == 12
+
+    def test_bad_count(self):
+        with pytest.raises(ConfigError):
+            StreamSpec("fadd", count=0)
+
+    def test_bad_stride(self):
+        with pytest.raises(ConfigError):
+            StreamSpec("iload", stride=0)
+
+
+@given(
+    name=st.sampled_from(sorted(STREAM_OPS)),
+    ilp=st.sampled_from(list(ILP)),
+    count=st.integers(min_value=1, max_value=300),
+)
+def test_stream_properties(name, ilp, count):
+    """Property: any spec yields exactly `count` well-formed µops."""
+    region = AddressSpace().alloc("v", 1 << 14, elem_size=2)
+    spec = StreamSpec(name, ilp=ilp, count=count)
+    instrs = list(make_stream(spec, region))
+    assert len(instrs) == count
+    for i in instrs:
+        assert isinstance(i, Instr)
+        ok_ops = set(STREAM_OPS[name])
+        assert i.op in ok_ops
+        if i.addr is not None:
+            assert region.contains(i.addr)

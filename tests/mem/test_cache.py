@@ -1,0 +1,129 @@
+"""Unit + property tests for the set-associative LRU cache."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ConfigError
+from repro.mem import Cache
+
+
+def make(size=1024, assoc=4, line=32):
+    return Cache(size, assoc, line, "test")
+
+
+class TestGeometry:
+    def test_set_count(self):
+        c = make(1024, 4, 32)  # 32 lines / 4 ways = 8 sets
+        assert c.num_sets == 8
+
+    def test_rejects_non_power_of_two_size(self):
+        with pytest.raises(ConfigError):
+            Cache(1000, 4, 32)
+
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(ConfigError):
+            Cache(1024, 4, 48)
+
+    def test_rejects_bad_assoc(self):
+        with pytest.raises(ConfigError):
+            Cache(1024, 5, 32)
+
+    def test_line_of(self):
+        c = make(line=32)
+        assert c.line_of(0) == 0
+        assert c.line_of(31) == 0
+        assert c.line_of(32) == 1
+
+
+class TestLRU:
+    def test_miss_then_hit(self):
+        c = make()
+        assert not c.lookup(7)
+        c.fill(7)
+        assert c.lookup(7)
+
+    def test_eviction_order_is_lru(self):
+        c = make(size=4 * 32, assoc=4, line=32)  # fully assoc, 4 ways
+        for line in range(4):
+            c.fill(line)
+        c.lookup(0)  # refresh line 0
+        victim = c.fill(99)
+        assert victim == (1, False)  # line 1 is now the oldest
+        assert c.contains(0)
+
+    def test_fill_resident_line_is_refresh_not_evict(self):
+        c = make(size=4 * 32, assoc=4, line=32)
+        for line in range(4):
+            c.fill(line)
+        assert c.fill(0) is None
+        victim = c.fill(50)
+        assert victim == (1, False)
+
+    def test_dirty_tracking(self):
+        c = make(size=2 * 32, assoc=2, line=32)
+        c.fill(1)
+        c.lookup(1, write=True)
+        c.fill(2)
+        victim = c.fill(3)
+        assert victim == (1, True)
+
+    def test_fill_dirty_sticks(self):
+        c = make(size=2 * 32, assoc=2, line=32)
+        c.fill(5, dirty=True)
+        c.fill(6)
+        assert c.fill(7) == (5, True)
+
+    def test_invalidate(self):
+        c = make()
+        c.fill(3)
+        assert c.invalidate(3)
+        assert not c.contains(3)
+        assert not c.invalidate(3)
+
+    def test_sets_are_independent(self):
+        c = make(size=8 * 32, assoc=2, line=32)  # 4 sets
+        # Lines 0, 4, 8, 12 map to set 0; lines 1, 5 to set 1.
+        c.fill(0)
+        c.fill(4)
+        c.fill(1)
+        victim = c.fill(8)  # evicts 0 from set 0
+        assert victim == (0, False)
+        assert c.contains(1)
+
+    def test_flush(self):
+        c = make()
+        c.fill(1)
+        c.fill(2)
+        c.flush()
+        assert c.occupancy == 0
+
+
+@settings(max_examples=50)
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["fill", "lookup", "invalidate"]),
+                  st.integers(min_value=0, max_value=63)),
+        max_size=200,
+    )
+)
+def test_cache_invariants(ops):
+    """Properties that must hold under any access sequence:
+
+    * per-set occupancy never exceeds associativity;
+    * a line reported evicted is no longer resident;
+    * a line just filled is resident.
+    """
+    c = Cache(512, 2, 32)  # 16 lines, 2-way, 8 sets
+    for kind, line in ops:
+        if kind == "fill":
+            victim = c.fill(line)
+            assert c.contains(line)
+            if victim is not None:
+                assert not c.contains(victim[0])
+        elif kind == "lookup":
+            c.lookup(line)
+        else:
+            c.invalidate(line)
+        for s in c._sets:
+            assert len(s) <= c.assoc
+    assert c.occupancy == len(c.resident_lines())

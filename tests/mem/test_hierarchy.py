@@ -1,0 +1,156 @@
+"""Tests for the two-level hierarchy: latencies, counters, bus, prefetch."""
+
+import pytest
+
+from repro.mem import MemConfig, MemoryHierarchy
+from repro.perfmon import Event, PerfMonitor
+
+
+@pytest.fixture
+def hier():
+    return MemoryHierarchy(MemConfig(prefetch_enabled=False))
+
+
+class TestLatencies:
+    def test_cold_load_costs_memory(self, hier):
+        r = hier.load(0x1000, cpu=0, now=0)
+        assert r.level == 3
+        assert r.latency >= hier.config.mem_latency
+
+    def test_second_load_hits_l1(self, hier):
+        hier.load(0x1000, 0, 0)
+        r = hier.load(0x1000, 0, 100)
+        assert r.level == 1
+        assert r.latency == hier.config.l1_latency
+
+    def test_same_line_hits(self, hier):
+        hier.load(0x1000, 0, 0)
+        assert hier.load(0x1000 + 31, 0, 10).level == 1
+
+    def test_l2_hit_after_l1_eviction(self, hier):
+        cfg = hier.config
+        hier.load(0x0, 0, 0)
+        # Walk enough distinct lines to evict line 0 from tiny L1
+        # but keep it in L2.
+        n_l1_lines = cfg.l1_size // cfg.line_size
+        for k in range(1, n_l1_lines * 3):
+            hier.load(k * cfg.line_size, 0, k * 1000)
+        r = hier.load(0x0, 0, 10**6)
+        assert r.level == 2
+        assert r.latency == cfg.l2_latency
+
+
+class TestCounters:
+    def test_l2_read_miss_qualified_by_cpu(self, hier):
+        hier.load(0x1000, 0, 0)
+        hier.load(0x8000, 1, 0)
+        hier.load(0x9000, 1, 0)
+        mon = hier.monitor
+        assert mon.read(Event.L2_READ_MISS, 0) == 1
+        assert mon.read(Event.L2_READ_MISS, 1) == 2
+        assert mon.read(Event.L2_READ_MISS) == 3
+
+    def test_hits_do_not_count_misses(self, hier):
+        hier.load(0x1000, 0, 0)
+        hier.load(0x1000, 0, 1)
+        assert hier.monitor.read(Event.L2_READ_MISS) == 1
+        assert hier.monitor.read(Event.L1D_READ_ACCESS) == 2
+
+    def test_store_counts_write_events(self, hier):
+        hier.store(0x2000, 0, 0)
+        mon = hier.monitor
+        assert mon.read(Event.L2_WRITE_MISS, 0) == 1
+        assert mon.read(Event.L2_READ_MISS) == 0
+
+    def test_writeback_counted_on_dirty_l2_eviction(self):
+        cfg = MemConfig(prefetch_enabled=False)
+        hier = MemoryHierarchy(cfg)
+        hier.store(0x0, 0, 0)
+        n_l2_lines = cfg.l2_size // cfg.line_size
+        for k in range(1, n_l2_lines * 2):
+            hier.load(0x100000 + k * cfg.line_size, 0, k)
+        assert hier.monitor.read(Event.L2_WRITEBACK) >= 1
+
+
+class TestBusContention:
+    def test_back_to_back_misses_queue_on_bus(self, hier):
+        cfg = hier.config
+        r1 = hier.load(0x10000, 0, now=0)
+        r2 = hier.load(0x20000, 1, now=0)
+        assert r1.latency == cfg.mem_latency
+        # The second miss queues on both the single L2 port and the bus.
+        assert r2.latency == (cfg.mem_latency + cfg.bus_occupancy
+                              + cfg.l2_port_interval)
+
+    def test_bus_frees_over_time(self, hier):
+        hier.load(0x10000, 0, now=0)
+        r = hier.load(0x20000, 1, now=10_000)
+        assert r.latency == hier.config.mem_latency
+
+    def test_l2_port_serializes_hits(self, hier):
+        line = 0x3000
+        hier.load(line, 0, 0)          # bring the line in
+        hier.l1.invalidate(line // 32)
+        base = hier.load(line, 0, 10_000).latency
+        hier.l1.invalidate(line // 32)
+        # Two immediate back-to-back L2 hits: the second pays the port.
+        hier._l2_free = 20_000 + hier.config.l2_port_interval
+        delayed = hier.load(line, 1, 20_000).latency
+        assert delayed == base + hier.config.l2_port_interval
+
+
+class TestPrefetcher:
+    def test_ascending_misses_trigger_prefetch(self):
+        hier = MemoryHierarchy(MemConfig(prefetch_enabled=True))
+        line = hier.config.line_size
+        hier.load(0 * line, 0, 0)
+        hier.load(1 * line, 0, 1000)  # adjacent miss -> prefetch line 2
+        assert hier.monitor.read(Event.L2_PREFETCH_FILL, 0) >= 1
+        r = hier.load(2 * line, 0, 2000)
+        assert r.level == 2  # demand access finds the prefetched line
+
+    def test_random_misses_do_not_trigger(self):
+        hier = MemoryHierarchy(MemConfig(prefetch_enabled=True))
+        line = hier.config.line_size
+        for k in (0, 50, 7, 93, 21):
+            hier.load(k * line, 0, k)
+        assert hier.monitor.read(Event.L2_PREFETCH_FILL) == 0
+
+    def test_streams_tracked_per_cpu(self):
+        hier = MemoryHierarchy(MemConfig(prefetch_enabled=True))
+        line = hier.config.line_size
+        # cpu0 ascends through even lines, cpu1 through far-away lines;
+        # interleaving must not break cpu0's stream detection.
+        hier.load(0 * line, 0, 0)
+        hier.load(1000 * line, 1, 1)
+        hier.load(1 * line, 0, 2)
+        assert hier.monitor.read(Event.L2_PREFETCH_FILL, 0) >= 1
+
+
+class TestInclusion:
+    def test_l2_eviction_invalidates_l1(self):
+        cfg = MemConfig(prefetch_enabled=False)
+        hier = MemoryHierarchy(cfg)
+        hier.load(0x0, 0, 0)
+        n_l2_lines = cfg.l2_size // cfg.line_size
+        for k in range(1, n_l2_lines * 2 + 1):
+            hier.load(k * cfg.line_size, 0, k)
+        # Inclusion invariant: everything in L1 is also in L2.
+        l1_lines = hier.l1.resident_lines()
+        l2_lines = hier.l2.resident_lines()
+        assert l1_lines <= l2_lines
+
+    def test_reset(self):
+        hier = MemoryHierarchy()
+        hier.load(0x40, 0, 0)
+        hier.reset()
+        assert hier.l1.occupancy == 0
+        assert hier.l2.occupancy == 0
+        assert hier._bus_free == 0
+
+
+class TestSharedBetweenCpus:
+    def test_cpu1_hits_line_fetched_by_cpu0(self, hier):
+        """Both logical CPUs share the physical caches (HT)."""
+        hier.load(0x3000, 0, 0)
+        assert hier.load(0x3000, 1, 10).level == 1

@@ -1,0 +1,58 @@
+"""Unit tests for the multi-stream hardware prefetcher."""
+
+from repro.mem.prefetch import AdjacentLinePrefetcher
+
+
+class TestStreamDetection:
+    def test_first_miss_prefetches_nothing(self):
+        pf = AdjacentLinePrefetcher(degree=2)
+        assert list(pf.on_l2_miss(100, 0)) == []
+
+    def test_second_adjacent_miss_confirms(self):
+        pf = AdjacentLinePrefetcher(degree=2)
+        pf.on_l2_miss(100, 0)
+        assert list(pf.on_l2_miss(101, 0)) == [102, 103]
+
+    def test_plus_two_stride_also_confirms(self):
+        pf = AdjacentLinePrefetcher(degree=1)
+        pf.on_l2_miss(100, 0)
+        assert list(pf.on_l2_miss(102, 0)) == [103]
+
+    def test_descending_never_confirms(self):
+        pf = AdjacentLinePrefetcher(degree=2)
+        pf.on_l2_miss(100, 0)
+        assert list(pf.on_l2_miss(99, 0)) == []
+
+    def test_multiple_interleaved_streams(self):
+        """MM interleaves A/B/C streams: each must be tracked."""
+        pf = AdjacentLinePrefetcher(degree=1, streams_per_cpu=8)
+        for base in (1000, 2000, 3000):
+            pf.on_l2_miss(base, 0)
+        for base in (1000, 2000, 3000):
+            assert list(pf.on_l2_miss(base + 1, 0)) == [base + 2]
+
+    def test_stream_table_lru_eviction(self):
+        pf = AdjacentLinePrefetcher(degree=1, streams_per_cpu=2)
+        pf.on_l2_miss(1000, 0)
+        pf.on_l2_miss(2000, 0)
+        pf.on_l2_miss(3000, 0)  # evicts the 1000-stream
+        assert list(pf.on_l2_miss(1001, 0)) == []
+        assert list(pf.on_l2_miss(3001, 0)) == [3002]
+
+    def test_per_cpu_isolation(self):
+        pf = AdjacentLinePrefetcher(degree=1, num_cpus=2)
+        pf.on_l2_miss(100, 0)
+        assert list(pf.on_l2_miss(101, 1)) == []  # cpu1 has no stream
+
+    def test_trigger_on_use_continuation(self):
+        pf = AdjacentLinePrefetcher(degree=2)
+        pf.on_l2_miss(100, 0)
+        pf.on_l2_miss(101, 0)          # stream head at 101
+        nxt = list(pf.on_prefetch_hit(102, 0))
+        assert nxt == [103, 104]
+
+    def test_reset(self):
+        pf = AdjacentLinePrefetcher(degree=1)
+        pf.on_l2_miss(100, 0)
+        pf.reset()
+        assert list(pf.on_l2_miss(101, 0)) == []

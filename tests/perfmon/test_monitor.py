@@ -1,0 +1,60 @@
+"""Tests for the performance-monitoring counter bank."""
+
+import pytest
+
+from repro.perfmon import Event, PerfMonitor
+from repro.perfmon.events import NUM_EVENTS
+
+
+class TestCounters:
+    def test_inc_and_read(self):
+        mon = PerfMonitor(2)
+        mon.inc(Event.L2_READ_MISS, 0)
+        mon.inc(Event.L2_READ_MISS, 1, n=4)
+        assert mon.read(Event.L2_READ_MISS, 0) == 1
+        assert mon.read(Event.L2_READ_MISS, 1) == 4
+        assert mon.read(Event.L2_READ_MISS) == 5
+
+    def test_qualified_by_cpu(self):
+        """'performance counters ... qualified by logical processor
+        IDs' — the paper's monitoring extension."""
+        mon = PerfMonitor(2)
+        mon.inc(Event.UOPS_RETIRED, 1, n=7)
+        assert mon.read(Event.UOPS_RETIRED, 0) == 0
+        assert mon.read(Event.UOPS_RETIRED, 1) == 7
+
+    def test_bad_cpu_rejected(self):
+        mon = PerfMonitor(2)
+        with pytest.raises(IndexError):
+            mon.read(Event.UOPS_RETIRED, 2)
+
+    def test_needs_at_least_one_cpu(self):
+        with pytest.raises(ValueError):
+            PerfMonitor(0)
+
+    def test_reset(self):
+        mon = PerfMonitor(2)
+        mon.inc(Event.CYCLES_ACTIVE, 0, n=100)
+        mon.reset()
+        assert mon.read(Event.CYCLES_ACTIVE) == 0
+
+    def test_snapshot_only_nonzero(self):
+        mon = PerfMonitor(2)
+        mon.inc(Event.IPI_SENT, 1)
+        snap = mon.snapshot()
+        assert snap == {"IPI_SENT": (0, 1)}
+
+    def test_raw_table_shape(self):
+        mon = PerfMonitor(2)
+        assert len(mon.raw) == NUM_EVENTS
+        assert all(len(row) == 2 for row in mon.raw)
+
+    def test_raw_is_live(self):
+        """The core's hot loop writes through .raw directly."""
+        mon = PerfMonitor(2)
+        mon.raw[Event.PIPELINE_FLUSH][0] += 3
+        assert mon.read(Event.PIPELINE_FLUSH, 0) == 3
+
+    def test_all_events_distinct(self):
+        values = [int(e) for e in Event]
+        assert len(values) == len(set(values))

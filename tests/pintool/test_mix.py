@@ -1,0 +1,77 @@
+"""Tests for the Pin-like instruction-mix profiler."""
+
+import pytest
+
+from repro.isa import Instr, Op, F, R
+from repro.isa.opcodes import SubUnit
+from repro.pintool import InstructionMix, instruction_mix
+
+
+def make_trace():
+    return [
+        Instr.arith(Op.FADD, dst=F(0), src=F(8)),
+        Instr.arith(Op.FMUL, dst=F(1), src=F(8)),
+        Instr.arith(Op.IADD, dst=R(0), src=R(8)),
+        Instr(Op.ILOGIC, dst=R(1), srcs=(R(8),)),
+        Instr.load(0x100, dst=F(2)),
+        Instr.store(0x108, src=F(2)),
+        Instr(Op.FMOVE, dst=F(3), srcs=(F(2),)),
+    ]
+
+
+class TestMix:
+    def test_buckets(self):
+        mix = instruction_mix(make_trace())
+        assert mix.total == 7
+        assert mix.counts[SubUnit.ALUS] == 2
+        assert mix.counts[SubUnit.FP_ADD] == 1
+        assert mix.counts[SubUnit.FP_MUL] == 1
+        assert mix.counts[SubUnit.LOAD] == 1
+        assert mix.counts[SubUnit.STORE] == 1
+        assert mix.counts[SubUnit.FP_MOVE] == 1
+
+    def test_percent(self):
+        mix = instruction_mix(make_trace())
+        assert mix.percent(SubUnit.ALUS) == pytest.approx(200 / 7)
+
+    def test_sync_excluded_by_default(self):
+        trace = make_trace() + [
+            Instr.load(0x200, dst=R(31), op=Op.ILOAD, site=-1),
+            Instr(Op.PAUSE, site=-1),
+        ]
+        mix = instruction_mix(trace)
+        assert mix.total == 7
+
+    def test_sync_included_on_request(self):
+        trace = [Instr.load(0x200, dst=R(31), op=Op.ILOAD, site=-1)]
+        mix = instruction_mix(trace, include_sync=True)
+        assert mix.total == 1
+
+    def test_nop_pause_halt_never_counted(self):
+        mix = instruction_mix([Instr(Op.NOP), Instr(Op.PAUSE), Instr(Op.HALT)])
+        assert mix.total == 0
+
+    def test_effects_fire_during_replay(self):
+        fired = []
+        trace = [Instr(Op.NOP, effect=lambda: fired.append(1))]
+        instruction_mix(trace)
+        assert fired == [1]
+
+    def test_sites_aggregated(self):
+        trace = [
+            Instr.load(0x100, dst=F(0), site=42),
+            Instr.load(0x120, dst=F(0), site=42),
+            Instr.store(0x140, src=F(0), site=43),
+        ]
+        mix = instruction_mix(trace)
+        assert mix.sites == {42: 2, 43: 1}
+
+    def test_empty(self):
+        mix = instruction_mix([])
+        assert mix.total == 0
+        assert mix.fraction(SubUnit.LOAD) == 0.0
+
+    def test_as_percentages_excludes_other(self):
+        pcts = instruction_mix(make_trace()).as_percentages()
+        assert "OTHER" not in pcts
+        assert sum(pcts.values()) == pytest.approx(100.0)

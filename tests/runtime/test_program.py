@@ -1,0 +1,70 @@
+"""Tests for Program / ThreadAPI assembly."""
+
+import pytest
+
+from repro.common import ConfigError
+from repro.isa import Instr, Op, R
+from repro.perfmon import Event
+from repro.runtime import Program
+
+
+def iadds(n):
+    return [Instr.arith(Op.IADD, dst=R(0), src=R(8)) for _ in range(n)]
+
+
+class TestProgram:
+    def test_single_thread_runs(self):
+        prog = Program()
+        prog.add_thread(lambda api: iter(iadds(10)))
+        result = prog.run()
+        assert result.retired[0] == 10
+
+    def test_two_threads_bound_in_order(self):
+        prog = Program()
+        tids = [prog.add_thread(lambda api: iter(iadds(5))) for _ in range(2)]
+        assert tids == [0, 1]
+        result = prog.run()
+        assert result.retired == (5, 5)
+
+    def test_too_many_threads_rejected(self):
+        prog = Program()
+        prog.add_thread(lambda api: iter([]))
+        prog.add_thread(lambda api: iter([]))
+        with pytest.raises(ConfigError):
+            prog.add_thread(lambda api: iter([]))
+
+    def test_run_twice_rejected(self):
+        prog = Program()
+        prog.add_thread(lambda api: iter([]))
+        prog.run()
+        with pytest.raises(ConfigError):
+            prog.run()
+
+    def test_run_without_threads_rejected(self):
+        with pytest.raises(ConfigError):
+            Program().run()
+
+    def test_api_exposes_tid_and_aspace(self):
+        prog = Program()
+        seen = {}
+
+        def factory(api):
+            seen["tid"] = api.tid
+            seen["aspace"] = api.aspace
+            return iter([])
+
+        prog.add_thread(factory)
+        prog.run()
+        assert seen["tid"] == 0
+        assert seen["aspace"] is prog.aspace
+
+    def test_flush_self_counts_event(self):
+        prog = Program()
+
+        def factory(api):
+            yield Instr(Op.NOP, effect=lambda: api.flush_self())
+            yield from iadds(3)
+
+        prog.add_thread(factory)
+        result = prog.run()
+        assert result.monitor.read(Event.PIPELINE_FLUSH, 0) == 1

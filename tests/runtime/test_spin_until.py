@@ -1,0 +1,74 @@
+"""Tests for the generic predicate spin (spin_until)."""
+
+import pytest
+
+from repro.isa import Instr, Op, R
+from repro.perfmon import Event
+from repro.runtime import Program, SyncVar, advance_var, spin_until
+
+
+def iadds(n):
+    return [Instr.arith(Op.IADD, dst=R(0), src=R(8)) for _ in range(n)]
+
+
+class TestSpinUntil:
+    def test_waits_for_arbitrary_predicate(self):
+        prog = Program()
+        var = SyncVar(prog.aspace)
+        state = {"x": 0}
+        order = []
+
+        def setter():
+            state["x"] = 42
+
+        def consumer(api):
+            yield from spin_until(lambda: state["x"] == 42, api, var)
+            order.append("saw")
+
+        def producer(api):
+            for i in iadds(1500):
+                yield i
+            order.append("set")
+            yield Instr.store(var.addr, src=R(1), op=Op.ISTORE,
+                              effect=setter)
+
+        prog.add_thread(consumer)
+        prog.add_thread(producer)
+        prog.run()
+        assert order == ["set", "saw"]
+
+    def test_charges_flush_on_exit(self):
+        prog = Program()
+        var = SyncVar(prog.aspace)
+
+        def consumer(api):
+            yield from spin_until(lambda: var.value > 0, api, var)
+
+        def producer(api):
+            yield from advance_var(var, api)
+
+        prog.add_thread(consumer)
+        prog.add_thread(producer)
+        result = prog.run()
+        assert result.monitor.read(Event.PIPELINE_FLUSH, 0) == 1
+
+    def test_no_pause_spins_hotter(self):
+        """Without pause the spinner retires far more µops."""
+        counts = {}
+        for pause in (True, False):
+            prog = Program()
+            var = SyncVar(prog.aspace)
+
+            def consumer(api, pause=pause):
+                yield from spin_until(lambda: var.value > 0, api, var,
+                                      pause=pause)
+
+            def producer(api):
+                for i in iadds(4000):
+                    yield i
+                yield from advance_var(var, api)
+
+            prog.add_thread(consumer)
+            prog.add_thread(producer)
+            counts[pause] = prog.run().retired[0]
+        assert counts[False] > 1.5 * counts[True]

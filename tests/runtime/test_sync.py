@@ -1,0 +1,218 @@
+"""Tests for the §3.1 synchronization primitives.
+
+These are *timing-dependent* machine programs: a producer thread and a
+consumer thread coordinating purely through emitted instructions.
+"""
+
+import pytest
+
+from repro.isa import Instr, Op, R
+from repro.perfmon import Event
+from repro.runtime import (
+    Program,
+    SenseBarrier,
+    SyncVar,
+    WaitMode,
+    advance_var,
+    wait_ge,
+)
+
+
+def iadds(n):
+    return [Instr.arith(Op.IADD, dst=R(0), src=R(8)) for _ in range(n)]
+
+
+def run_pair(factory0, factory1):
+    prog = Program()
+    prog.add_thread(factory0)
+    prog.add_thread(factory1)
+    return prog, prog.run()
+
+
+class TestWaitGe:
+    @pytest.mark.parametrize("mode", [WaitMode.SPIN, WaitMode.HALT])
+    def test_consumer_sees_signal(self, mode):
+        prog = Program()
+        var = SyncVar(prog.aspace)
+        order = []
+
+        def consumer(api):
+            yield from wait_ge(var, 1, api, mode=mode)
+            order.append("consumed")
+            yield Instr(Op.NOP)
+
+        def producer(api):
+            for i in iadds(500):
+                yield i
+            order.append("produced")
+            yield from advance_var(var, api)
+
+        prog.add_thread(consumer)
+        prog.add_thread(producer)
+        prog.run()
+        assert order == ["produced", "consumed"]
+
+    def test_spin_wait_retires_pauses(self):
+        prog = Program()
+        var = SyncVar(prog.aspace)
+
+        def consumer(api):
+            yield from wait_ge(var, 1, api, mode=WaitMode.SPIN)
+
+        def producer(api):
+            for i in iadds(2000):
+                yield i
+            yield from advance_var(var, api)
+
+        prog.add_thread(consumer)
+        prog.add_thread(producer)
+        result = prog.run()
+        assert result.monitor.read(Event.PAUSE_RETIRED, 0) > 3
+
+    def test_spin_exit_charges_flush(self):
+        prog = Program()
+        var = SyncVar(prog.aspace)
+
+        def consumer(api):
+            yield from wait_ge(var, 1, api, mode=WaitMode.SPIN)
+
+        def producer(api):
+            yield from advance_var(var, api)
+
+        prog.add_thread(consumer)
+        prog.add_thread(producer)
+        result = prog.run()
+        assert result.monitor.read(Event.PIPELINE_FLUSH, 0) == 1
+
+    def test_halt_wait_sleeps_and_wakes(self):
+        prog = Program()
+        var = SyncVar(prog.aspace)
+
+        def consumer(api):
+            yield from wait_ge(var, 1, api, mode=WaitMode.HALT)
+            yield from iadds(5)
+
+        def producer(api):
+            for i in iadds(3000):
+                yield i
+            yield from advance_var(var, api)
+
+        prog.add_thread(consumer)
+        prog.add_thread(producer)
+        result = prog.run()
+        assert result.monitor.read(Event.HALT_TRANSITIONS, 0) >= 1
+        assert result.monitor.read(Event.IPI_SENT, 0) >= 1
+        assert result.retired[0] > 5
+
+    def test_halt_skipped_if_condition_already_true(self):
+        prog = Program()
+        var = SyncVar(prog.aspace, value=5)
+
+        def consumer(api):
+            yield from wait_ge(var, 1, api, mode=WaitMode.HALT)
+
+        prog.add_thread(consumer)
+        prog.add_thread(lambda api: iter(iadds(50)))
+        result = prog.run()
+        assert result.monitor.read(Event.HALT_TRANSITIONS, 0) == 0
+
+    def test_signal_before_wait_never_blocks(self):
+        prog = Program()
+        var = SyncVar(prog.aspace)
+
+        def producer(api):
+            yield from advance_var(var, api)
+
+        def consumer(api):
+            for i in iadds(2000):  # arrive long after the signal
+                yield i
+            yield from wait_ge(var, 1, api, mode=WaitMode.HALT)
+
+        prog.add_thread(producer)
+        prog.add_thread(consumer)
+        prog.run()  # must terminate
+
+    def test_halted_waiter_frees_resources_for_producer(self):
+        """A halted waiter must not slow the producer: compare against
+        the producer running with a spinning waiter."""
+        times = {}
+        for mode in (WaitMode.SPIN, WaitMode.HALT):
+            prog = Program()
+            var = SyncVar(prog.aspace)
+
+            def consumer(api, mode=mode):
+                yield from wait_ge(var, 1, api, mode=mode)
+
+            def producer(api):
+                for i in iadds(20000):
+                    yield i
+                yield from advance_var(var, api)
+
+            prog.add_thread(consumer)
+            prog.add_thread(producer)
+            # Measure the *producer's* completion: the run total also
+            # includes the consumer's post-signal wake-up tail.
+            times[mode] = prog.run().done_ticks[1]
+        assert times[WaitMode.HALT] < times[WaitMode.SPIN] * 1.05
+
+
+class TestSenseBarrier:
+    def _two_phase_program(self, mode, work0=300, work1=1500):
+        prog = Program()
+        barrier = SenseBarrier(2, prog.aspace, mode=mode)
+        trace = []
+
+        def make(tid, work):
+            def factory(api):
+                for i in iadds(work):
+                    yield i
+                trace.append(("arrive", tid))
+                yield from barrier.wait(api)
+                trace.append(("go", tid))
+                for i in iadds(50):
+                    yield i
+
+            return factory
+
+        prog.add_thread(make(0, work0))
+        prog.add_thread(make(1, work1))
+        return prog, barrier, trace
+
+    @pytest.mark.parametrize("mode", [WaitMode.SPIN, WaitMode.HALT])
+    def test_no_thread_passes_early(self, mode):
+        prog, barrier, trace = self._two_phase_program(mode)
+        prog.run()
+        arrives = [i for i, (kind, _) in enumerate(trace) if kind == "arrive"]
+        gos = [i for i, (kind, _) in enumerate(trace) if kind == "go"]
+        assert max(arrives) < min(gos)
+        assert barrier.arrivals == 2
+
+    def test_barrier_reusable_across_epochs(self):
+        prog = Program()
+        barrier = SenseBarrier(2, prog.aspace)
+        counters = {0: 0, 1: 0}
+
+        def factory_for(tid):
+            def factory(api):
+                for _ in range(4):  # four epochs
+                    for i in iadds(100 * (1 + api.tid)):
+                        yield i
+                    yield from barrier.wait(api)
+                    counters[tid] += 1
+
+            return factory
+
+        prog.add_thread(factory_for(0))
+        prog.add_thread(factory_for(1))
+        prog.run()
+        assert counters == {0: 4, 1: 4}
+        assert barrier.arrivals == 8
+
+    def test_barrier_costs_more_in_halt_mode_when_wait_is_short(self):
+        """The §3.1 tradeoff: halt transitions are expensive, so for
+        short waits the spin barrier is cheaper."""
+        times = {}
+        for mode in (WaitMode.SPIN, WaitMode.HALT):
+            prog, _, _ = self._two_phase_program(mode, work0=280, work1=300)
+            times[mode] = prog.run().ticks
+        assert times[WaitMode.SPIN] < times[WaitMode.HALT]

@@ -1,0 +1,85 @@
+"""Property-based tests of barrier safety and liveness."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import Instr, Op, R
+from repro.runtime import Program, SenseBarrier, WaitMode
+
+
+def iadds(n):
+    return [Instr.arith(Op.IADD, dst=R(0), src=R(8)) for _ in range(n)]
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    work0=st.integers(min_value=0, max_value=3000),
+    work1=st.integers(min_value=0, max_value=3000),
+    epochs=st.integers(min_value=1, max_value=4),
+    mode=st.sampled_from([WaitMode.SPIN, WaitMode.HALT]),
+)
+def test_barrier_safety_and_liveness(work0, work1, epochs, mode):
+    """For any skews and epoch counts, in both wait modes:
+
+    * liveness — the program terminates (no lost wake-up);
+    * safety — within each epoch, both arrivals precede both releases.
+    """
+    prog = Program()
+    barrier = SenseBarrier(2, prog.aspace, mode=mode)
+    log = []
+
+    def make(tid, work):
+        def factory(api):
+            for e in range(epochs):
+                for i in iadds(work):
+                    yield i
+                log.append(("arrive", e, tid))
+                yield from barrier.wait(api)
+                log.append(("release", e, tid))
+
+        return factory
+
+    prog.add_thread(make(0, work0))
+    prog.add_thread(make(1, work1))
+    prog.run()  # liveness: must not deadlock
+
+    for e in range(epochs):
+        arrivals = [i for i, (k, ep, _) in enumerate(log)
+                    if k == "arrive" and ep == e]
+        releases = [i for i, (k, ep, _) in enumerate(log)
+                    if k == "release" and ep == e]
+        assert len(arrivals) == len(releases) == 2
+        assert max(arrivals) < min(releases)
+    assert barrier.arrivals == 2 * epochs
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    producer_work=st.integers(min_value=0, max_value=4000),
+    consumer_head_start=st.integers(min_value=0, max_value=1000),
+    mode=st.sampled_from([WaitMode.SPIN, WaitMode.HALT]),
+)
+def test_wait_ge_never_passes_early(producer_work, consumer_head_start, mode):
+    """wait_ge returns only after the producer's signal retired."""
+    from repro.runtime import SyncVar, advance_var, wait_ge
+
+    prog = Program()
+    var = SyncVar(prog.aspace)
+    order = []
+
+    def consumer(api):
+        for i in iadds(consumer_head_start):
+            yield i
+        yield from wait_ge(var, 1, api, mode=mode)
+        order.append("woke")
+
+    def producer(api):
+        for i in iadds(producer_work):
+            yield i
+        order.append("signalled")
+        yield from advance_var(var, api)
+
+    prog.add_thread(consumer)
+    prog.add_thread(producer)
+    prog.run()
+    assert order.index("signalled") < order.index("woke")

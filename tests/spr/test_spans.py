@@ -1,0 +1,57 @@
+"""Tests for precomputation-span planning."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common import ConfigError
+from repro.mem import MemConfig
+from repro.spr import plan_spans
+
+
+class TestPlan:
+    def test_default_fraction_is_quarter_l2(self):
+        cfg = MemConfig()
+        plan = plan_spans(total_items=1000, bytes_per_item=8, mem_config=cfg)
+        assert plan.span_bytes <= cfg.l2_size // 4 + 8
+
+    def test_fraction_window_enforced(self):
+        """The paper's bound: 1/A <= fraction <= 1/2 (A = 8)."""
+        plan_spans(10, 8, fraction=1 / 8)   # ok
+        plan_spans(10, 8, fraction=1 / 2)   # ok
+        with pytest.raises(ConfigError):
+            plan_spans(10, 8, fraction=1 / 16)
+        with pytest.raises(ConfigError):
+            plan_spans(10, 8, fraction=0.75)
+
+    def test_oversized_item_still_gets_a_span(self):
+        cfg = MemConfig()
+        plan = plan_spans(total_items=5, bytes_per_item=cfg.l2_size,
+                          mem_config=cfg)
+        assert plan.items_per_span == 1
+        assert plan.num_spans == 5
+
+    def test_span_of(self):
+        plan = plan_spans(total_items=100, bytes_per_item=64)
+        k = plan.items_per_span
+        assert plan.span_of(0) == 0
+        assert plan.span_of(k) == 1
+        assert plan.span_of(k - 1) == 0
+
+    def test_bad_inputs(self):
+        with pytest.raises(ConfigError):
+            plan_spans(0, 8)
+        with pytest.raises(ConfigError):
+            plan_spans(8, 0)
+
+
+@given(
+    total=st.integers(min_value=1, max_value=10_000),
+    item_bytes=st.integers(min_value=1, max_value=4096),
+)
+def test_spans_cover_all_items_exactly(total, item_bytes):
+    """Property: spans tile the item range with no gap or overlap."""
+    plan = plan_spans(total, item_bytes)
+    assert plan.items_per_span >= 1
+    assert (plan.num_spans - 1) * plan.items_per_span < total
+    assert plan.num_spans * plan.items_per_span >= total
+    assert plan.span_of(total - 1) == plan.num_spans - 1

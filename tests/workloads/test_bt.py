@@ -1,0 +1,124 @@
+"""Tests for the BT workload."""
+
+import numpy as np
+import pytest
+
+from repro.pintool import DryRunAPI, instruction_mix
+from repro.isa.opcodes import SubUnit
+from repro.runtime import Program
+from repro.workloads import bt
+from repro.workloads.common import Variant
+
+ALL_VARIANTS = [Variant.SERIAL, Variant.TLP_COARSE, Variant.TLP_PFETCH]
+
+
+def run(variant, grid=4):
+    build = bt.build(variant, grid=grid)
+    prog = Program(aspace=build.aspace)
+    for f in build.factories:
+        prog.add_thread(f)
+    return build, prog.run()
+
+
+class TestNumerics:
+    @pytest.mark.parametrize("variant", ALL_VARIANTS)
+    def test_all_lines_solved_with_small_residual(self, variant):
+        build, _ = run(variant)
+        assert build.reference_check()
+
+    def test_thomas_matches_dense_solve(self):
+        from repro.common import AddressSpace
+        from repro.workloads.bt import _BTState, BLOCK
+
+        s = _BTState(AddressSpace(), 4)
+        s.solve_line(1, 3)
+        n = 4
+        cells = [s.cell_index(1, 3, k) for k in range(n)]
+        A = np.zeros((n * BLOCK, n * BLOCK))
+        for k in range(n):
+            r0 = k * BLOCK
+            A[r0:r0 + BLOCK, r0:r0 + BLOCK] = s.diag[cells[k]]
+            if k > 0:
+                A[r0:r0 + BLOCK, r0 - BLOCK:r0] = s.lower[cells[k]]
+            if k < n - 1:
+                A[r0:r0 + BLOCK, r0 + BLOCK:r0 + 2 * BLOCK] = s.upper[cells[k]]
+        rhs = np.concatenate([s.rhs[c] for c in cells])
+        dense = np.linalg.solve(A, rhs)
+        mine = np.concatenate([s.solution[c] for c in cells])
+        assert np.allclose(dense, mine)
+
+    def test_direction_strides(self):
+        """x lines are contiguous; y strides by n, z by n^2."""
+        from repro.common import AddressSpace
+        from repro.workloads.bt import _BTState
+
+        s = _BTState(AddressSpace(), 4)
+        xs = [s.cell_index(0, 0, k) for k in range(4)]
+        ys = [s.cell_index(1, 0, k) for k in range(4)]
+        zs = [s.cell_index(2, 0, k) for k in range(4)]
+        assert np.diff(xs).tolist() == [1, 1, 1]
+        assert np.diff(ys).tolist() == [4, 4, 4]
+        assert np.diff(zs).tolist() == [16, 16, 16]
+
+    def test_every_cell_covered_each_direction(self):
+        from repro.common import AddressSpace
+        from repro.workloads.bt import _BTState
+
+        s = _BTState(AddressSpace(), 4)
+        for d in range(3):
+            cells = {
+                s.cell_index(d, line, k)
+                for line in range(16)
+                for k in range(4)
+            }
+            assert cells == set(range(64))
+
+
+class TestVariants:
+    def test_coarse_splits_lines_evenly(self):
+        _, coarse = run(Variant.TLP_COARSE)
+        a, b = coarse.retired
+        assert a == pytest.approx(b, rel=0.1)
+
+    def test_prefetcher_store_heavy(self):
+        """Table 1 BT spr column: STORE ~43% — the slice touches its
+        write destinations."""
+        from repro.core.table1 import _interleaved_mix
+
+        build = bt.build(Variant.TLP_PFETCH, grid=4)
+        mix = _interleaved_mix(build.factories, observe_tid=1)
+        assert mix.percent(SubUnit.STORE) > 8
+
+    def test_unsupported_variant_rejected(self):
+        from repro.common import ConfigError
+
+        with pytest.raises(ConfigError):
+            bt.build(Variant.TLP_FINE)
+
+
+class TestInstructionMix:
+    def test_serial_mix_shape(self):
+        """Table 1 BT: low ALUs (~8%), FP-rich (FP_MUL > FP_ADD), high
+        LOAD, visible FP_MOVE — the 'assorted compute instructions'."""
+        build = bt.build(Variant.SERIAL, grid=4)
+        mix = instruction_mix(build.factories[0](DryRunAPI(0)))
+        assert mix.percent(SubUnit.ALUS) < 15
+        assert mix.percent(SubUnit.FP_MUL) > mix.percent(SubUnit.FP_ADD)
+        assert mix.percent(SubUnit.LOAD) > 30
+        assert mix.percent(SubUnit.FP_MOVE) > 4
+
+    def test_bt_alu_share_lowest_of_all_apps(self):
+        """Table 1: BT has by far the lowest ALU share (8 vs 27-39%)."""
+        from repro.workloads import matmul, lu
+
+        bmix = instruction_mix(
+            bt.build(Variant.SERIAL, grid=4).factories[0](DryRunAPI(0))
+        )
+        mmix = instruction_mix(
+            matmul.build(Variant.SERIAL, n=16).factories[0](DryRunAPI(0))
+        )
+        lmix = instruction_mix(
+            lu.build(Variant.SERIAL, n=16).factories[0](DryRunAPI(0))
+        )
+        assert bmix.percent(SubUnit.ALUS) < mmix.percent(SubUnit.ALUS)
+        assert bmix.percent(SubUnit.ALUS) < lmix.percent(SubUnit.ALUS)

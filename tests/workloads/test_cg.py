@@ -1,0 +1,95 @@
+"""Tests for the CG workload."""
+
+import numpy as np
+import pytest
+
+from repro.pintool import DryRunAPI, instruction_mix
+from repro.isa.opcodes import SubUnit
+from repro.runtime import Program
+from repro.workloads import cg
+from repro.workloads.common import Variant
+
+ALL_VARIANTS = [Variant.SERIAL, Variant.TLP_COARSE, Variant.TLP_PFETCH,
+                Variant.TLP_PFETCH_WORK]
+
+SMALL = dict(n=128, nnz_per_row=12, iterations=2)
+
+
+def run(variant, **kw):
+    params = {**SMALL, **kw}
+    build = cg.build(variant, **params)
+    prog = Program(aspace=build.aspace)
+    for f in build.factories:
+        prog.add_thread(f)
+    return build, prog.run()
+
+
+class TestNumerics:
+    @pytest.mark.parametrize("variant", ALL_VARIANTS)
+    def test_cg_recurrence_matches_scipy(self, variant):
+        build, _ = run(variant)
+        assert build.reference_check()
+
+    def test_matrix_has_diagonal(self):
+        from repro.common import AddressSpace
+        from repro.workloads.cg import _CGState
+
+        state = _CGState(AddressSpace(), 64, 8)
+        for i in range(64):
+            lo, hi = state.rowptr[i], state.rowptr[i + 1]
+            assert i in set(state.colidx[lo:hi])
+
+    def test_csr_structure_valid(self):
+        from repro.common import AddressSpace
+        from repro.workloads.cg import _CGState
+
+        state = _CGState(AddressSpace(), 64, 8)
+        assert state.rowptr[0] == 0
+        assert state.rowptr[-1] == state.nnz
+        assert (np.diff(state.rowptr) > 0).all()
+        assert (state.colidx >= 0).all() and (state.colidx < 64).all()
+
+
+class TestVariants:
+    def test_parallel_overhead(self):
+        """§5.3: each TLP thread executes *more* than half the serial
+        instructions due to parallelization overhead."""
+        _, serial = run(Variant.SERIAL)
+        _, coarse = run(Variant.TLP_COARSE)
+        assert sum(coarse.retired) > sum(serial.retired)
+
+    def test_prefetcher_smaller_than_worker(self):
+        _, pf = run(Variant.TLP_PFETCH)
+        worker, helper = pf.retired
+        assert helper < worker
+
+    def test_pfetch_reduces_worker_misses(self):
+        from repro.perfmon import Event
+
+        _, serial = run(Variant.SERIAL)
+        _, pf = run(Variant.TLP_PFETCH)
+        assert (pf.monitor.read(Event.L2_READ_MISS, 0)
+                < serial.monitor.read(Event.L2_READ_MISS))
+
+
+class TestInstructionMix:
+    def test_serial_mix_shape(self):
+        """Table 1 CG: ALUs+LOAD dominate, FP_ADD = FP_MUL (~9%), and a
+        visible FP_MOVE share — unlike MM/LU."""
+        build = cg.build(Variant.SERIAL, **SMALL)
+        mix = instruction_mix(build.factories[0](DryRunAPI(0)))
+        assert mix.percent(SubUnit.LOAD) > 25
+        assert mix.percent(SubUnit.ALUS) > 15
+        assert mix.percent(SubUnit.FP_ADD) == pytest.approx(
+            mix.percent(SubUnit.FP_MUL), abs=2
+        )
+        assert mix.percent(SubUnit.FP_MOVE) > 5
+
+    def test_spr_column_is_alu_dominated(self):
+        """Table 1 CG spr: ALUs ~50%, LOAD ~19% — the slice is mostly
+        address computation."""
+        from repro.core.table1 import _interleaved_mix
+
+        build = cg.build(Variant.TLP_PFETCH, **SMALL)
+        mix = _interleaved_mix(build.factories, observe_tid=1)
+        assert mix.percent(SubUnit.ALUS) > mix.percent(SubUnit.LOAD)

@@ -1,0 +1,78 @@
+"""Tests for shared workload infrastructure (blocked layouts etc.)."""
+
+import numpy as np
+import pytest
+
+from repro.common import AddressSpace, ConfigError
+from repro.isa import Op
+from repro.isa.opcodes import SubUnit, OP_SUBUNIT
+from repro.workloads.common import (
+    BlockedMatrix,
+    emit_blocked_index,
+    prefetch_lines,
+    prefetch_elements,
+)
+
+
+class TestBlockedMatrix:
+    @pytest.fixture
+    def mat(self):
+        return BlockedMatrix(AddressSpace(), "A", n=16, tile=4)
+
+    def test_offsets_are_a_permutation(self, mat):
+        offsets = {mat.offset(i, j) for i in range(16) for j in range(16)}
+        assert offsets == set(range(256))
+
+    def test_tile_is_contiguous(self, mat):
+        """All elements of one tile occupy consecutive offsets — the
+        property that makes tiles single-stream prefetchable."""
+        offs = sorted(
+            mat.offset(i, j) for i in range(4) for j in range(4)
+        )
+        assert offs == list(range(offs[0], offs[0] + 16))
+
+    def test_tile_base_addr(self, mat):
+        assert mat.tile_base_addr(0, 0) == mat.addr(0, 0)
+        assert mat.tile_base_addr(1, 2) == mat.addr(4, 8)
+
+    def test_tile_view_matches_layout(self, mat):
+        mat.data[:] = np.arange(256).reshape(16, 16)
+        view = mat.tile_view(2, 3)
+        assert view[0, 0] == mat.data[8, 12]
+        view[0, 0] = -1  # views alias the underlying data
+        assert mat.data[8, 12] == -1
+
+    def test_tile_bytes(self, mat):
+        assert mat.tile_bytes() == 4 * 4 * 8
+
+    def test_power_of_two_required(self):
+        with pytest.raises(ConfigError):
+            BlockedMatrix(AddressSpace(), "A", n=24, tile=4)
+        with pytest.raises(ConfigError):
+            BlockedMatrix(AddressSpace(), "A", n=16, tile=3)
+        with pytest.raises(ConfigError):
+            BlockedMatrix(AddressSpace(), "A", n=8, tile=16)
+
+
+class TestEmitters:
+    def test_blocked_index_is_a_logical_chain(self):
+        instrs = list(emit_blocked_index(dst=5, site=1, extra_logic=2))
+        assert [i.op for i in instrs] == [Op.ILOGIC] * 3
+        # Chain: each op after the first depends on the previous result.
+        for i in instrs[1:]:
+            assert 5 in i.srcs
+
+    def test_prefetch_lines_one_load_per_line(self):
+        instrs = list(prefetch_lines(0x1000, 256, 32, site=9))
+        loads = [i for i in instrs if i.op is Op.FLOAD]
+        assert len(loads) == 8
+        assert [ld.addr for ld in loads] == [0x1000 + k * 32 for k in range(8)]
+
+    def test_prefetch_elements_heavier_than_lines(self):
+        lines = list(prefetch_lines(0x1000, 256, 32, site=9))
+        elems = list(prefetch_elements(0x1000, 256, 8, site=9))
+        assert len(elems) > 3 * len(lines)
+        # The element slice is ALU-heavy and includes write touches.
+        units = [OP_SUBUNIT[i.op] for i in elems]
+        assert units.count(SubUnit.ALUS) > units.count(SubUnit.LOAD) / 2
+        assert SubUnit.STORE in units

@@ -1,0 +1,96 @@
+"""Tests for the LU workload."""
+
+import numpy as np
+import pytest
+
+from repro.pintool import DryRunAPI, instruction_mix
+from repro.isa.opcodes import SubUnit
+from repro.runtime import Program
+from repro.workloads import lu
+from repro.workloads.common import Variant
+
+ALL_VARIANTS = [Variant.SERIAL, Variant.TLP_COARSE, Variant.TLP_PFETCH]
+
+
+def run(variant, n=16, tile=8):
+    build = lu.build(variant, n=n, tile=tile)
+    prog = Program(aspace=build.aspace)
+    for f in build.factories:
+        prog.add_thread(f)
+    return build, prog.run()
+
+
+class TestNumerics:
+    @pytest.mark.parametrize("variant", ALL_VARIANTS)
+    def test_lu_reconstructs_original(self, variant):
+        build, _ = run(variant)
+        assert build.reference_check()
+
+    def test_factorization_correct_standalone(self):
+        from repro.common import AddressSpace
+        from repro.workloads.lu import _LUState
+
+        state = _LUState(AddressSpace(), n=16, tile=8)
+        tiles = 2
+        for k in range(tiles):
+            state.factor_diag(k)
+            for j in range(k + 1, tiles):
+                state.update_row_panel(k, j)
+            for i in range(k + 1, tiles):
+                state.update_col_panel(k, i)
+            for i in range(k + 1, tiles):
+                for j in range(k + 1, tiles):
+                    state.update_trailing(k, i, j)
+        assert state.check()
+
+    def test_unsupported_variant_rejected(self):
+        from repro.common import ConfigError
+
+        with pytest.raises(ConfigError):
+            lu.build(Variant.TLP_FINE)
+
+
+class TestVariants:
+    def test_coarse_splits_work(self):
+        _, serial = run(Variant.SERIAL)
+        _, coarse = run(Variant.TLP_COARSE)
+        # Both threads execute nontrivial shares (phases partitioned).
+        assert min(coarse.retired) > 0.2 * sum(serial.retired) / 2
+
+    def test_prefetcher_executes_worker_scale_uops(self):
+        """The paper's LU oddity: the prefetcher's instruction count
+        rivals the worker's (3.26e9 vs 3.21e9)."""
+        _, pf = run(Variant.TLP_PFETCH, n=32)
+        worker, helper = pf.retired
+        assert helper > 0.35 * worker
+
+    def test_spr_total_uops_far_exceed_serial(self):
+        """fig 4d: the dual-threaded prefetch method needs more than
+        double the µops of serial."""
+        _, serial = run(Variant.SERIAL, n=32)
+        _, pf = run(Variant.TLP_PFETCH, n=32)
+        assert sum(pf.retired) > 1.35 * sum(serial.retired)
+
+
+class TestInstructionMix:
+    def test_serial_mix_shape(self):
+        """Table 1 LU: ALU- and LOAD-heavy, FP_ADD = FP_MUL = 11.15%."""
+        build = lu.build(Variant.SERIAL, n=16)
+        mix = instruction_mix(build.factories[0](DryRunAPI(0)))
+        assert mix.percent(SubUnit.LOAD) > mix.percent(SubUnit.ALUS) > 20
+        assert mix.percent(SubUnit.FP_ADD) == pytest.approx(
+            mix.percent(SubUnit.FP_MUL), abs=1.5
+        )
+        assert mix.percent(SubUnit.STORE) == pytest.approx(11.2, abs=3)
+
+    def test_lu_alu_share_higher_than_mm(self):
+        """§5.3: 'With respect to MM, LU exhibits higher ALUs usage.'"""
+        from repro.workloads import matmul
+
+        lmix = instruction_mix(
+            lu.build(Variant.SERIAL, n=16).factories[0](DryRunAPI(0))
+        )
+        mmix = instruction_mix(
+            matmul.build(Variant.SERIAL, n=16).factories[0](DryRunAPI(0))
+        )
+        assert lmix.percent(SubUnit.ALUS) > mmix.percent(SubUnit.ALUS)

@@ -1,0 +1,104 @@
+"""Tests for the MM workload: numerics, variants, instruction mixes."""
+
+import pytest
+
+from repro.perfmon import Event
+from repro.pintool import DryRunAPI, instruction_mix
+from repro.isa.opcodes import SubUnit
+from repro.runtime import Program
+from repro.workloads import matmul
+from repro.workloads.common import Variant
+
+ALL_VARIANTS = [Variant.SERIAL, Variant.TLP_FINE, Variant.TLP_COARSE,
+                Variant.TLP_PFETCH, Variant.TLP_PFETCH_WORK]
+
+
+def run(variant, n=16, tile=8):
+    build = matmul.build(variant, n=n, tile=tile)
+    prog = Program(aspace=build.aspace)
+    for f in build.factories:
+        prog.add_thread(f)
+    return build, prog.run()
+
+
+class TestNumerics:
+    @pytest.mark.parametrize("variant", ALL_VARIANTS)
+    def test_c_equals_a_times_b(self, variant):
+        build, _ = run(variant)
+        assert build.reference_check()
+
+    def test_thread_counts(self):
+        assert matmul.build(Variant.SERIAL, n=16).num_threads == 1
+        for v in ALL_VARIANTS[1:]:
+            assert matmul.build(v, n=16).num_threads == 2
+
+
+class TestWorkPartitioning:
+    def test_tlp_halves_the_work(self):
+        _, serial = run(Variant.SERIAL)
+        _, coarse = run(Variant.TLP_COARSE)
+        total = sum(serial.retired)
+        per_thread = coarse.retired
+        assert sum(per_thread) == pytest.approx(total, rel=0.02)
+        assert per_thread[0] == pytest.approx(per_thread[1], rel=0.1)
+
+    def test_fine_emits_more_uops_than_coarse(self):
+        """The fine variant pays extra strided-index masking."""
+        _, fine = run(Variant.TLP_FINE)
+        _, coarse = run(Variant.TLP_COARSE)
+        assert sum(fine.retired) > sum(coarse.retired)
+
+    def test_prefetcher_is_lightweight(self):
+        """MM's SPR thread executes a small fraction of the worker's
+        µops (paper Table 1: 0.20e9 vs 2.27e9)."""
+        _, pf = run(Variant.TLP_PFETCH)
+        worker, helper = pf.retired
+        assert helper < 0.35 * worker
+
+
+class TestSPR:
+    def test_prefetch_reduces_worker_misses(self):
+        _, serial = run(Variant.SERIAL, n=32)
+        _, pf = run(Variant.TLP_PFETCH, n=32)
+        serial_misses = serial.monitor.read(Event.L2_READ_MISS)
+        worker_misses = pf.monitor.read(Event.L2_READ_MISS, 0)
+        assert worker_misses < serial_misses
+
+    def test_prefetch_arrays_narrowing(self):
+        build = matmul.build(Variant.TLP_PFETCH, n=16,
+                             prefetch_arrays=("mm.A",))
+        prog = Program(aspace=build.aspace)
+        for f in build.factories:
+            prog.add_thread(f)
+        result = prog.run()
+        assert build.reference_check()
+        # Narrower prefetch set -> fewer helper instructions.
+        full = matmul.build(Variant.TLP_PFETCH, n=16)
+        prog2 = Program(aspace=full.aspace)
+        for f in full.factories:
+            prog2.add_thread(f)
+        result2 = prog2.run()
+        assert result.retired[1] < result2.retired[1]
+
+
+class TestInstructionMix:
+    def test_serial_mix_matches_table1(self):
+        """Paper Table 1, MM serial column: ALUs 27.06, FP_ADD 11.70,
+        FP_MUL 11.70, LOAD 38.76, STORE 12.07 (%)."""
+        build = matmul.build(Variant.SERIAL, n=16)
+        mix = instruction_mix(build.factories[0](DryRunAPI(0)))
+        assert mix.percent(SubUnit.ALUS) == pytest.approx(27.1, abs=4)
+        assert mix.percent(SubUnit.FP_ADD) == pytest.approx(11.7, abs=2)
+        assert mix.percent(SubUnit.FP_MUL) == pytest.approx(11.7, abs=2)
+        assert mix.percent(SubUnit.LOAD) == pytest.approx(38.8, abs=4)
+        assert mix.percent(SubUnit.STORE) == pytest.approx(12.1, abs=2)
+
+    def test_logical_ops_dominate_the_alu_share(self):
+        """§5.3: 'at about 25% of total instructions' are logicals from
+        the blocked-array-layout binary masks."""
+        from repro.isa import Op
+
+        build = matmul.build(Variant.SERIAL, n=16)
+        instrs = list(build.factories[0](DryRunAPI(0)))
+        logicals = sum(1 for i in instrs if i.op is Op.ILOGIC)
+        assert logicals / len(instrs) > 0.10

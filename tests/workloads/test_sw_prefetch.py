@@ -1,0 +1,94 @@
+"""Tests for the SW_PREFETCH extension (the paper's §6 recommendation)
+and the PREFETCH instruction it rides on."""
+
+import pytest
+
+from repro.isa import Instr, Op, F
+from repro.mem import MemConfig, MemoryHierarchy
+from repro.perfmon import Event, PerfMonitor
+from repro.runtime import Program
+from repro.workloads import matmul
+from repro.workloads.common import Variant, emit_sw_prefetch
+
+
+class TestPrefetchInstruction:
+    def test_requires_address(self):
+        with pytest.raises(ValueError):
+            Instr(Op.PREFETCH)
+
+    def test_counts_no_demand_miss(self):
+        mon = PerfMonitor(2)
+        hier = MemoryHierarchy(MemConfig(), mon, 2)
+        hier.swprefetch(0x40000, 0, 0)
+        assert mon.read(Event.L2_READ_MISS) == 0
+        assert mon.read(Event.L2_PREFETCH_FILL, 0) == 1
+
+    def test_fill_becomes_hit_after_latency(self):
+        cfg = MemConfig()
+        mon = PerfMonitor(2)
+        hier = MemoryHierarchy(cfg, mon, 2)
+        hier.swprefetch(0x40000, 0, now=0)
+        late = hier.load(0x40000, 0, now=10_000)
+        assert late.level == 2  # L2 hit, no demand memory transaction
+        assert mon.read(Event.L2_READ_MISS) == 0
+
+    def test_early_demand_pays_residual(self):
+        cfg = MemConfig()
+        hier = MemoryHierarchy(cfg, PerfMonitor(2), 2)
+        hier.swprefetch(0x40000, 0, now=0)
+        soon = hier.load(0x40000, 0, now=10)
+        assert soon.latency > cfg.l2_latency  # late-prefetch residual
+
+    def test_resident_line_is_a_noop(self):
+        mon = PerfMonitor(2)
+        hier = MemoryHierarchy(MemConfig(), mon, 2)
+        hier.load(0x40000, 0, 0)
+        hier.swprefetch(0x40000, 0, 100)
+        assert mon.read(Event.L2_PREFETCH_FILL) == 0
+
+    def test_core_executes_prefetch_uops(self):
+        prog = Program()
+
+        def th(api):
+            yield Instr(Op.PREFETCH, addr=0x40000)
+            yield Instr.load(0x40000, dst=F(0))
+
+        prog.add_thread(th)
+        result = prog.run()
+        assert result.monitor.read(Event.SW_PREFETCH_ISSUED, 0) == 1
+        assert result.monitor.read(Event.L2_READ_MISS) == 0
+
+    def test_emitter_one_uop_per_line(self):
+        instrs = list(emit_sw_prefetch(0x1000, 256, 32, site=1))
+        assert len(instrs) == 8
+        assert all(i.op is Op.PREFETCH for i in instrs)
+
+
+class TestSWPrefetchVariant:
+    def run(self, variant, n=16):
+        build = matmul.build(variant, n=n)
+        prog = Program(aspace=build.aspace)
+        for f in build.factories:
+            prog.add_thread(f)
+        return build, prog.run()
+
+    def test_numerics(self):
+        build, _ = self.run(Variant.SW_PREFETCH)
+        assert build.reference_check()
+
+    def test_single_thread(self):
+        build = matmul.build(Variant.SW_PREFETCH, n=16)
+        assert build.num_threads == 1
+
+    def test_low_uop_overhead(self):
+        """§6: 'low number of µops' — within a few percent of serial."""
+        _, serial = self.run(Variant.SERIAL)
+        _, sw = self.run(Variant.SW_PREFETCH)
+        assert sum(sw.retired) < 1.06 * sum(serial.retired)
+
+    def test_beats_or_matches_serial_at_scale(self):
+        _, serial = self.run(Variant.SERIAL, n=32)
+        _, sw = self.run(Variant.SW_PREFETCH, n=32)
+        assert sw.ticks <= serial.ticks * 1.01
+        assert (sw.monitor.read(Event.L2_READ_MISS)
+                <= serial.monitor.read(Event.L2_READ_MISS))
