@@ -13,6 +13,8 @@ from repro.analysis.render import (
     render_fig2,
     render_app_figure,
     render_table1,
+    render_stall_breakdown,
+    render_miss_heatmap,
 )
 from repro.analysis.expectations import Expectation, check_app_shapes
 
@@ -21,6 +23,8 @@ __all__ = [
     "render_fig2",
     "render_app_figure",
     "render_table1",
+    "render_stall_breakdown",
+    "render_miss_heatmap",
     "Expectation",
     "check_app_shapes",
 ]

@@ -106,6 +106,64 @@ def render_app_figure(results: Sequence[AppRunResult],
     return "\n".join(lines)
 
 
+def render_stall_breakdown(accountant, title: Optional[str] = None) -> str:
+    """Per-thread allocate- and issue-slot attribution as a table.
+
+    Each column of a (kind, thread) pair sums to 100% of the machine
+    slots that thread saw — the conservation property the accountant
+    guarantees — so the dominant non-useful rows *are* the paper-style
+    explanation of where the cycles went (e.g. MM TLP: ``sq-stalled``
+    allocate slots and ``unit-busy-alu0`` issue slots).
+    """
+    lines = [title or "Stall breakdown — slot attribution per thread (%)"]
+    for breakdown in (accountant.alloc, accountant.issue):
+        n = len(breakdown.counts)
+        categories: list[str] = []
+        for tid in range(n):
+            for cat in breakdown.counts[tid]:
+                if cat not in categories:
+                    categories.append(cat)
+        categories.sort(
+            key=lambda c: -max(breakdown.counts[tid].get(c, 0)
+                               for tid in range(n))
+        )
+        label = f"{breakdown.kind}-slots (width {breakdown.width})"
+        header = (f"  {label:<26}"
+                  + "".join(f"{f'cpu{tid}':>10}" for tid in range(n)))
+        lines.append(header)
+        lines.append("  " + "-" * (len(header) - 2))
+        for cat in categories:
+            row = f"    {cat:<24}"
+            for tid in range(n):
+                row += f"{100 * breakdown.fraction(tid, cat):9.2f}%"
+            lines.append(row)
+        totals = "    " + f"{'total slots':<24}"
+        for tid in range(n):
+            totals += f"{breakdown.slots[tid]:>10}"
+        lines.append(totals)
+    return "\n".join(lines)
+
+
+def render_miss_heatmap(profile, top: int = 20, width: int = 40) -> str:
+    """Per-site (per-PC) L2 read-miss heatmap, biggest offenders first."""
+    ranked = profile.ranked_sites()
+    lines = [
+        f"L2 read-miss heatmap — {profile.total} misses over "
+        f"{len(ranked)} static sites"
+    ]
+    if not ranked:
+        return lines[0]
+    peak = ranked[0][1]
+    for site, count in ranked[:top]:
+        bar = "#" * max(1, round(width * count / peak))
+        share = 100 * count / profile.total
+        lines.append(f"  site {site:>6}  {count:>8} ({share:5.1f}%)  {bar}")
+    if len(ranked) > top:
+        rest = sum(c for _, c in ranked[top:])
+        lines.append(f"  ({len(ranked) - top} more sites, {rest} misses)")
+    return "\n".join(lines)
+
+
 _TABLE1_UNITS = ("ALUS", "FP_ADD", "FP_MUL", "FP_MOVE", "LOAD", "STORE")
 
 

@@ -10,11 +10,25 @@
     python -m repro stream fadd --ilp max --threads 2
 
 Every command prints the same renderings the benchmark harness emits.
+
+Observability flags (the :mod:`repro.observe` stack):
+
+* ``--report out.json`` writes a versioned JSON manifest of the run;
+* ``--json`` prints the same manifest to stdout instead of the ASCII
+  rendering;
+* ``--trace out.trace.json`` (single runs: ``app --variant``,
+  ``stream``) records the full pipeline and writes a Chrome
+  ``trace_event`` file loadable in ``chrome://tracing`` / Perfetto.
+
+Single runs with any observability flag also attach the per-cycle
+stall accountant (and, for apps, the delinquent-site profiler), so the
+report explains *where the machine slots went*.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
@@ -23,6 +37,8 @@ from repro.analysis import (
     render_app_figure,
     render_fig1,
     render_fig2,
+    render_miss_heatmap,
+    render_stall_breakdown,
     render_table1,
 )
 from repro.core import (
@@ -35,10 +51,46 @@ from repro.core import (
 )
 from repro.core.apps import APP_SIZES, APP_VARIANTS
 from repro.core.coexec import FIG2A_STREAMS, FIG2B_STREAMS, FIG2C_PAIRS, coexec_pair
+from repro.cpu.config import CoreConfig
 from repro.isa import ILP
+from repro.mem.config import MemConfig
+from repro.observe import (
+    CycleAccountant,
+    PipelineTracer,
+    SiteMissProfile,
+    build_report,
+    write_report,
+)
 from repro.workloads.common import Variant
 
 _ILP = {"min": ILP.MIN, "med": ILP.MED, "max": ILP.MAX}
+
+#: Default cap on recorded trace events — bounds trace-file size and
+#: memory for long runs; the Chrome export flags truncation in
+#: ``otherData.truncated``.
+TRACE_LIMIT = 200_000
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError("must be a positive integer")
+    return value
+
+
+def _add_output_flags(sp: argparse.ArgumentParser,
+                      traceable: bool = False) -> None:
+    sp.add_argument("--report", metavar="PATH",
+                    help="write a versioned JSON run manifest to PATH")
+    sp.add_argument("--json", action="store_true",
+                    help="print the JSON manifest instead of ASCII output")
+    if traceable:
+        sp.add_argument("--trace", metavar="PATH",
+                        help="write a Chrome trace_event file to PATH "
+                        "(single runs only)")
+        sp.add_argument("--trace-limit", type=_positive_int,
+                        default=TRACE_LIMIT, metavar="N",
+                        help="cap recorded trace events (default %(default)s)")
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -50,11 +102,13 @@ def _parser() -> argparse.ArgumentParser:
     )
     sub = p.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("fig1", help="figure 1: stream CPI across TLP x ILP")
+    f1 = sub.add_parser("fig1", help="figure 1: stream CPI across TLP x ILP")
+    _add_output_flags(f1)
 
     f2 = sub.add_parser("fig2", help="figure 2: co-execution slowdowns")
     f2.add_argument("--panel", choices=["a", "b", "c"], default="a")
     f2.add_argument("--ilp", choices=sorted(_ILP), default="max")
+    _add_output_flags(f2)
 
     ap = sub.add_parser("app", help="figures 3-5: one application sweep")
     ap.add_argument("name", choices=sorted(APP_SIZES))
@@ -63,13 +117,16 @@ def _parser() -> argparse.ArgumentParser:
                     help="matrix n (mm/lu) or grid (bt); cg is fixed")
     ap.add_argument("--check", action="store_true",
                     help="evaluate the paper-shape expectations too")
+    _add_output_flags(ap, traceable=True)
 
-    sub.add_parser("table1", help="Table 1: subunit utilization")
+    t1 = sub.add_parser("table1", help="Table 1: subunit utilization")
+    _add_output_flags(t1)
 
     st = sub.add_parser("stream", help="CPI of one synthetic stream")
     st.add_argument("name")
     st.add_argument("--ilp", choices=sorted(_ILP), default="max")
     st.add_argument("--threads", type=int, choices=[1, 2], default=1)
+    _add_output_flags(st, traceable=True)
     return p
 
 
@@ -83,12 +140,47 @@ def _size_dict(app: str, size: Optional[int]) -> dict:
     raise SystemExit("cg has a fixed scaled size; omit --size")
 
 
-def _cmd_fig1() -> int:
-    print(render_fig1(fig1_sweep()))
+def _observing(args: argparse.Namespace) -> bool:
+    """Whether any observability output was requested."""
+    return bool(args.report or args.json or getattr(args, "trace", None))
+
+
+def _emit(args: argparse.Namespace, report: dict, rendering: str,
+          extra_renderings: Sequence[str] = ()) -> None:
+    """Route one command's output: ASCII and/or JSON and/or report file."""
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(rendering)
+        for r in extra_renderings:
+            print()
+            print(r)
+    if args.report:
+        try:
+            write_report(report, args.report)
+        except OSError as e:
+            raise SystemExit(f"cannot write report to {args.report}: {e}")
+
+
+def _write_trace(tracer: PipelineTracer, path: str) -> None:
+    try:
+        n = tracer.to_chrome(path)
+    except OSError as e:
+        raise SystemExit(f"cannot write trace to {path}: {e}")
+    note = " (truncated)" if tracer.truncated else ""
+    print(f"wrote {n} trace events to {path}{note}", file=sys.stderr)
+
+
+def _cmd_fig1(args: argparse.Namespace) -> int:
+    results = fig1_sweep()
+    report = build_report("fig1", results, core_config=CoreConfig(),
+                          mem_config=MemConfig())
+    _emit(args, report, render_fig1(results))
     return 0
 
 
-def _cmd_fig2(panel: str, ilp: ILP) -> int:
+def _cmd_fig2(args: argparse.Namespace) -> int:
+    panel, ilp = args.panel, _ILP[args.ilp]
     if panel == "a":
         results = coexec_matrix(FIG2A_STREAMS, ilp=ilp)
         title = f"fp x fp pairs ({ilp.name.lower()} ILP)"
@@ -100,53 +192,98 @@ def _cmd_fig2(panel: str, ilp: ILP) -> int:
         results = [coexec_pair(a, b, ilp=ilp, _solo_cache=cache)
                    for a, b in FIG2C_PAIRS]
         title = f"fp x int pairs ({ilp.name.lower()} ILP)"
-    print(render_fig2(results, f"Figure 2({panel}) — {title}"))
+    report = build_report(f"fig2{panel}", results, core_config=CoreConfig(),
+                          mem_config=MemConfig(),
+                          extra={"panel": panel, "ilp": ilp.name.lower()})
+    _emit(args, report, render_fig2(results, f"Figure 2({panel}) — {title}"))
     return 0
 
 
-def _cmd_app(name: str, variant: Optional[str], size: Optional[int],
-             check: bool) -> int:
-    size_d = _size_dict(name, size)
-    if variant is not None:
-        result = run_app_experiment(name, Variant(variant), size_d)
-        print(render_app_figure([result]))
-        return 0 if result.reference_ok else 1
-    results = app_sweep(name, sizes=[size_d])
-    print(render_app_figure(results))
-    status = 0
-    if check:
-        for c in check_app_shapes(name, results):
-            print(c)
-            if not c.holds:
+def _cmd_app(args: argparse.Namespace) -> int:
+    name = args.name
+    size_d = _size_dict(name, args.size)
+    if args.variant is None:
+        if args.trace:
+            raise SystemExit(
+                "--trace records one run; pick it with --variant"
+            )
+        results = app_sweep(name, sizes=[size_d])
+        report = build_report(f"app-{name}", results,
+                              core_config=CoreConfig(),
+                              mem_config=MemConfig(),
+                              extra={"size": size_d})
+        _emit(args, report, render_app_figure(results))
+        status = 0
+        if args.check:
+            checks = check_app_shapes(name, results)
+            if not args.json:
+                for c in checks:
+                    print(c)
+            if any(not c.holds for c in checks):
                 status = 1
-    return status
+        return status
+    observe = _observing(args)
+    tracer = PipelineTracer(limit=args.trace_limit) if args.trace else None
+    accountant = CycleAccountant() if observe else None
+    profiler = SiteMissProfile() if observe else None
+    result = run_app_experiment(name, Variant(args.variant), size_d,
+                                tracer=tracer, accountant=accountant,
+                                profiler=profiler)
+    if tracer is not None:
+        _write_trace(tracer, args.trace)
+    report = build_report(f"app-{name}", result, core_config=CoreConfig(),
+                          mem_config=MemConfig(), counters=result.counters,
+                          accountant=accountant, heatmap=profiler,
+                          wall_time_s=result.wall_time_s,
+                          extra={"size": size_d, "variant": args.variant})
+    extras = []
+    if accountant is not None:
+        extras.append(render_stall_breakdown(accountant))
+    if profiler is not None and profiler.total:
+        extras.append(render_miss_heatmap(profiler))
+    _emit(args, report, render_app_figure([result]), extras)
+    return 0 if result.reference_ok else 1
 
 
-def _cmd_table1() -> int:
-    print(render_table1(table1_rows()))
+def _cmd_table1(args: argparse.Namespace) -> int:
+    rows = table1_rows()
+    report = build_report("table1", rows, core_config=CoreConfig(),
+                          mem_config=MemConfig())
+    _emit(args, report, render_table1(rows))
     return 0
 
 
-def _cmd_stream(name: str, ilp: ILP, threads: int) -> int:
-    r = measure_stream_cpi(name, ilp=ilp, threads=threads)
-    print(f"{name} [{r.mode}]: CPI {r.cpi:.3f}, "
-          f"cumulative IPC {r.cumulative_ipc:.3f} "
-          f"({r.instrs_per_thread} instrs/thread measured)")
+def _cmd_stream(args: argparse.Namespace) -> int:
+    observe = _observing(args)
+    tracer = PipelineTracer(limit=args.trace_limit) if args.trace else None
+    accountant = CycleAccountant() if observe else None
+    r = measure_stream_cpi(args.name, ilp=_ILP[args.ilp],
+                           threads=args.threads, tracer=tracer,
+                           accountant=accountant)
+    if tracer is not None:
+        _write_trace(tracer, args.trace)
+    report = build_report("stream", r, core_config=CoreConfig(),
+                          mem_config=MemConfig(), accountant=accountant)
+    rendering = (f"{args.name} [{r.mode}]: CPI {r.cpi:.3f}, "
+                 f"cumulative IPC {r.cumulative_ipc:.3f} "
+                 f"({r.instrs_per_thread} instrs/thread measured)")
+    extras = [render_stall_breakdown(accountant)] if accountant else []
+    _emit(args, report, rendering, extras)
     return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _parser().parse_args(argv)
     if args.command == "fig1":
-        return _cmd_fig1()
+        return _cmd_fig1(args)
     if args.command == "fig2":
-        return _cmd_fig2(args.panel, _ILP[args.ilp])
+        return _cmd_fig2(args)
     if args.command == "app":
-        return _cmd_app(args.name, args.variant, args.size, args.check)
+        return _cmd_app(args)
     if args.command == "table1":
-        return _cmd_table1()
+        return _cmd_table1(args)
     if args.command == "stream":
-        return _cmd_stream(args.name, _ILP[args.ilp], args.threads)
+        return _cmd_stream(args)
     raise AssertionError("unreachable")
 
 

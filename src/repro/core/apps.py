@@ -13,7 +13,8 @@ cycles, µops retired — applying the paper's reporting conventions:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.common.errors import ConfigError
@@ -60,6 +61,8 @@ class AppRunResult:
     uops: int                # retired, summed
     uops_per_thread: tuple[int, ...]
     reference_ok: bool
+    counters: dict = field(default_factory=dict)  # full per-cpu snapshot
+    wall_time_s: float = 0.0
 
     @property
     def size_label(self) -> str:
@@ -72,18 +75,29 @@ def run_app_experiment(
     size: Optional[dict] = None,
     core_config: Optional[CoreConfig] = None,
     mem_config: Optional[MemConfig] = None,
+    tracer=None,
+    accountant=None,
+    profiler=None,
 ) -> AppRunResult:
-    """Run one workload variant and collect the paper's three events."""
+    """Run one workload variant and collect the paper's three events.
+
+    ``tracer``/``accountant``/``profiler`` attach the
+    :mod:`repro.observe` hooks to the run; all default to off (the
+    zero-overhead path).
+    """
     if app not in WORKLOADS:
         raise ConfigError(f"unknown application {app!r}; have {sorted(WORKLOADS)}")
     size = dict(size or APP_SIZES[app][0])
     mem = mem_config or MemConfig()
     build = WORKLOADS[app].build(variant, mem_config=mem, **size)
     prog = Program(core_config=core_config, mem_config=mem,
-                   aspace=build.aspace)
+                   aspace=build.aspace, tracer=tracer,
+                   accountant=accountant, profiler=profiler)
     for factory in build.factories:
         prog.add_thread(factory)
+    t_wall = time.perf_counter()
     result = prog.run()
+    t_wall = time.perf_counter() - t_wall
     mon = result.monitor
     worker_tid = build.meta.get("worker_tid", 0)
     total_misses = mon.read(Event.L2_READ_MISS)
@@ -103,6 +117,8 @@ def run_app_experiment(
         uops=sum(result.retired),
         uops_per_thread=tuple(result.retired),
         reference_ok=build.reference_check(),
+        counters={k: list(v) for k, v in mon.snapshot().items()},
+        wall_time_s=t_wall,
     )
 
 

@@ -95,6 +95,8 @@ def measure_stream_cpi(
     horizon_ticks: Optional[int] = None,
     core_config: Optional[CoreConfig] = None,
     mem_config: Optional[MemConfig] = None,
+    tracer=None,
+    accountant=None,
 ) -> StreamCPIResult:
     """Run ``threads`` identical endless copies of a stream to a fixed
     tick horizon and measure each thread's steady-state CPI (from its
@@ -102,13 +104,15 @@ def measure_stream_cpi(
 
     Using the same horizon method for single- and dual-threaded runs
     keeps slowdown ratios free of warm-up and measurement-window bias.
+    ``tracer``/``accountant`` attach the :mod:`repro.observe` hooks.
     """
     if name not in STREAM_OPS:
         raise ConfigError(f"unknown stream {name!r}")
     if threads not in (1, 2):
         raise ConfigError("the HT machine supports 1 or 2 threads")
     horizon = horizon_ticks or MEASURE_HORIZON_TICKS
-    prog = Program(core_config, mem_config)
+    prog = Program(core_config, mem_config, tracer=tracer,
+                   accountant=accountant)
     spec = StreamSpec(name, ilp=ilp, count=_ENDLESS)
     marks: dict[int, tuple[int, int]] = {}
     for t in range(threads):

@@ -117,6 +117,22 @@ class CoreConfig:
         if missing:
             raise ConfigError(f"timings missing for {missing}")
 
+    def to_dict(self) -> dict:
+        """JSON-ready view (run-report manifests); timings keyed by
+        opcode name as ``[latency, interval]`` tick pairs."""
+        from dataclasses import fields
+
+        out = {}
+        for f in fields(self):
+            if f.name == "timings":
+                continue
+            out[f.name] = getattr(self, f.name)
+        out["timings"] = {
+            op.name: [tm.latency, tm.interval]
+            for op, tm in sorted(self.timings.items())
+        }
+        return out
+
     @classmethod
     def paper_default(cls) -> "CoreConfig":
         return cls()

@@ -40,6 +40,7 @@ from repro.cpu.units import UnitPool
 from repro.isa.instr import Instr
 from repro.isa.opcodes import Op
 from repro.mem.hierarchy import MemoryHierarchy
+from repro.observe.tracer import NULL_TRACER, Tracer
 from repro.perfmon import Event, PerfMonitor
 
 _OP_ILOAD = int(Op.ILOAD)
@@ -83,8 +84,21 @@ class SMTCore:
         config: Optional[CoreConfig] = None,
         hierarchy: Optional[MemoryHierarchy] = None,
         monitor: Optional[PerfMonitor] = None,
+        *,
+        tracer: Optional[Tracer] = None,
+        accountant=None,
     ):
         self.config = config or CoreConfig()
+        # Observability hooks.  With the NullTracer default the hot loop
+        # caches None (``self._tr``) and pays one is-None test per stage,
+        # never a call; the accountant likewise costs nothing when absent.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._tr = self.tracer if self.tracer.enabled else None
+        self.accountant = accountant
+        self._acct = accountant
+        n = self.config.num_threads
+        self._alloc_used = [0] * n
+        self._issue_used = [0] * n
         self.monitor = monitor or PerfMonitor(self.config.num_threads)
         self.hierarchy = hierarchy or MemoryHierarchy(
             monitor=self.monitor, num_cpus=self.config.num_threads
@@ -196,8 +210,15 @@ class SMTCore:
             self._complete(t)
             self._drain_stores(t)
             self._issue(t)
+            acct = self._acct
+            if acct is not None:
+                acct.on_issue(self, t, self._issue_used)
             if boundary:
                 self._allocate(t)
+                # Attribution must read the state *before* fetch refills
+                # the µop queues (an empty queue here is fetch-starved).
+                if acct is not None:
+                    acct.on_alloc(self, t, self._alloc_used)
                 self._fetch(t)
                 self._count_stalls(t)
             t = self._advance(t)
@@ -241,6 +262,8 @@ class SMTCore:
                     th.wake_at = _FAR_FUTURE
                     th.wake_pending = False
                     th.fetch_gate_until = t
+                    if self._tr is not None:
+                        self._tr.wake(t, th.tid)
             elif th.state is ThreadState.ACTIVE and not th.halt_inflight:
                 self.monitor.raw[Event.CYCLES_ACTIVE][th.tid] += 1
 
@@ -256,6 +279,7 @@ class SMTCore:
 
     def _retire(self, t: int) -> None:
         budget = self.config.retire_width
+        tr = self._tr
         retired_counts = self.monitor.raw[Event.UOPS_RETIRED]
         pause_counts = self.monitor.raw[Event.PAUSE_RETIRED]
         for th in self._rr_order():
@@ -271,6 +295,8 @@ class SMTCore:
                 th.uops_retired += 1
                 op = uop.op
                 retired_counts[th.tid] += 1
+                if tr is not None:
+                    tr.retire(t, th.tid, uop)
                 if op is Op.ISTORE or op is Op.FSTORE:
                     if uop.effect is not None:
                         uop.effect()
@@ -293,6 +319,8 @@ class SMTCore:
         th.halt_inflight = False
         th.state = ThreadState.HALTED
         self.monitor.raw[Event.HALT_TRANSITIONS][th.tid] += 1
+        if self._tr is not None:
+            self._tr.halt(t, th.tid)
         if th.wake_pending:
             # An IPI arrived while we were entering the halt state.
             th.wake_pending = False
@@ -301,9 +329,12 @@ class SMTCore:
 
     def _complete(self, t: int) -> None:
         heap = self._comp_heap
+        tr = self._tr
         while heap and heap[0][0] <= t:
             _, _, uop = heapq.heappop(heap)
             uop.completed = True
+            if tr is not None:
+                tr.complete(t, uop.thread, uop)
             op = uop.op
             if uop.effect is not None and op is not Op.ISTORE and op is not Op.FSTORE:
                 uop.effect()
@@ -317,9 +348,12 @@ class SMTCore:
             if released:
                 self.threads[tid].sq_used -= released
         q = self._drain_q
+        tr = self._tr
         while q and t >= self._store_commit_free:
             uop = q.popleft()
             access = self.hierarchy.store(uop.addr, uop.thread, t)
+            if tr is not None:
+                tr.drain(t, uop.thread, uop)
             self._store_commit_free = t + self.config.store_commit_interval
             rel = self._sq_release[uop.thread]
             done = t + access.latency
@@ -335,6 +369,11 @@ class SMTCore:
         hierarchy = self.hierarchy
         heap = self._comp_heap
         threads = self.threads
+        tr = self._tr
+        used = self._issue_used if self._acct is not None else None
+        if used is not None:
+            for i in range(len(used)):
+                used[i] = 0
         if len(threads) == 1:
             order = threads
         else:
@@ -369,7 +408,7 @@ class SMTCore:
                 if not ok:
                     continue
                 if op == _OP_ILOAD or op == _OP_FLOAD:
-                    access = hierarchy.load(uop.addr, th.tid, t)
+                    access = hierarchy.load(uop.addr, th.tid, t, uop.site)
                     comp += access.latency
                 elif op == _OP_PREFETCH:
                     hierarchy.swprefetch(uop.addr, th.tid, t)
@@ -379,8 +418,14 @@ class SMTCore:
                 uop.issued = True
                 budget -= 1
                 issued_any = True
+                if used is not None:
+                    used[th.tid] += 1
+                if tr is not None:
+                    tr.issue(t, th.tid, uop)
                 if comp <= t:
                     uop.completed = True
+                    if tr is not None:
+                        tr.complete(t, th.tid, uop)
                     if uop.effect is not None:
                         uop.effect()
                 else:
@@ -412,6 +457,11 @@ class SMTCore:
     def _allocate(self, t: int) -> None:
         budget = self.config.alloc_width
         cfg = self.config
+        tr = self._tr
+        used = self._alloc_used if self._acct is not None else None
+        if used is not None:
+            for i in range(len(used)):
+                used[i] = 0
         for th in self._rr_order():
             if budget <= 0:
                 break
@@ -457,6 +507,10 @@ class SMTCore:
                     regmap[dst] = uop
                 rob.append(uop)
                 waiting.append(uop)
+                if used is not None:
+                    used[th.tid] += 1
+                if tr is not None:
+                    tr.alloc(t, th.tid, uop)
 
     def _count_stalls(self, t: int) -> None:
         """Per-cycle allocator-stall accounting (the paper's metric)."""
@@ -485,6 +539,7 @@ class SMTCore:
     def _fetch(self, t: int) -> None:
         budget = self.config.fetch_width
         cfg = self.config
+        tr = self._tr
         fetched_counts = self.monitor.raw[Event.UOPS_FETCHED]
         for th in self._rr_order():
             if budget <= 0:
@@ -502,6 +557,8 @@ class SMTCore:
                 fetched_counts[th.tid] += 1
                 th.uops_fetched += 1
                 budget -= 1
+                if tr is not None:
+                    tr.fetch(t, th.tid, instr)
                 op = instr.op
                 if op is Op.PAUSE:
                     # De-pipeline the spin loop: stop fetching for a while.
@@ -569,4 +626,9 @@ class SMTCore:
             return t + 1
         # Land on the event tick, preserving boundary alignment semantics
         # (boundaries are even ticks; an odd event tick is still handled).
+        if self._acct is not None and nxt > t + 1:
+            # The machine is provably idle over (t, nxt): attribute the
+            # skipped slots in bulk so conservation holds against the
+            # wall-tick count even through the fast-forward.
+            self._acct.on_gap(self, t + 1, nxt - 1)
         return nxt

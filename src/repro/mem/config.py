@@ -76,6 +76,12 @@ class MemConfig:
         if self.prefetch_degree < 0:
             raise ConfigError("prefetch_degree must be non-negative")
 
+    def to_dict(self) -> dict:
+        """JSON-ready view (run-report manifests)."""
+        from dataclasses import asdict
+
+        return asdict(self)
+
     @classmethod
     def paper_scaled(cls) -> "MemConfig":
         """The default configuration used for all paper experiments."""

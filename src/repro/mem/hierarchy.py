@@ -47,6 +47,10 @@ class MemoryHierarchy:
         self.l1 = Cache(cfg.l1_size, cfg.l1_assoc, cfg.line_size, "L1D")
         self.l2 = Cache(cfg.l2_size, cfg.l2_assoc, cfg.line_size, "L2")
         self.prefetcher = AdjacentLinePrefetcher(cfg.prefetch_degree, num_cpus)
+        # Optional delinquent-address profiler (repro.observe.heatmap's
+        # SiteMissProfile, or anything with a ``record(site, line, cpu)``
+        # method): fed every demand L2 read miss with its static site.
+        self.profiler = None
         self._bus_free = 0
         self._l2_free = 0
         # Lines the HW prefetcher has requested but that are still in
@@ -61,8 +65,12 @@ class MemoryHierarchy:
 
     # ------------------------------------------------------------------
 
-    def load(self, addr: int, cpu: int, now: int) -> AccessResult:
-        """A demand read by logical CPU ``cpu`` at tick ``now``."""
+    def load(self, addr: int, cpu: int, now: int, site: int = -1) -> AccessResult:
+        """A demand read by logical CPU ``cpu`` at tick ``now``.
+
+        ``site`` is the static instruction site of the load, used only
+        by the attached delinquency profiler (if any).
+        """
         cfg = self.config
         mon = self.monitor.raw
         line = addr // cfg.line_size
@@ -84,6 +92,8 @@ class MemoryHierarchy:
             return AccessResult(latency, 2)
         # L2 read miss — the event the paper's counters report.
         mon[Event.L2_READ_MISS][cpu] += 1
+        if self.profiler is not None:
+            self.profiler.record(site, line, cpu)
         latency = port_delay + self._memory_access(now)
         self._fill_l2(line, cpu, dirty=False)
         self._fill_l1(line, cpu, dirty=False)
@@ -124,10 +134,10 @@ class MemoryHierarchy:
         self._fill_l1(line, cpu, dirty=True)
         return AccessResult(latency, 3)
 
-    def prefetch(self, addr: int, cpu: int, now: int) -> AccessResult:
+    def prefetch(self, addr: int, cpu: int, now: int, site: int = -1) -> AccessResult:
         """A *software* prefetch (SPR helper-thread load): same path as a
         demand load; kept separate so callers read naturally."""
-        return self.load(addr, cpu, now)
+        return self.load(addr, cpu, now, site)
 
     def swprefetch(self, addr: int, cpu: int, now: int) -> AccessResult:
         """A non-blocking PREFETCH instruction (prefetchnta-style).

@@ -1,0 +1,75 @@
+"""Per-site (per-PC) L2-miss profiling.
+
+One accumulation structure serves both consumers:
+
+* attached to a live :class:`~repro.mem.hierarchy.MemoryHierarchy`
+  (``hierarchy.profiler``), it records every demand L2 read miss with
+  its static instruction site — a delinquent-address heatmap of the
+  timed run;
+* the SPR planning step (:mod:`repro.spr.profile`, the paper's
+  Valgrind pass) feeds it from a functional cache replay and uses the
+  same greedy cover to pick the delinquent sites covering 92-96% of
+  misses.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+
+class SiteMissProfile:
+    """Accumulates L2 read misses by static site and by cache line."""
+
+    def __init__(self):
+        self.by_site: Counter[int] = Counter()
+        self.by_line: Counter[int] = Counter()
+        self.by_cpu: Counter[int] = Counter()
+        self.total = 0
+
+    def record(self, site: int, line: int, cpu: int) -> None:
+        self.total += 1
+        self.by_site[site] += 1
+        self.by_line[line] += 1
+        self.by_cpu[cpu] += 1
+
+    # -- analysis ------------------------------------------------------
+
+    def ranked_sites(self) -> list[tuple[int, int]]:
+        """(site, misses) pairs, biggest offenders first."""
+        return sorted(self.by_site.items(), key=lambda kv: kv[1],
+                      reverse=True)
+
+    def greedy_cover(self, coverage_target: float = 0.92
+                     ) -> tuple[tuple[int, ...], float]:
+        """Smallest prefix of ranked sites reaching the coverage target.
+
+        Returns ``(sites, coverage)`` — the paper isolates the
+        instructions causing 92-96% of L2 misses this way.
+        """
+        if not 0 < coverage_target <= 1:
+            raise ValueError("coverage_target must be in (0, 1]")
+        chosen: list[int] = []
+        covered = 0
+        for site, count in self.ranked_sites():
+            if self.total and covered / self.total >= coverage_target:
+                break
+            chosen.append(site)
+            covered += count
+        coverage = (covered / self.total) if self.total else 0.0
+        return tuple(chosen), coverage
+
+    def to_dict(self, top: int = 32) -> dict:
+        """JSON-ready heatmap summary (top sites and their shares)."""
+        ranked = self.ranked_sites()
+        return {
+            "total_l2_read_misses": self.total,
+            "distinct_sites": len(self.by_site),
+            "distinct_lines": len(self.by_line),
+            "per_cpu": dict(sorted(self.by_cpu.items())),
+            "top_sites": [
+                {"site": site, "misses": count,
+                 "share": count / self.total if self.total else 0.0}
+                for site, count in ranked[:top]
+            ],
+            "truncated": len(ranked) > top,
+        }

@@ -1,0 +1,103 @@
+"""Structured, versioned run reports.
+
+Every experiment driver and CLI command can emit a JSON manifest of a
+run — machine configuration, per-thread counters, stall breakdown,
+delinquency heatmap, wall time — so benchmark trajectories become
+diffable artifacts.  ``schema_version`` is bumped on any
+backwards-incompatible change to the layout.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+from typing import IO, Any, Optional, Union
+
+SCHEMA_VERSION = 1
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion of driver result values to JSON types."""
+    if isinstance(value, enum.Enum):
+        return value.value if isinstance(value.value, (str, int)) else value.name
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return result_to_dict(value)
+    if isinstance(value, dict):
+        return {str(_jsonable(k)): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def result_to_dict(result: Any) -> dict:
+    """Serialize one driver result (any of the repro dataclasses)."""
+    if dataclasses.is_dataclass(result) and not isinstance(result, type):
+        out = {}
+        for f in dataclasses.fields(result):
+            value = getattr(result, f.name)
+            # PerfMonitor rides along in CoreResult; snapshot it.
+            if hasattr(value, "snapshot") and hasattr(value, "raw"):
+                out[f.name] = {k: list(v) for k, v in value.snapshot().items()}
+            else:
+                out[f.name] = _jsonable(value)
+        return out
+    return {"value": _jsonable(result)}
+
+
+def build_report(
+    kind: str,
+    results: Any,
+    core_config: Optional[Any] = None,
+    mem_config: Optional[Any] = None,
+    counters: Optional[dict] = None,
+    accountant: Optional[Any] = None,
+    heatmap: Optional[Any] = None,
+    wall_time_s: Optional[float] = None,
+    extra: Optional[dict] = None,
+) -> dict:
+    """Assemble the versioned manifest for one command/driver run."""
+    report: dict[str, Any] = {
+        "schema_version": SCHEMA_VERSION,
+        "kind": kind,
+        "generator": "repro.observe",
+    }
+    config: dict[str, Any] = {}
+    if core_config is not None:
+        config["core"] = (core_config.to_dict()
+                          if hasattr(core_config, "to_dict")
+                          else _jsonable(core_config))
+    if mem_config is not None:
+        config["mem"] = (mem_config.to_dict()
+                         if hasattr(mem_config, "to_dict")
+                         else _jsonable(mem_config))
+    if config:
+        report["config"] = config
+    if isinstance(results, (list, tuple)):
+        report["results"] = [result_to_dict(r) for r in results]
+    else:
+        report["results"] = [result_to_dict(results)]
+    if counters is not None:
+        report["counters"] = {k: list(v) for k, v in counters.items()}
+    if accountant is not None:
+        report["stall_breakdown"] = accountant.to_dict()
+    if heatmap is not None:
+        report["l2_miss_heatmap"] = (heatmap.to_dict()
+                                     if hasattr(heatmap, "to_dict")
+                                     else _jsonable(heatmap))
+    if wall_time_s is not None:
+        report["wall_time_s"] = wall_time_s
+    if extra:
+        report.update(_jsonable(extra))
+    return report
+
+
+def write_report(report: dict, out: Union[str, IO[str]]) -> None:
+    if isinstance(out, str):
+        with open(out, "w") as fp:
+            json.dump(report, fp, indent=2, sort_keys=False)
+            fp.write("\n")
+    else:
+        json.dump(report, out, indent=2, sort_keys=False)

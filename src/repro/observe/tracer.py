@@ -1,0 +1,233 @@
+"""Pipeline trace hooks.
+
+The core calls one method per pipeline event (fetch, alloc, issue,
+complete, retire, halt, wake, store drain).  Two implementations:
+
+* :class:`NullTracer` — the default.  The core never calls into it: it
+  advertises ``enabled = False`` and the core caches ``None`` for its
+  hook slot, so a run with tracing off pays one attribute test per
+  stage, not per µop-event.
+* :class:`PipelineTracer` — records every event as a
+  :class:`TraceEvent` and exports the run as JSONL (one event per
+  line) or as Chrome ``trace_event`` JSON loadable in
+  ``chrome://tracing`` / Perfetto, with one track per logical CPU x
+  pipeline stage.
+
+Timestamps are simulator *ticks* (2 ticks = 1 cycle); the Chrome export
+maps 1 tick to 1 µs so the viewer's time axis reads directly in ticks.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import IO, Optional, Union
+
+from repro.isa.instr import Instr
+
+#: Pipeline stages in µop lifetime order (trace track order).
+STAGES = ("fetch", "alloc", "issue", "complete", "retire")
+
+#: Non-stage machine events also recorded.
+MACHINE_EVENTS = ("halt", "wake", "drain")
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured pipeline event."""
+
+    tick: int
+    cpu: int
+    stage: str          # one of STAGES or MACHINE_EVENTS
+    op: str             # opcode name, or "" for machine events
+    seq: int            # per-thread µop sequence number, -1 for machine events
+    site: int           # static instruction site, -1 for machine events
+    addr: Optional[int] = None
+
+    def to_dict(self) -> dict:
+        d = {
+            "tick": self.tick,
+            "cpu": self.cpu,
+            "stage": self.stage,
+            "op": self.op,
+            "seq": self.seq,
+            "site": self.site,
+        }
+        if self.addr is not None:
+            d["addr"] = self.addr
+        return d
+
+
+class Tracer:
+    """Trace-hook protocol.  Subclasses set ``enabled`` truthfully."""
+
+    enabled: bool = False
+
+    def fetch(self, tick: int, cpu: int, uop: Instr) -> None: ...
+    def alloc(self, tick: int, cpu: int, uop: Instr) -> None: ...
+    def issue(self, tick: int, cpu: int, uop: Instr) -> None: ...
+    def complete(self, tick: int, cpu: int, uop: Instr) -> None: ...
+    def retire(self, tick: int, cpu: int, uop: Instr) -> None: ...
+    def halt(self, tick: int, cpu: int) -> None: ...
+    def wake(self, tick: int, cpu: int) -> None: ...
+    def drain(self, tick: int, cpu: int, uop: Instr) -> None: ...
+
+
+class NullTracer(Tracer):
+    """The zero-overhead default: never consulted by the core."""
+
+    enabled = False
+
+
+#: Shared default instance (stateless, safe to reuse).
+NULL_TRACER = NullTracer()
+
+
+class PipelineTracer(Tracer):
+    """Records structured per-tick pipeline events.
+
+    Parameters
+    ----------
+    limit:
+        Optional cap on recorded events; recording stops (silently) once
+        reached, so tracing a long run cannot exhaust memory.  ``None``
+        means unbounded.
+    """
+
+    enabled = True
+
+    def __init__(self, limit: Optional[int] = None):
+        self.events: list[TraceEvent] = []
+        self.limit = limit
+        self.truncated = False
+
+    # -- recording -----------------------------------------------------
+
+    def _record(self, tick: int, cpu: int, stage: str,
+                uop: Optional[Instr]) -> None:
+        if self.limit is not None and len(self.events) >= self.limit:
+            self.truncated = True
+            return
+        if uop is None:
+            ev = TraceEvent(tick, cpu, stage, "", -1, -1)
+        else:
+            ev = TraceEvent(tick, cpu, stage, uop.op.name, uop.seq,
+                            uop.site, uop.addr)
+        self.events.append(ev)
+
+    def fetch(self, tick: int, cpu: int, uop: Instr) -> None:
+        self._record(tick, cpu, "fetch", uop)
+
+    def alloc(self, tick: int, cpu: int, uop: Instr) -> None:
+        self._record(tick, cpu, "alloc", uop)
+
+    def issue(self, tick: int, cpu: int, uop: Instr) -> None:
+        self._record(tick, cpu, "issue", uop)
+
+    def complete(self, tick: int, cpu: int, uop: Instr) -> None:
+        self._record(tick, cpu, "complete", uop)
+
+    def retire(self, tick: int, cpu: int, uop: Instr) -> None:
+        self._record(tick, cpu, "retire", uop)
+
+    def halt(self, tick: int, cpu: int) -> None:
+        self._record(tick, cpu, "halt", None)
+
+    def wake(self, tick: int, cpu: int) -> None:
+        self._record(tick, cpu, "wake", None)
+
+    def drain(self, tick: int, cpu: int, uop: Instr) -> None:
+        self._record(tick, cpu, "drain", uop)
+
+    # -- export --------------------------------------------------------
+
+    def to_jsonl(self, out: Union[str, IO[str]]) -> int:
+        """Write one JSON object per event; returns the event count."""
+        if isinstance(out, str):
+            with open(out, "w") as fp:
+                return self.to_jsonl(fp)
+        for ev in self.events:
+            out.write(json.dumps(ev.to_dict()) + "\n")
+        return len(self.events)
+
+    def chrome_trace(self) -> dict:
+        """The run as a Chrome ``trace_event`` JSON object.
+
+        Layout: process 0 is the physical package; each (logical CPU,
+        stage) pair gets its own thread track, labelled via ``M``
+        metadata events.  µop events become ``X`` (complete) slices
+        whose duration spans until the µop's *next* stage event, so a
+        track shows each µop's residency in that stage; machine events
+        (halt/wake/drain) are instants (``ph: "i"``).
+        """
+        stage_idx = {s: i for i, s in enumerate(STAGES)}
+        n_tracks = len(STAGES) + 1  # +1 for the machine-event track
+        cpus = sorted({ev.cpu for ev in self.events})
+
+        def track(cpu: int, stage: str) -> int:
+            return cpu * n_tracks + stage_idx.get(stage, len(STAGES))
+
+        events: list[dict] = []
+        for cpu in cpus:
+            events.append({
+                "name": "process_name", "ph": "M", "pid": 0, "tid": 0,
+                "args": {"name": "simulated package"},
+            })
+            for stage in STAGES + ("machine",):
+                events.append({
+                    "name": "thread_name", "ph": "M", "pid": 0,
+                    "tid": track(cpu, stage),
+                    "args": {"name": f"cpu{cpu} {stage}"},
+                })
+        # Find, per µop, the tick it reached each stage, so stage slices
+        # can span to the µop's next transition.
+        next_stage_tick: dict[tuple[int, int, str], int] = {}
+        per_uop: dict[tuple[int, int], list[TraceEvent]] = {}
+        for ev in self.events:
+            if ev.seq >= 0:
+                per_uop.setdefault((ev.cpu, ev.seq), []).append(ev)
+        for key, evs in per_uop.items():
+            staged = [e for e in evs if e.stage in stage_idx]
+            staged.sort(key=lambda e: (e.tick, stage_idx[e.stage]))
+            for cur, nxt in zip(staged, staged[1:]):
+                next_stage_tick[(cur.cpu, cur.seq, cur.stage)] = nxt.tick
+        for ev in self.events:
+            name = ev.op or ev.stage
+            args: dict = {"tick": ev.tick, "site": ev.site}
+            if ev.addr is not None:
+                args["addr"] = ev.addr
+            if ev.seq >= 0:
+                args["seq"] = ev.seq
+            if ev.stage in stage_idx:
+                end = next_stage_tick.get((ev.cpu, ev.seq, ev.stage),
+                                          ev.tick + 1)
+                events.append({
+                    "name": name, "ph": "X", "ts": ev.tick,
+                    "dur": max(end - ev.tick, 1),
+                    "pid": 0, "tid": track(ev.cpu, ev.stage),
+                    "args": args,
+                })
+            else:
+                events.append({
+                    "name": name, "ph": "i", "ts": ev.tick, "s": "t",
+                    "pid": 0, "tid": track(ev.cpu, "machine"),
+                    "args": args,
+                })
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "clock": "simulator ticks (2 ticks = 1 cycle; 1 tick shown as 1us)",
+                "truncated": self.truncated,
+            },
+        }
+
+    def to_chrome(self, out: Union[str, IO[str]]) -> int:
+        """Write the Chrome trace JSON; returns the trace-event count."""
+        trace = self.chrome_trace()
+        if isinstance(out, str):
+            with open(out, "w") as fp:
+                json.dump(trace, fp)
+        else:
+            json.dump(trace, out)
+        return len(trace["traceEvents"])

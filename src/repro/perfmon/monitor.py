@@ -9,7 +9,8 @@ arrays).
 
 from __future__ import annotations
 
-from typing import Optional
+from contextlib import contextmanager
+from typing import Iterator, Optional
 
 from repro.perfmon.events import Event, NUM_EVENTS
 
@@ -48,9 +49,9 @@ class PerfMonitor:
         return row[cpu]
 
     def reset(self) -> None:
+        zero = [0] * self.num_cpus
         for row in self._counts:
-            for cpu in range(self.num_cpus):
-                row[cpu] = 0
+            row[:] = zero
 
     def snapshot(self) -> dict[str, tuple[int, ...]]:
         """All non-zero counters, keyed by event name, one entry per cpu."""
@@ -60,6 +61,40 @@ class PerfMonitor:
             if any(row):
                 out[event.name] = tuple(row)
         return out
+
+    def delta(self, since: dict[str, tuple[int, ...]]
+              ) -> dict[str, tuple[int, ...]]:
+        """Counter increments since a previous :meth:`snapshot`.
+
+        Events absent from ``since`` count from zero; events that have
+        not moved are omitted, mirroring :meth:`snapshot`'s non-zero
+        convention.
+        """
+        out = {}
+        for name, now in self.snapshot().items():
+            before = since.get(name, (0,) * self.num_cpus)
+            diff = tuple(n - b for n, b in zip(now, before))
+            if any(diff):
+                out[name] = diff
+        return out
+
+    @contextmanager
+    def measuring(self) -> Iterator[dict[str, tuple[int, ...]]]:
+        """Scope a measurement: yields a dict that, on exit, holds the
+        per-event deltas accumulated inside the ``with`` block.
+
+        ::
+
+            with monitor.measuring() as window:
+                prog.run()
+            misses = window.get("L2_READ_MISS", (0, 0))
+        """
+        before = self.snapshot()
+        window: dict[str, tuple[int, ...]] = {}
+        try:
+            yield window
+        finally:
+            window.update(self.delta(before))
 
     # Expose the raw table for the core's inner loop (documented hot path).
     @property

@@ -59,6 +59,10 @@ class Program:
         core_config: Optional[CoreConfig] = None,
         mem_config: Optional[MemConfig] = None,
         aspace: Optional[AddressSpace] = None,
+        *,
+        tracer=None,
+        accountant=None,
+        profiler=None,
     ):
         self.core_config = core_config or CoreConfig()
         self.mem_config = mem_config or MemConfig()
@@ -66,7 +70,10 @@ class Program:
         self.hierarchy = MemoryHierarchy(
             self.mem_config, self.monitor, self.core_config.num_threads
         )
-        self.core = SMTCore(self.core_config, self.hierarchy, self.monitor)
+        if profiler is not None:
+            self.hierarchy.profiler = profiler
+        self.core = SMTCore(self.core_config, self.hierarchy, self.monitor,
+                            tracer=tracer, accountant=accountant)
         self.aspace = aspace or AddressSpace()
         self._factories: list[ThreadFactory] = []
         self._ran = False

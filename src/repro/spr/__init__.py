@@ -16,12 +16,17 @@ Three pieces, mirroring the paper's workflow:
   inside each workload's prefetch variant.
 """
 
-from repro.spr.profile import DelinquencyReport, find_delinquent_sites
+from repro.spr.profile import (
+    DelinquencyReport,
+    find_delinquent_sites,
+    profile_trace,
+)
 from repro.spr.spans import SpanPlan, plan_spans
 
 __all__ = [
     "DelinquencyReport",
     "find_delinquent_sites",
+    "profile_trace",
     "SpanPlan",
     "plan_spans",
 ]

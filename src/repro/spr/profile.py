@@ -16,6 +16,7 @@ from repro.isa.instr import Instr
 from repro.isa.opcodes import is_load, is_store
 from repro.mem.cache import Cache
 from repro.mem.config import MemConfig
+from repro.observe.heatmap import SiteMissProfile
 
 
 @dataclass(frozen=True)
@@ -42,15 +43,34 @@ def find_delinquent_sites(
 
     Only the functional access stream matters, so this is a plain
     two-level cache walk — exactly what a cachegrind-style tool does.
+    Accumulation and site ranking are shared with the timed run's
+    delinquency hook (:class:`repro.observe.heatmap.SiteMissProfile`),
+    so SPR slice selection and observability report the same profile.
     """
     if not 0 < coverage_target <= 1:
         raise ValueError("coverage_target must be in (0, 1]")
     cfg = mem_config or MemConfig()
+    profile = profile_trace(instrs, cfg)
+    chosen, coverage = profile.greedy_cover(coverage_target)
+    return DelinquencyReport(
+        total_l2_misses=profile.total,
+        misses_by_site=dict(profile.by_site),
+        delinquent_sites=chosen,
+        coverage=coverage,
+    )
+
+
+def profile_trace(
+    instrs: Iterable[Instr] | Iterator[Instr],
+    mem_config: Optional[MemConfig] = None,
+) -> SiteMissProfile:
+    """Replay a functional trace through a standalone two-level cache
+    walk, returning the accumulated per-site L2 read-miss profile."""
+    cfg = mem_config or MemConfig()
     l1 = Cache(cfg.l1_size, cfg.l1_assoc, cfg.line_size, "prof-L1")
     l2 = Cache(cfg.l2_size, cfg.l2_assoc, cfg.line_size, "prof-L2")
     line_size = cfg.line_size
-    misses: dict[int, int] = {}
-    total = 0
+    profile = SiteMissProfile()
     for instr in instrs:
         if instr.effect is not None:
             instr.effect()
@@ -67,22 +87,7 @@ def find_delinquent_sites(
             l1.fill(line)
             continue
         if load:
-            total += 1
-            misses[instr.site] = misses.get(instr.site, 0) + 1
+            profile.record(instr.site, line, instr.thread if instr.thread >= 0 else 0)
         l2.fill(line)
         l1.fill(line)
-    # Greedy cover: biggest offenders first, until the target coverage.
-    ranked = sorted(misses.items(), key=lambda kv: kv[1], reverse=True)
-    chosen: list[int] = []
-    covered = 0
-    for site, count in ranked:
-        if total and covered / total >= coverage_target:
-            break
-        chosen.append(site)
-        covered += count
-    return DelinquencyReport(
-        total_l2_misses=total,
-        misses_by_site=dict(misses),
-        delinquent_sites=tuple(chosen),
-        coverage=(covered / total) if total else 0.0,
-    )
+    return profile

@@ -1,0 +1,20 @@
+"""Shared helpers: build a core with observe hooks attached."""
+
+from repro.cpu import CoreConfig, SMTCore
+from repro.mem import MemConfig, MemoryHierarchy
+from repro.perfmon import PerfMonitor
+
+
+def make_core(config=None, mem=None, tracer=None, accountant=None):
+    cfg = config or CoreConfig()
+    mon = PerfMonitor(cfg.num_threads)
+    hier = MemoryHierarchy(mem or MemConfig(), mon, cfg.num_threads)
+    return SMTCore(cfg, hier, mon, tracer=tracer, accountant=accountant)
+
+
+def run_program(thread_instrs, config=None, tracer=None, accountant=None):
+    """Run lists of instruction lists (one per thread) to completion."""
+    core = make_core(config=config, tracer=tracer, accountant=accountant)
+    for instrs in thread_instrs:
+        core.add_thread(iter(instrs))
+    return core, core.run()

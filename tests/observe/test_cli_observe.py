@@ -1,0 +1,63 @@
+"""CLI observability flags: --report, --json, --trace."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.observe import SCHEMA_VERSION
+
+
+class TestReportFlag:
+    def test_app_report_file(self, tmp_path, capsys):
+        path = str(tmp_path / "r.json")
+        assert main(["app", "mm", "--variant", "serial", "--size", "16",
+                     "--report", path]) == 0
+        out = capsys.readouterr().out
+        assert "Stall breakdown" in out       # ASCII still rendered
+        report = json.load(open(path))
+        assert report["schema_version"] == SCHEMA_VERSION
+        assert report["kind"] == "app-mm"
+        for kind in ("alloc", "issue"):
+            for row in report["stall_breakdown"][kind]["per_thread"]:
+                assert sum(row["categories"].values()) == row["total_slots"]
+
+    def test_stream_report(self, tmp_path):
+        path = str(tmp_path / "s.json")
+        assert main(["stream", "iadd", "--report", path]) == 0
+        report = json.load(open(path))
+        assert report["kind"] == "stream"
+        assert report["results"][0]["stream"] == "iadd"
+        assert "stall_breakdown" in report
+
+
+class TestJsonFlag:
+    def test_app_json_replaces_ascii(self, capsys):
+        assert main(["app", "mm", "--variant", "serial", "--size", "16",
+                     "--json"]) == 0
+        out = capsys.readouterr().out
+        report = json.loads(out)              # pure JSON, no rendering
+        assert report["schema_version"] == SCHEMA_VERSION
+        assert report["results"][0]["app"] == "mm"
+
+    def test_stream_json(self, capsys):
+        assert main(["stream", "fadd", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["results"][0]["stream"] == "fadd"
+
+
+class TestTraceFlag:
+    def test_app_trace_file(self, tmp_path):
+        path = str(tmp_path / "t.json")
+        assert main(["app", "mm", "--variant", "serial", "--size", "16",
+                     "--trace", path, "--trace-limit", "5000"]) == 0
+        doc = json.load(open(path))
+        events = doc["traceEvents"]
+        assert events
+        for ev in events:
+            assert {"name", "ph", "pid", "tid"} <= set(ev)
+        assert doc["otherData"]["truncated"] is True
+
+    def test_sweep_trace_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["app", "mm", "--size", "16", "--trace", "t.json"])

@@ -1,0 +1,83 @@
+"""Structured run reports: schema, serialization, file round-trip."""
+
+import json
+
+import pytest
+
+from repro.core import run_app_experiment
+from repro.cpu.config import CoreConfig
+from repro.mem.config import MemConfig
+from repro.observe import (
+    SCHEMA_VERSION,
+    CycleAccountant,
+    SiteMissProfile,
+    build_report,
+    result_to_dict,
+    write_report,
+)
+from repro.workloads.common import Variant
+
+
+@pytest.fixture(scope="module")
+def small_run():
+    accountant = CycleAccountant()
+    profiler = SiteMissProfile()
+    result = run_app_experiment("mm", Variant.SERIAL, {"n": 16},
+                                accountant=accountant, profiler=profiler)
+    return result, accountant, profiler
+
+
+class TestResultToDict:
+    def test_app_result_serializes(self, small_run):
+        result, _, _ = small_run
+        d = result_to_dict(result)
+        assert d["app"] == "mm"
+        assert d["variant"] == "serial"          # enum -> value
+        assert d["size"] == {"n": 16}
+        assert isinstance(d["uops_per_thread"], list)
+        json.dumps(d)                            # JSON-clean throughout
+
+    def test_non_dataclass_wrapped(self):
+        assert result_to_dict(42) == {"value": 42}
+
+
+class TestBuildReport:
+    def test_manifest_layout(self, small_run):
+        result, accountant, profiler = small_run
+        report = build_report(
+            "app-mm", result, core_config=CoreConfig(),
+            mem_config=MemConfig(), counters=result.counters,
+            accountant=accountant, heatmap=profiler,
+            wall_time_s=result.wall_time_s, extra={"variant": "serial"},
+        )
+        assert report["schema_version"] == SCHEMA_VERSION
+        assert report["kind"] == "app-mm"
+        assert report["config"]["core"]["num_threads"] == 2
+        assert report["config"]["mem"]["line_size"] == MemConfig().line_size
+        assert len(report["results"]) == 1
+        assert report["variant"] == "serial"
+        assert "UOPS_RETIRED" in report["counters"]
+        heat = report["l2_miss_heatmap"]
+        assert heat["total_l2_read_misses"] == profiler.total
+
+    def test_stall_breakdown_conserved_in_report(self, small_run):
+        """The acceptance identity, checked on the serialized form:
+        every per-thread row sums to that thread's total slots."""
+        result, accountant, _ = small_run
+        report = build_report("app-mm", result, accountant=accountant)
+        for kind in ("alloc", "issue"):
+            for row in report["stall_breakdown"][kind]["per_thread"]:
+                assert sum(row["categories"].values()) == row["total_slots"]
+
+    def test_results_list_passthrough(self):
+        report = build_report("x", [1, 2])
+        assert report["results"] == [{"value": 1}, {"value": 2}]
+
+    def test_write_report_round_trip(self, tmp_path, small_run):
+        result, accountant, profiler = small_run
+        report = build_report("app-mm", result, accountant=accountant,
+                              heatmap=profiler)
+        path = str(tmp_path / "report.json")
+        write_report(report, path)
+        loaded = json.load(open(path))
+        assert loaded == json.loads(json.dumps(report))

@@ -1,0 +1,70 @@
+"""Regression: the tick an in-flight effect observes is pinned.
+
+Mid-cycle effects (sync sampling, the §4 measurement markers) read
+``core.tick``; the runtime keeps it equal to the tick being simulated.
+The tracer records stage timestamps independently, so the two views
+must agree exactly — this pins the observable clock against future
+run-loop reorderings.
+"""
+
+from repro.isa import F, Instr, Op
+from repro.observe import PipelineTracer
+
+from tests.observe.conftest import make_core
+
+
+class TestEffectTickVisibility:
+    def test_effect_sees_completion_tick(self):
+        """A non-store effect fires at completion and must observe the
+        same tick the tracer stamps on the µop's complete event."""
+        tracer = PipelineTracer()
+        core = make_core(tracer=tracer)
+        seen = {}
+
+        def program(n=20):
+            instrs = []
+            for i in range(n):
+                instrs.append(Instr.arith(Op.FADD, dst=F(i % 6), src=F(8)))
+
+            def snap(idx=n):
+                seen["tick"] = core.tick
+
+            instrs.append(Instr.arith(Op.FADD, dst=F(0), src=F(8),
+                                      effect=snap, site=99))
+            return instrs
+
+        core.add_thread(iter(program()))
+        core.run()
+        completes = [ev for ev in tracer.events
+                     if ev.stage == "complete" and ev.site == 99]
+        assert len(completes) == 1
+        assert seen["tick"] == completes[0].tick
+
+    def test_store_effect_sees_retire_tick(self):
+        """Store effects fire at retirement (program order commit)."""
+        tracer = PipelineTracer()
+        core = make_core(tracer=tracer)
+        seen = {}
+
+        def snap():
+            seen["tick"] = core.tick
+
+        instrs = [Instr.arith(Op.FADD, dst=F(0), src=F(8))
+                  for _ in range(5)]
+        instrs.append(Instr.store(0x40, src=F(0), effect=snap, site=77))
+        core.add_thread(iter(instrs))
+        core.run()
+        retires = [ev for ev in tracer.events
+                   if ev.stage == "retire" and ev.site == 77]
+        assert len(retires) == 1
+        assert seen["tick"] == retires[0].tick
+
+    def test_tick_monotonic_in_trace(self):
+        tracer = PipelineTracer()
+        core = make_core(tracer=tracer)
+        core.add_thread(iter(
+            [Instr.arith(Op.FADD, dst=F(i % 6), src=F(8))
+             for i in range(50)]
+        ))
+        result = core.run()
+        assert all(0 <= ev.tick <= result.ticks for ev in tracer.events)

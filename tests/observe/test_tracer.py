@@ -1,0 +1,132 @@
+"""Pipeline tracer: zero-overhead default, recording, exports."""
+
+import json
+
+from repro.isa import F, Instr, Op, R
+from repro.observe import NULL_TRACER, NullTracer, PipelineTracer
+from repro.observe.tracer import STAGES
+
+from tests.observe.conftest import run_program
+
+
+def _mixed_program(n=40):
+    instrs = []
+    for i in range(n):
+        instrs.append(Instr.arith(Op.IADD, dst=R(i % 4), src=R(8), site=1))
+        instrs.append(Instr.arith(Op.FADD, dst=F(i % 6), src=F(8), site=2))
+        instrs.append(Instr.load(0x100 + 32 * (i % 8), dst=F(7), site=3))
+    instrs.append(Instr.store(0x40, src=F(7), site=4))
+    return instrs
+
+
+class TestNullTracer:
+    def test_disabled(self):
+        assert NullTracer.enabled is False
+        assert NULL_TRACER.enabled is False
+
+    def test_core_caches_no_hook(self):
+        """With tracing off, the core's hot-loop slot is None — the
+        per-µop cost of disabled tracing is literally zero calls."""
+        core, _ = run_program([_mixed_program(5)])
+        assert core.tracer is NULL_TRACER
+        assert core._tr is None
+        traced = PipelineTracer()
+        core2, _ = run_program([_mixed_program(5)], tracer=traced)
+        assert core2._tr is traced
+
+    def test_identity_with_and_without_tracing(self):
+        """Tracing observes the machine; it must not perturb it."""
+        program = _mixed_program
+        _, base = run_program([program()])
+        _, null = run_program([program()], tracer=NullTracer())
+        _, traced = run_program([program()], tracer=PipelineTracer())
+        assert null.ticks == base.ticks == traced.ticks
+        assert null.retired == base.retired == traced.retired
+
+
+class TestPipelineTracer:
+    def test_every_stage_recorded_per_uop(self):
+        tracer = PipelineTracer()
+        _, result = run_program([_mixed_program(20)], tracer=tracer)
+        n = result.retired[0]
+        by_stage = {}
+        for ev in tracer.events:
+            by_stage.setdefault(ev.stage, []).append(ev)
+        for stage in STAGES:
+            assert len(by_stage[stage]) == n, stage
+        # The store drains after retirement.
+        assert len(by_stage["drain"]) == 1
+
+    def test_stage_order_per_uop(self):
+        tracer = PipelineTracer()
+        run_program([_mixed_program(10)], tracer=tracer)
+        ticks = {}
+        for ev in tracer.events:
+            if ev.seq >= 0 and ev.stage in STAGES:
+                ticks.setdefault(ev.seq, {})[ev.stage] = ev.tick
+        for seq, stages in ticks.items():
+            assert (stages["fetch"] <= stages["alloc"] <= stages["issue"]
+                    <= stages["complete"] <= stages["retire"]), seq
+
+    def test_limit_truncates(self):
+        tracer = PipelineTracer(limit=10)
+        run_program([_mixed_program(20)], tracer=tracer)
+        assert len(tracer.events) == 10
+        assert tracer.truncated
+
+    def test_jsonl_export(self, tmp_path):
+        tracer = PipelineTracer()
+        run_program([_mixed_program(5)], tracer=tracer)
+        path = str(tmp_path / "trace.jsonl")
+        n = tracer.to_jsonl(path)
+        lines = open(path).read().splitlines()
+        assert len(lines) == n == len(tracer.events)
+        first = json.loads(lines[0])
+        assert {"tick", "cpu", "stage", "op", "seq", "site"} <= set(first)
+
+
+class TestChromeTrace:
+    def test_required_keys(self, tmp_path):
+        """Every event carries the trace_event viewer's required keys."""
+        tracer = PipelineTracer()
+        run_program([_mixed_program(10), _mixed_program(10)], tracer=tracer)
+        path = str(tmp_path / "trace.json")
+        tracer.to_chrome(path)
+        doc = json.load(open(path))
+        events = doc["traceEvents"]
+        assert events
+        for ev in events:
+            assert {"name", "ph", "pid", "tid"} <= set(ev), ev
+            if ev["ph"] == "X":
+                assert "ts" in ev and ev["dur"] >= 1, ev
+            elif ev["ph"] == "i":
+                assert "ts" in ev and ev["s"] == "t", ev
+
+    def test_one_track_per_cpu_stage(self):
+        tracer = PipelineTracer()
+        run_program([_mixed_program(10), _mixed_program(10)], tracer=tracer)
+        doc = tracer.chrome_trace()
+        names = {ev["args"]["name"] for ev in doc["traceEvents"]
+                 if ev["ph"] == "M" and ev["name"] == "thread_name"}
+        for cpu in (0, 1):
+            for stage in STAGES + ("machine",):
+                assert f"cpu{cpu} {stage}" in names
+        # Distinct (cpu, stage) pairs land on distinct tids.
+        tids = {ev["tid"] for ev in doc["traceEvents"]
+                if ev["ph"] == "M" and ev["name"] == "thread_name"}
+        assert len(tids) == len(names)
+
+    def test_slices_span_to_next_stage(self):
+        tracer = PipelineTracer()
+        run_program([_mixed_program(5)], tracer=tracer)
+        doc = tracer.chrome_trace()
+        # Pick one µop's issue slice; it must end at its complete tick.
+        stage_tick = {}
+        for ev in tracer.events:
+            if ev.seq == 0 and ev.stage in STAGES:
+                stage_tick[ev.stage] = ev.tick
+        issue_slices = [ev for ev in doc["traceEvents"]
+                        if ev["ph"] == "X" and ev.get("args", {}).get("seq") == 0
+                        and ev["ts"] == stage_tick["issue"]]
+        spans = {ev["ts"] + ev["dur"] for ev in issue_slices}
+        assert max(stage_tick["complete"], stage_tick["issue"] + 1) in spans

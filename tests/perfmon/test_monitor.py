@@ -58,3 +58,55 @@ class TestCounters:
     def test_all_events_distinct(self):
         values = [int(e) for e in Event]
         assert len(values) == len(set(values))
+
+    def test_reset_preserves_row_identity(self):
+        """The core's hot loop holds references into .raw; reset must
+        zero the rows in place, not rebuild the table."""
+        mon = PerfMonitor(2)
+        row = mon.raw[Event.CYCLES_ACTIVE]
+        mon.inc(Event.CYCLES_ACTIVE, 0, n=9)
+        mon.reset()
+        assert mon.raw[Event.CYCLES_ACTIVE] is row
+        assert row == [0, 0]
+
+
+class TestDelta:
+    def test_delta_since_snapshot(self):
+        mon = PerfMonitor(2)
+        mon.inc(Event.L2_READ_MISS, 0, n=3)
+        before = mon.snapshot()
+        mon.inc(Event.L2_READ_MISS, 1, n=5)
+        mon.inc(Event.UOPS_RETIRED, 0, n=2)
+        assert mon.delta(before) == {
+            "L2_READ_MISS": (0, 5),
+            "UOPS_RETIRED": (2, 0),
+        }
+
+    def test_delta_omits_unmoved_events(self):
+        mon = PerfMonitor(2)
+        mon.inc(Event.IPI_SENT, 0)
+        before = mon.snapshot()
+        assert mon.delta(before) == {}
+
+    def test_measuring_context(self):
+        mon = PerfMonitor(2)
+        mon.inc(Event.UOPS_RETIRED, 0, n=10)
+        with mon.measuring() as window:
+            mon.inc(Event.UOPS_RETIRED, 0, n=4)
+            mon.inc(Event.L2_READ_MISS, 1)
+        assert window == {
+            "UOPS_RETIRED": (4, 0),
+            "L2_READ_MISS": (0, 1),
+        }
+        # Counters themselves are untouched by the measurement window.
+        assert mon.read(Event.UOPS_RETIRED, 0) == 14
+
+    def test_measuring_fills_on_exception(self):
+        mon = PerfMonitor(1)
+        try:
+            with mon.measuring() as window:
+                mon.inc(Event.CYCLES_ACTIVE, 0, n=7)
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert window == {"CYCLES_ACTIVE": (7,)}
