@@ -16,7 +16,12 @@ from repro.analysis.render import (
     render_stall_breakdown,
     render_miss_heatmap,
 )
-from repro.analysis.expectations import Expectation, check_app_shapes
+from repro.analysis.expectations import (
+    Expectation,
+    check_app_shapes,
+    check_coexec_bands,
+    check_stream_bands,
+)
 
 __all__ = [
     "render_fig1",
@@ -27,4 +32,6 @@ __all__ = [
     "render_miss_heatmap",
     "Expectation",
     "check_app_shapes",
+    "check_coexec_bands",
+    "check_stream_bands",
 ]

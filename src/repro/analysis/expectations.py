@@ -14,6 +14,9 @@ from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
 from repro.core.apps import AppRunResult
+from repro.core.coexec import CoexecResult
+from repro.core.streams import StreamCPIResult
+from repro.isa.streams import ILP
 from repro.workloads.common import Variant
 
 
@@ -51,6 +54,69 @@ def _by_variant(results: Sequence[AppRunResult],
 
 def _rel(group: dict[Variant, AppRunResult], variant: Variant) -> float:
     return group[variant].cycles / group[Variant.SERIAL].cycles
+
+
+def check_stream_bands(
+        results: Sequence[StreamCPIResult]) -> list[Expectation]:
+    """Qualitative bands the paper's fig.-1 stream data must sit in.
+
+    These are ordering claims, not point targets, so they hold at any
+    measurement horizon — the golden suite uses them to prove that its
+    small pinned fixtures still carry the paper's physics.
+    """
+    checks: list[Expectation] = []
+    by_mode = {(r.stream, r.ilp, r.threads): r for r in results}
+
+    def add(claim, paper_value, measured, holds):
+        checks.append(Expectation("fig1", claim, paper_value,
+                                  f"{measured}", bool(holds)))
+
+    for (name, ilp, threads), r in by_mode.items():
+        lo = by_mode.get((name, ILP.MAX, threads))
+        if ilp is ILP.MIN and lo is not None:
+            add(f"{name} {threads}thr: min-ILP CPI >= max-ILP CPI",
+                "dependence chains dominate CPI",
+                (round(r.cpi, 3), round(lo.cpi, 3)),
+                r.cpi >= lo.cpi * 0.999)
+
+    for threads in (1, 2):
+        for ilp in (ILP.MIN, ILP.MED, ILP.MAX):
+            idiv = by_mode.get(("idiv", ilp, threads))
+            iadd = by_mode.get(("iadd", ilp, threads))
+            if idiv is not None and iadd is not None:
+                add(f"idiv CPI >> iadd CPI ({threads}thr, "
+                    f"{ilp.name.lower()} ILP)",
+                    "microcoded divide ~10x simple ALU",
+                    (round(idiv.cpi, 3), round(iadd.cpi, 3)),
+                    idiv.cpi > 5 * iadd.cpi)
+    return checks
+
+
+def check_coexec_bands(results: Sequence[CoexecResult]) -> list[Expectation]:
+    """Qualitative bands for fig.-2 co-execution data.
+
+    The paper's central negative result: co-scheduling never *speeds
+    up* a stream relative to running alone, and store-bound pairs in
+    particular always pay for the shared store buffer.
+    """
+    checks: list[Expectation] = []
+
+    def add(claim, paper_value, measured, holds):
+        checks.append(Expectation("fig2", claim, paper_value,
+                                  f"{measured}", bool(holds)))
+
+    for r in results:
+        pair = f"{r.stream_a}x{r.stream_b}"
+        add(f"{pair}: co-execution never speeds either stream up",
+            "slowdown factor >= 1.0",
+            (round(r.slowdown_a, 3), round(r.slowdown_b, 3)),
+            r.slowdown_a >= 0.97 and r.slowdown_b >= 0.97)
+        if "store" in r.stream_a and "store" in r.stream_b:
+            add(f"{pair}: SMT never speeds up a store-bound pair",
+                "shared store buffer serializes commits",
+                (round(r.slowdown_a, 3), round(r.slowdown_b, 3)),
+                r.slowdown_a >= 1.0 and r.slowdown_b >= 1.0)
+    return checks
 
 
 def check_app_shapes(app: str,

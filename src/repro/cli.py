@@ -11,9 +11,23 @@
 
 Every command prints the same renderings the benchmark harness emits.
 
+Sweep flags (the :mod:`repro.sweep` engine; ``fig1``, ``fig2``,
+``table1``, and ``app`` without ``--variant``):
+
+* ``--jobs N`` fans independent cells out over N worker processes
+  (default 1; results are collected in deterministic order, so reports
+  are byte-identical across job counts);
+* ``--cache-dir PATH`` selects the content-addressed result cache
+  (default ``.repro-cache``); re-runs only recompute cells whose
+  config, stream recipe, workload source, machine config, or repro
+  version changed — interrupted sweeps resume for free;
+* ``--no-cache`` disables the cache; ``--fresh`` recomputes every cell
+  and rewrites its cache entry.
+
 Observability flags (the :mod:`repro.observe` stack):
 
-* ``--report out.json`` writes a versioned JSON manifest of the run;
+* ``--report out.json`` writes a versioned JSON manifest of the run
+  (sweep runs include cache hit/miss counts under ``"sweep"``);
 * ``--json`` prints the same manifest to stdout instead of the ASCII
   rendering;
 * ``--trace out.trace.json`` (single runs: ``app --variant``,
@@ -41,16 +55,23 @@ from repro.analysis import (
     render_stall_breakdown,
     render_table1,
 )
+from repro.common.errors import (
+    CacheError,
+    ConfigError,
+    ReproError,
+    UsageError,
+    format_cli_error,
+)
 from repro.core import (
     app_sweep,
-    coexec_matrix,
+    coexec_sweep,
     fig1_sweep,
     measure_stream_cpi,
     run_app_experiment,
     table1_rows,
 )
 from repro.core.apps import APP_SIZES, APP_VARIANTS
-from repro.core.coexec import FIG2A_STREAMS, FIG2B_STREAMS, FIG2C_PAIRS, coexec_pair
+from repro.core.coexec import FIG2A_STREAMS, FIG2B_STREAMS, FIG2C_PAIRS
 from repro.cpu.config import CoreConfig
 from repro.isa import ILP
 from repro.mem.config import MemConfig
@@ -61,6 +82,7 @@ from repro.observe import (
     build_report,
     write_report,
 )
+from repro.sweep import ResultCache, SweepEngine
 from repro.workloads.common import Variant
 
 _ILP = {"min": ILP.MIN, "med": ILP.MED, "max": ILP.MAX}
@@ -70,9 +92,15 @@ _ILP = {"min": ILP.MIN, "med": ILP.MED, "max": ILP.MAX}
 #: ``otherData.truncated``.
 TRACE_LIMIT = 200_000
 
+#: Default location of the content-addressed sweep result cache.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
 
 def _positive_int(text: str) -> int:
-    value = int(text)
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError("must be a positive integer")
     if value <= 0:
         raise argparse.ArgumentTypeError("must be a positive integer")
     return value
@@ -93,6 +121,19 @@ def _add_output_flags(sp: argparse.ArgumentParser,
                         help="cap recorded trace events (default %(default)s)")
 
 
+def _add_sweep_flags(sp: argparse.ArgumentParser) -> None:
+    sp.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
+                    help="run sweep cells across N worker processes "
+                    "(default %(default)s)")
+    sp.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR, metavar="PATH",
+                    help="content-addressed result cache directory "
+                    "(default %(default)s)")
+    sp.add_argument("--no-cache", action="store_true",
+                    help="disable the sweep result cache")
+    sp.add_argument("--fresh", action="store_true",
+                    help="recompute every cell, overwriting cache entries")
+
+
 def _parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro",
@@ -103,11 +144,13 @@ def _parser() -> argparse.ArgumentParser:
     sub = p.add_subparsers(dest="command", required=True)
 
     f1 = sub.add_parser("fig1", help="figure 1: stream CPI across TLP x ILP")
+    _add_sweep_flags(f1)
     _add_output_flags(f1)
 
     f2 = sub.add_parser("fig2", help="figure 2: co-execution slowdowns")
     f2.add_argument("--panel", choices=["a", "b", "c"], default="a")
     f2.add_argument("--ilp", choices=sorted(_ILP), default="max")
+    _add_sweep_flags(f2)
     _add_output_flags(f2)
 
     ap = sub.add_parser("app", help="figures 3-5: one application sweep")
@@ -117,9 +160,11 @@ def _parser() -> argparse.ArgumentParser:
                     help="matrix n (mm/lu) or grid (bt); cg is fixed")
     ap.add_argument("--check", action="store_true",
                     help="evaluate the paper-shape expectations too")
+    _add_sweep_flags(ap)
     _add_output_flags(ap, traceable=True)
 
     t1 = sub.add_parser("table1", help="Table 1: subunit utilization")
+    _add_sweep_flags(t1)
     _add_output_flags(t1)
 
     st = sub.add_parser("stream", help="CPI of one synthetic stream")
@@ -137,7 +182,22 @@ def _size_dict(app: str, size: Optional[int]) -> dict:
         return {"n": size}
     if app == "bt":
         return {"grid": size}
-    raise SystemExit("cg has a fixed scaled size; omit --size")
+    raise UsageError("cg has a fixed scaled size; omit --size")
+
+
+def _make_engine(args: argparse.Namespace) -> SweepEngine:
+    """Build the sweep engine the command's flags describe.
+
+    Cache-directory problems surface here, before any simulation runs.
+    """
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir)
+    return SweepEngine(jobs=args.jobs, cache=cache, fresh=args.fresh)
+
+
+def _sweep_note(engine: SweepEngine) -> None:
+    print(engine.stats.describe(), file=sys.stderr)
 
 
 def _observing(args: argparse.Namespace) -> bool:
@@ -159,42 +219,49 @@ def _emit(args: argparse.Namespace, report: dict, rendering: str,
         try:
             write_report(report, args.report)
         except OSError as e:
-            raise SystemExit(f"cannot write report to {args.report}: {e}")
+            raise ReproError(f"cannot write report to {args.report}: {e}")
 
 
 def _write_trace(tracer: PipelineTracer, path: str) -> None:
     try:
         n = tracer.to_chrome(path)
     except OSError as e:
-        raise SystemExit(f"cannot write trace to {path}: {e}")
+        raise ReproError(f"cannot write trace to {path}: {e}")
     note = " (truncated)" if tracer.truncated else ""
     print(f"wrote {n} trace events to {path}{note}", file=sys.stderr)
 
 
 def _cmd_fig1(args: argparse.Namespace) -> int:
-    results = fig1_sweep()
+    engine = _make_engine(args)
+    results = fig1_sweep(engine=engine)
     report = build_report("fig1", results, core_config=CoreConfig(),
-                          mem_config=MemConfig())
+                          mem_config=MemConfig(),
+                          sweep=engine.stats.to_dict())
+    _sweep_note(engine)
     _emit(args, report, render_fig1(results))
     return 0
 
 
 def _cmd_fig2(args: argparse.Namespace) -> int:
+    engine = _make_engine(args)
     panel, ilp = args.panel, _ILP[args.ilp]
     if panel == "a":
-        results = coexec_matrix(FIG2A_STREAMS, ilp=ilp)
+        pairs = [(a, b) for i, a in enumerate(FIG2A_STREAMS)
+                 for b in FIG2A_STREAMS[i:]]
         title = f"fp x fp pairs ({ilp.name.lower()} ILP)"
     elif panel == "b":
-        results = coexec_matrix(FIG2B_STREAMS, ilp=ilp)
+        pairs = [(a, b) for i, a in enumerate(FIG2B_STREAMS)
+                 for b in FIG2B_STREAMS[i:]]
         title = f"int x int pairs ({ilp.name.lower()} ILP)"
     else:
-        cache: dict = {}
-        results = [coexec_pair(a, b, ilp=ilp, _solo_cache=cache)
-                   for a, b in FIG2C_PAIRS]
+        pairs = list(FIG2C_PAIRS)
         title = f"fp x int pairs ({ilp.name.lower()} ILP)"
+    results = coexec_sweep(pairs, ilp=ilp, engine=engine)
     report = build_report(f"fig2{panel}", results, core_config=CoreConfig(),
                           mem_config=MemConfig(),
+                          sweep=engine.stats.to_dict(),
                           extra={"panel": panel, "ilp": ilp.name.lower()})
+    _sweep_note(engine)
     _emit(args, report, render_fig2(results, f"Figure 2({panel}) — {title}"))
     return 0
 
@@ -204,14 +271,15 @@ def _cmd_app(args: argparse.Namespace) -> int:
     size_d = _size_dict(name, args.size)
     if args.variant is None:
         if args.trace:
-            raise SystemExit(
-                "--trace records one run; pick it with --variant"
-            )
-        results = app_sweep(name, sizes=[size_d])
+            raise UsageError("--trace records one run; pick it with --variant")
+        engine = _make_engine(args)
+        results = app_sweep(name, sizes=[size_d], engine=engine)
         report = build_report(f"app-{name}", results,
                               core_config=CoreConfig(),
                               mem_config=MemConfig(),
+                              sweep=engine.stats.to_dict(),
                               extra={"size": size_d})
+        _sweep_note(engine)
         _emit(args, report, render_app_figure(results))
         status = 0
         if args.check:
@@ -222,6 +290,9 @@ def _cmd_app(args: argparse.Namespace) -> int:
             if any(not c.holds for c in checks):
                 status = 1
         return status
+    if args.jobs != 1:
+        raise UsageError("--jobs parallelizes sweeps; it does not apply "
+                         "to a single --variant run")
     observe = _observing(args)
     tracer = PipelineTracer(limit=args.trace_limit) if args.trace else None
     accountant = CycleAccountant() if observe else None
@@ -246,9 +317,12 @@ def _cmd_app(args: argparse.Namespace) -> int:
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
-    rows = table1_rows()
+    engine = _make_engine(args)
+    rows = table1_rows(engine=engine)
     report = build_report("table1", rows, core_config=CoreConfig(),
-                          mem_config=MemConfig())
+                          mem_config=MemConfig(),
+                          sweep=engine.stats.to_dict())
+    _sweep_note(engine)
     _emit(args, report, render_table1(rows))
     return 0
 
@@ -272,8 +346,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     return 0
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = _parser().parse_args(argv)
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "fig1":
         return _cmd_fig1(args)
     if args.command == "fig2":
@@ -285,6 +358,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "stream":
         return _cmd_stream(args)
     raise AssertionError("unreachable")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _parser()
+    args = parser.parse_args(argv)
+    try:
+        return _dispatch(args)
+    except (UsageError, ConfigError, CacheError) as e:
+        # Same shape and exit status as argparse's own option errors.
+        print(format_cli_error(parser.prog, e), file=sys.stderr)
+        return 2
+    except ReproError as e:
+        print(format_cli_error(parser.prog, e), file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

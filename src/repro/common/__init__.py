@@ -8,9 +8,12 @@ latency be an integer without special-casing the staggered ALUs.
 
 from repro.common.errors import (
     ReproError,
+    CacheError,
     ConfigError,
     SimulationError,
     DeadlockError,
+    UsageError,
+    format_cli_error,
 )
 from repro.common.addrspace import AddressSpace, Region
 from repro.common.ticks import (
@@ -21,9 +24,12 @@ from repro.common.ticks import (
 
 __all__ = [
     "ReproError",
+    "CacheError",
     "ConfigError",
     "SimulationError",
     "DeadlockError",
+    "UsageError",
+    "format_cli_error",
     "AddressSpace",
     "Region",
     "TICKS_PER_CYCLE",

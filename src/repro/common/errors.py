@@ -9,6 +9,25 @@ class ConfigError(ReproError):
     """Raised when a configuration value is invalid or inconsistent."""
 
 
+class UsageError(ReproError):
+    """Raised for invalid command-line usage (bad flags, bad combos).
+
+    The CLI reports these in the same ``<prog>: error: <message>``
+    shape argparse uses and exits with argparse's status 2, so every
+    user-facing error path reads identically.
+    """
+
+
+class CacheError(ReproError):
+    """Raised when the sweep result cache is unusable (e.g. the cache
+    directory cannot be created or written)."""
+
+
+def format_cli_error(prog: str, message) -> str:
+    """The one CLI error shape: mirrors argparse's own error prefix."""
+    return f"{prog}: error: {message}"
+
+
 class SimulationError(ReproError):
     """Raised when the simulated machine reaches an invalid state."""
 

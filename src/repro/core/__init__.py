@@ -9,21 +9,43 @@ figures and table.
 * :mod:`repro.core.table1`   — Table 1: execution-subunit utilization.
 """
 
-from repro.core.streams import StreamCPIResult, measure_stream_cpi, fig1_sweep
-from repro.core.coexec import CoexecResult, coexec_pair, coexec_matrix
-from repro.core.apps import AppRunResult, run_app_experiment, app_sweep
-from repro.core.table1 import table1_rows, Table1Row
+from repro.core.streams import (
+    StreamCPIResult,
+    fig1_cells,
+    fig1_sweep,
+    measure_stream_cpi,
+)
+from repro.core.coexec import (
+    CoexecResult,
+    coexec_matrix,
+    coexec_pair,
+    coexec_sweep,
+    run_pair_cpis,
+)
+from repro.core.apps import (
+    AppRunResult,
+    app_cells,
+    app_sweep,
+    run_app_experiment,
+)
+from repro.core.table1 import Table1Row, table1_cells, table1_row, table1_rows
 
 __all__ = [
     "StreamCPIResult",
     "measure_stream_cpi",
+    "fig1_cells",
     "fig1_sweep",
     "CoexecResult",
     "coexec_pair",
+    "coexec_sweep",
     "coexec_matrix",
+    "run_pair_cpis",
     "AppRunResult",
     "run_app_experiment",
+    "app_cells",
     "app_sweep",
+    "table1_cells",
+    "table1_row",
     "table1_rows",
     "Table1Row",
 ]

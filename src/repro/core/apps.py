@@ -122,22 +122,45 @@ def run_app_experiment(
     )
 
 
+def app_cells(
+    app: str,
+    variants: Optional[list[Variant]] = None,
+    sizes: Optional[list[dict]] = None,
+    core_config: Optional[CoreConfig] = None,
+    mem_config: Optional[MemConfig] = None,
+) -> list:
+    """Enumerate one figure's (variant, size) grid as sweep cells."""
+    from repro.sweep.cells import app_cell
+
+    if app not in WORKLOADS:
+        raise ConfigError(f"unknown application {app!r}; have {sorted(WORKLOADS)}")
+    variants = variants if variants is not None else APP_VARIANTS[app]
+    sizes = sizes if sizes is not None else APP_SIZES[app]
+    return [
+        app_cell(app, variant, size,
+                 core_config=core_config, mem_config=mem_config)
+        for size in sizes
+        for variant in variants
+    ]
+
+
 def app_sweep(
     app: str,
     variants: Optional[list[Variant]] = None,
     sizes: Optional[list[dict]] = None,
     core_config: Optional[CoreConfig] = None,
     mem_config: Optional[MemConfig] = None,
+    engine=None,
 ) -> list[AppRunResult]:
-    """All (variant, size) combinations of one figure."""
-    variants = variants if variants is not None else APP_VARIANTS[app]
-    sizes = sizes if sizes is not None else APP_SIZES[app]
-    out = []
-    for size in sizes:
-        for variant in variants:
-            out.append(
-                run_app_experiment(app, variant, size,
-                                   core_config=core_config,
-                                   mem_config=mem_config)
-            )
-    return out
+    """All (variant, size) combinations of one figure.
+
+    ``engine`` (a :class:`repro.sweep.SweepEngine`) supplies
+    parallelism and caching; the default serial engine matches the
+    historical behaviour.
+    """
+    from repro.sweep.engine import SweepEngine
+
+    engine = engine or SweepEngine()
+    return engine.run(app_cells(app, variants=variants, sizes=sizes,
+                                core_config=core_config,
+                                mem_config=mem_config))

@@ -26,7 +26,10 @@ from repro.core.streams import (
 #: Measurement horizon for pair co-execution, in ticks: long enough that
 #: the slowest stream's warm-up (a quarter vector traversal) finishes
 #: and a solid steady-state sample remains.
-_PAIR_HORIZON_TICKS = 220_000
+PAIR_HORIZON_TICKS = 220_000
+
+# Backwards-compatible alias (pre-sweep-engine name).
+_PAIR_HORIZON_TICKS = PAIR_HORIZON_TICKS
 
 
 @dataclass(frozen=True)
@@ -60,12 +63,13 @@ class CoexecResult:
         return (self.slowdown_b - 1.0) * 100.0
 
 
-def _run_pair(
+def run_pair_cpis(
     name_a: str,
     name_b: str,
     ilp: ILP,
-    core_config: Optional[CoreConfig],
-    mem_config: Optional[MemConfig],
+    core_config: Optional[CoreConfig] = None,
+    mem_config: Optional[MemConfig] = None,
+    horizon_ticks: Optional[int] = None,
 ) -> tuple[float, float]:
     """Co-execute the two streams; returns per-thread steady-state CPIs.
 
@@ -76,6 +80,7 @@ def _run_pair(
     horizon, so warm-up asymmetry between a fast and a slow stream
     cannot pollute the measurement.
     """
+    horizon = horizon_ticks or PAIR_HORIZON_TICKS
     prog = Program(core_config, mem_config)
     marks: dict[int, tuple[int, int]] = {}
     for t, name in enumerate((name_a, name_b)):
@@ -84,7 +89,7 @@ def _run_pair(
         if spec.is_memory:
             region = prog.aspace.alloc(f"vec{t}", _VECTOR_BYTES, elem_size=1)
         prog.add_thread(measured_stream_factory(spec, region, prog, t, marks))
-    result = prog.run(stop_at_tick=_PAIR_HORIZON_TICKS)
+    result = prog.run(stop_at_tick=horizon)
     cpis = []
     for t in range(2):
         if t not in marks:
@@ -123,7 +128,9 @@ def coexec_pair(
             _solo_cache[(name, ilp)] = cpi
         return cpi
 
-    cpi_a, cpi_b = _run_pair(name_a, name_b, ilp, core_config, mem_config)
+    cpi_a, cpi_b = run_pair_cpis(name_a, name_b, ilp,
+                                 core_config=core_config,
+                                 mem_config=mem_config)
     return CoexecResult(
         stream_a=name_a,
         stream_b=name_b,
@@ -145,19 +152,70 @@ FIG2C_PAIRS = tuple(
 )
 
 
+def coexec_sweep(
+    pairs,
+    ilp: ILP = ILP.MAX,
+    core_config: Optional[CoreConfig] = None,
+    mem_config: Optional[MemConfig] = None,
+    engine=None,
+    solo_horizon_ticks: Optional[int] = None,
+    pair_horizon_ticks: Optional[int] = None,
+) -> list[CoexecResult]:
+    """Measure an arbitrary list of stream pairs through the engine.
+
+    The sweep decomposes into independently cacheable cells: one solo
+    baseline per distinct stream plus one dual-thread cell per pair.
+    After redefining a single stream only its baseline and the pairs
+    containing it miss the cache — the rest of the matrix stays warm.
+    """
+    from repro.sweep.cells import pair_cell, stream_cell
+    from repro.sweep.engine import SweepEngine
+
+    pairs = [tuple(p) for p in pairs]
+    for a, b in pairs:
+        for name in (a, b):
+            if name not in STREAM_OPS:
+                raise ConfigError(f"unknown stream {name!r}")
+    solos = list(dict.fromkeys(name for pair in pairs for name in pair))
+    cells = [
+        stream_cell(name, ilp, threads=1,
+                    horizon_ticks=solo_horizon_ticks,
+                    core_config=core_config, mem_config=mem_config)
+        for name in solos
+    ] + [
+        pair_cell(a, b, ilp, horizon_ticks=pair_horizon_ticks,
+                  core_config=core_config, mem_config=mem_config)
+        for a, b in pairs
+    ]
+    engine = engine or SweepEngine()
+    results = engine.run(cells)
+    solo_cpi = {name: r.cpi for name, r in zip(solos, results[:len(solos)])}
+    return [
+        CoexecResult(
+            stream_a=a,
+            stream_b=b,
+            ilp=ilp,
+            cpi_a=cpi_a,
+            cpi_b=cpi_b,
+            solo_cpi_a=solo_cpi[a],
+            solo_cpi_b=solo_cpi[b],
+        )
+        for (a, b), (cpi_a, cpi_b) in zip(pairs, results[len(solos):])
+    ]
+
+
 def coexec_matrix(
     streams: tuple[str, ...],
     ilp: ILP = ILP.MAX,
     core_config: Optional[CoreConfig] = None,
     mem_config: Optional[MemConfig] = None,
+    engine=None,
+    solo_horizon_ticks: Optional[int] = None,
+    pair_horizon_ticks: Optional[int] = None,
 ) -> list[CoexecResult]:
     """All ordered-unique pairs (including self-pairs) from ``streams``."""
-    cache: dict = {}
-    results = []
-    for i, a in enumerate(streams):
-        for b in streams[i:]:
-            results.append(
-                coexec_pair(a, b, ilp=ilp, core_config=core_config,
-                            mem_config=mem_config, _solo_cache=cache)
-            )
-    return results
+    pairs = [(a, b) for i, a in enumerate(streams) for b in streams[i:]]
+    return coexec_sweep(pairs, ilp=ilp, core_config=core_config,
+                        mem_config=mem_config, engine=engine,
+                        solo_horizon_ticks=solo_horizon_ticks,
+                        pair_horizon_ticks=pair_horizon_ticks)

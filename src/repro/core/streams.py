@@ -149,25 +149,43 @@ def measure_stream_cpi(
 FIG1_STREAMS = ("fadd", "fmul", "fadd-mul", "iadd", "iload")
 
 
+def fig1_cells(
+    streams: tuple[str, ...] = FIG1_STREAMS,
+    horizon_ticks: Optional[int] = None,
+    core_config: Optional[CoreConfig] = None,
+    mem_config: Optional[MemConfig] = None,
+) -> list:
+    """Enumerate figure 1 as independent sweep cells (stream x TLP x ILP)."""
+    from repro.sweep.cells import stream_cell
+
+    for name in streams:
+        if name not in STREAM_OPS:
+            raise ConfigError(f"unknown stream {name!r}")
+    return [
+        stream_cell(name, ilp, threads, horizon_ticks=horizon_ticks,
+                    core_config=core_config, mem_config=mem_config)
+        for name in streams
+        for threads in (1, 2)
+        for ilp in (ILP.MIN, ILP.MED, ILP.MAX)
+    ]
+
+
 def fig1_sweep(
     streams: tuple[str, ...] = FIG1_STREAMS,
     horizon_ticks: Optional[int] = None,
     core_config: Optional[CoreConfig] = None,
     mem_config: Optional[MemConfig] = None,
+    engine=None,
 ) -> list[StreamCPIResult]:
-    """All TLP x ILP modes for the figure-1 streams."""
-    results = []
-    for name in streams:
-        for threads in (1, 2):
-            for ilp in (ILP.MIN, ILP.MED, ILP.MAX):
-                results.append(
-                    measure_stream_cpi(
-                        name,
-                        ilp=ilp,
-                        threads=threads,
-                        horizon_ticks=horizon_ticks,
-                        core_config=core_config,
-                        mem_config=mem_config,
-                    )
-                )
-    return results
+    """All TLP x ILP modes for the figure-1 streams.
+
+    ``engine`` (a :class:`repro.sweep.SweepEngine`) supplies
+    parallelism and result caching; the default is the serial,
+    uncached engine, which matches the historical behaviour.
+    """
+    from repro.sweep.engine import SweepEngine
+
+    engine = engine or SweepEngine()
+    return engine.run(fig1_cells(streams, horizon_ticks=horizon_ticks,
+                                 core_config=core_config,
+                                 mem_config=mem_config))

@@ -82,28 +82,57 @@ def _row(app: str, column: str, mix: InstructionMix) -> Table1Row:
     )
 
 
-def table1_rows(
+#: Table 1 columns, in paper order, with (variant, profiled tid).  The
+#: spr column profiles the *prefetcher* thread (tid 1).
+TABLE1_COLUMNS: dict[str, tuple[Variant, int]] = {
+    "serial": (Variant.SERIAL, 0),
+    "tlp": (_TLP_VARIANT, 0),
+    "spr": (_SPR_VARIANT, 1),
+}
+
+
+def table1_row(app: str, column: str, size: dict) -> Table1Row:
+    """Regenerate one (application, column) cell of Table 1."""
+    if app not in WORKLOADS:
+        raise ConfigError(f"unknown application {app!r}")
+    if column not in TABLE1_COLUMNS:
+        raise ConfigError(f"unknown Table 1 column {column!r}; "
+                          f"have {sorted(TABLE1_COLUMNS)}")
+    variant, observe_tid = TABLE1_COLUMNS[column]
+    build = WORKLOADS[app].build(variant, **size)
+    return _row(app, column, _interleaved_mix(build.factories, observe_tid))
+
+
+def table1_cells(
     apps: Iterable[str] = ("mm", "lu", "cg", "bt"),
     sizes: Optional[dict[str, dict]] = None,
-) -> list[Table1Row]:
-    """Regenerate Table 1 (all apps x {serial, tlp, spr})."""
+) -> list:
+    """Enumerate Table 1 (apps x columns) as sweep cells."""
     from repro.core.apps import APP_SIZES
+    from repro.sweep.cells import table1_cell
 
-    rows: list[Table1Row] = []
+    cells = []
     for app in apps:
         if app not in WORKLOADS:
             raise ConfigError(f"unknown application {app!r}")
         size = dict((sizes or {}).get(app) or APP_SIZES[app][0])
-        mod = WORKLOADS[app]
+        for column in TABLE1_COLUMNS:
+            cells.append(table1_cell(app, column, size))
+    return cells
 
-        serial = mod.build(Variant.SERIAL, **size)
-        rows.append(_row(app, "serial",
-                         _interleaved_mix(serial.factories, 0)))
 
-        tlp = mod.build(_TLP_VARIANT, **size)
-        rows.append(_row(app, "tlp", _interleaved_mix(tlp.factories, 0)))
+def table1_rows(
+    apps: Iterable[str] = ("mm", "lu", "cg", "bt"),
+    sizes: Optional[dict[str, dict]] = None,
+    engine=None,
+) -> list[Table1Row]:
+    """Regenerate Table 1 (all apps x {serial, tlp, spr}).
 
-        spr = mod.build(_SPR_VARIANT, **size)
-        # The spr column profiles the *prefetcher* thread (tid 1).
-        rows.append(_row(app, "spr", _interleaved_mix(spr.factories, 1)))
-    return rows
+    ``engine`` (a :class:`repro.sweep.SweepEngine`) supplies
+    parallelism and caching; the default serial engine matches the
+    historical behaviour.
+    """
+    from repro.sweep.engine import SweepEngine
+
+    engine = engine or SweepEngine()
+    return engine.run(table1_cells(apps, sizes))

@@ -38,8 +38,10 @@ from repro.observe.accountant import (
 from repro.observe.heatmap import SiteMissProfile
 from repro.observe.report import (
     SCHEMA_VERSION,
+    VOLATILE_KEYS,
     build_report,
     result_to_dict,
+    strip_volatile,
     write_report,
 )
 
@@ -55,7 +57,9 @@ __all__ = [
     "ISSUE_CATEGORIES",
     "SiteMissProfile",
     "SCHEMA_VERSION",
+    "VOLATILE_KEYS",
     "build_report",
     "result_to_dict",
+    "strip_volatile",
     "write_report",
 ]

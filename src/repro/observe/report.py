@@ -16,6 +16,27 @@ from typing import IO, Any, Optional, Union
 
 SCHEMA_VERSION = 1
 
+#: Report keys that legitimately differ between byte-identical runs:
+#: host wall time and sweep-execution metadata (cache hit/miss counts,
+#: job counts).  The determinism suite strips these before comparing
+#: reports across ``--jobs`` levels and cache temperatures.
+VOLATILE_KEYS = frozenset({"wall_time_s", "sweep"})
+
+
+def strip_volatile(report: Any) -> Any:
+    """Recursively drop the run-environment-dependent fields.
+
+    What remains is a pure function of (code, configuration), so two
+    reports of the same sweep — serial, parallel, or warm-cache — must
+    compare byte-identical after this.
+    """
+    if isinstance(report, dict):
+        return {k: strip_volatile(v) for k, v in report.items()
+                if k not in VOLATILE_KEYS}
+    if isinstance(report, list):
+        return [strip_volatile(v) for v in report]
+    return report
+
 
 def _jsonable(value: Any) -> Any:
     """Best-effort conversion of driver result values to JSON types."""
@@ -56,6 +77,7 @@ def build_report(
     accountant: Optional[Any] = None,
     heatmap: Optional[Any] = None,
     wall_time_s: Optional[float] = None,
+    sweep: Optional[dict] = None,
     extra: Optional[dict] = None,
 ) -> dict:
     """Assemble the versioned manifest for one command/driver run."""
@@ -89,6 +111,8 @@ def build_report(
                                      else _jsonable(heatmap))
     if wall_time_s is not None:
         report["wall_time_s"] = wall_time_s
+    if sweep is not None:
+        report["sweep"] = _jsonable(sweep)
     if extra:
         report.update(_jsonable(extra))
     return report

@@ -1,0 +1,146 @@
+"""The sweep engine: fan cells out, collect results in order, memoize.
+
+The engine is the single execution path for every figure/table sweep:
+
+1. each cell's content hash is looked up in the :class:`ResultCache`
+   (unless caching is off or ``fresh`` forces recomputation);
+2. the missing cells are executed — in-process when ``jobs == 1``
+   (exactly the old serial behaviour), or across a ``multiprocessing``
+   pool otherwise; ``pool.map`` preserves submission order, so result
+   collection is deterministic regardless of completion order;
+3. every result, fresh or cached, is round-tripped through the same
+   canonical JSON encoding before being handed back, so serial,
+   parallel and warm-cache runs of the same sweep produce
+   byte-identical reports (modulo wall-time fields).
+
+Workers execute :func:`_execute_cell`, a module-level function, so the
+only thing pickled per task is the (small, self-contained) cell.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence
+
+from repro import __version__
+from repro.common.errors import ConfigError
+from repro.sweep.cache import ResultCache
+from repro.sweep.cells import SweepCell, runner_for
+from repro.sweep.keys import CACHE_SCHEMA_VERSION
+
+
+def _execute_cell(cell: SweepCell) -> str:
+    """Run one cell; return its encoded result as JSON text.
+
+    Returning *text* (not objects) makes the parallel path bit-faithful
+    to the cache path: the parent always decodes results from JSON, so
+    a fresh run and a warm-cache run reconstruct identical objects.
+    """
+    runner = runner_for(cell.kind)
+    return json.dumps(runner.encode(runner.run(cell)))
+
+
+@dataclass
+class SweepStats:
+    """Cache/parallelism accounting for one engine's sweeps."""
+
+    cells: int = 0
+    hits: int = 0
+    misses: int = 0
+    jobs: int = 1
+    cache_enabled: bool = False
+    cache_dir: Optional[str] = None
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.cells if self.cells else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "cells": self.cells,
+            "cache_hits": self.hits,
+            "cache_misses": self.misses,
+            "jobs": self.jobs,
+            "cache_enabled": self.cache_enabled,
+            "cache_dir": self.cache_dir,
+        }
+
+    def describe(self) -> str:
+        cache = (f"{self.hits} cache hits, {self.misses} misses "
+                 f"({self.hit_rate:.0%} cached)"
+                 if self.cache_enabled else "cache off")
+        return f"sweep: {self.cells} cells — {cache} (jobs={self.jobs})"
+
+
+@dataclass
+class SweepEngine:
+    """Executes cell lists with optional parallelism and memoization.
+
+    ``jobs=1`` with no cache reproduces the pre-engine serial
+    behaviour exactly.  One engine instance accumulates stats across
+    all its ``run`` calls (a figure may sweep in several batches).
+    """
+
+    jobs: int = 1
+    cache: Optional[ResultCache] = None
+    fresh: bool = False
+    stats: SweepStats = field(init=False)
+
+    def __post_init__(self):
+        if not isinstance(self.jobs, int) or self.jobs < 1:
+            raise ConfigError("jobs must be a positive integer")
+        self.stats = SweepStats(
+            jobs=self.jobs,
+            cache_enabled=self.cache is not None,
+            cache_dir=(str(self.cache.root)
+                       if self.cache is not None else None),
+        )
+
+    def run(self, cells: Sequence[SweepCell]) -> List[Any]:
+        """Execute ``cells``; return their results in submission order."""
+        n = len(cells)
+        self.stats.cells += n
+        results: List[Any] = [None] * n
+        keys = ([cell.key() for cell in cells]
+                if self.cache is not None else [""] * n)
+
+        miss_idx: List[int] = []
+        for i, cell in enumerate(cells):
+            entry = None
+            if self.cache is not None and not self.fresh:
+                entry = self.cache.get(keys[i])
+                if entry is not None and entry.get("kind") != cell.kind:
+                    entry = None
+            if entry is not None:
+                results[i] = runner_for(cell.kind).decode(entry["result"])
+                self.stats.hits += 1
+            else:
+                miss_idx.append(i)
+
+        texts = self._execute([cells[i] for i in miss_idx])
+        for i, text in zip(miss_idx, texts):
+            payload = json.loads(text)
+            if self.cache is not None:
+                self.cache.put(keys[i], {
+                    "cache_schema_version": CACHE_SCHEMA_VERSION,
+                    "repro_version": __version__,
+                    "kind": cells[i].kind,
+                    "config": cells[i].config,
+                    "result": payload,
+                })
+            results[i] = runner_for(cells[i].kind).decode(payload)
+            self.stats.misses += 1
+        return results
+
+    def _execute(self, cells: List[SweepCell]) -> List[str]:
+        if self.jobs == 1 or len(cells) < 2:
+            return [_execute_cell(cell) for cell in cells]
+        # Fork keeps the parent's hash seed and registry state in the
+        # children; fall back to the platform default elsewhere.
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else None)
+        with ctx.Pool(processes=min(self.jobs, len(cells))) as pool:
+            return pool.map(_execute_cell, cells)

@@ -1,0 +1,78 @@
+"""Canonical hashing for sweep-cell cache keys.
+
+A cache key must identify a measurement *by meaning*, not by the
+accidents of how its configuration was written down.  Two configs that
+differ only in dict insertion order, or in how a float was formatted
+(``2.0`` vs ``2`` vs ``2.00``), describe the same cell and must map to
+the same key; changing any actual field value must change the key.
+
+The canonical form is a JSON document with
+
+* object keys sorted lexicographically at every nesting level;
+* no insignificant whitespace;
+* floats that carry an integral value collapsed to integers (so a
+  config hand-written with ``"n": 64`` and one round-tripped through a
+  float-producing layer as ``"n": 64.0`` agree);
+* non-finite floats spelled out by name (JSON has no literal for them).
+
+``cache_key`` is the SHA-256 hex digest of that canonical text.  The
+canonicalisation is used **only** for key derivation — cached result
+payloads are stored verbatim, with full float fidelity.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import json
+import math
+from typing import Any
+
+#: Bumped on any change to the canonicalisation rules or to the layout
+#: of cached entries; old entries then miss and are recomputed.
+CACHE_SCHEMA_VERSION = 1
+
+
+def canonicalize(obj: Any) -> Any:
+    """Reduce ``obj`` to canonical JSON-compatible types (keys only)."""
+    if isinstance(obj, bool) or obj is None:
+        return obj
+    if isinstance(obj, int):
+        return obj
+    if isinstance(obj, float):
+        if math.isnan(obj):
+            return "float:nan"
+        if math.isinf(obj):
+            return "float:inf" if obj > 0 else "float:-inf"
+        if obj.is_integer():
+            return int(obj)
+        return obj
+    if isinstance(obj, str):
+        return obj
+    if isinstance(obj, enum.Enum):
+        return f"{type(obj).__name__}.{obj.name}"
+    if isinstance(obj, dict):
+        out = {}
+        for k, v in obj.items():
+            key = k if isinstance(k, str) else str(canonicalize(k))
+            if key in out:
+                raise ValueError(f"key {key!r} is ambiguous after "
+                                 "canonicalisation")
+            out[key] = canonicalize(v)
+        return out
+    if isinstance(obj, (list, tuple)):
+        return [canonicalize(v) for v in obj]
+    raise TypeError(
+        f"cannot canonicalise {type(obj).__name__!r} for a cache key"
+    )
+
+
+def canonical_json(obj: Any) -> str:
+    """The canonical text form hashed by :func:`cache_key`."""
+    return json.dumps(canonicalize(obj), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def cache_key(material: Any) -> str:
+    """SHA-256 hex digest of the canonical form of ``material``."""
+    return hashlib.sha256(canonical_json(material).encode()).hexdigest()

@@ -1,0 +1,9 @@
+"""Shared pytest configuration for the repro test suite."""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="rewrite the pinned fixtures under tests/golden/fixtures/ "
+        "with freshly measured values (review the diff before committing)",
+    )

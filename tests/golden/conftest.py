@@ -1,0 +1,39 @@
+"""Golden-fixture helpers.
+
+A golden test pins a small-size sweep's full JSON output as a
+committed fixture.  ``pytest --update-golden`` rewrites the fixtures
+from fresh measurements — do that only when a simulator change is
+*meant* to move the numbers, and review the fixture diff like code.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+@pytest.fixture
+def golden_check(request):
+    update = request.config.getoption("--update-golden")
+
+    def check(name: str, data):
+        path = FIXTURES / f"{name}.json"
+        if update:
+            FIXTURES.mkdir(exist_ok=True)
+            path.write_text(json.dumps(data, indent=2, sort_keys=True)
+                            + "\n")
+            return
+        assert path.exists(), (
+            f"missing golden fixture {path}; generate it with "
+            f"`pytest tests/golden --update-golden`"
+        )
+        pinned = json.loads(path.read_text())
+        assert data == pinned, (
+            f"{name} deviates from its pinned fixture; if the change "
+            f"is intended, regenerate with `pytest tests/golden "
+            f"--update-golden` and commit the diff"
+        )
+
+    return check

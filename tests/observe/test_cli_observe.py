@@ -2,8 +2,6 @@
 
 import json
 
-import pytest
-
 from repro.cli import main
 from repro.observe import SCHEMA_VERSION
 
@@ -58,6 +56,8 @@ class TestTraceFlag:
             assert {"name", "ph", "pid", "tid"} <= set(ev)
         assert doc["otherData"]["truncated"] is True
 
-    def test_sweep_trace_rejected(self):
-        with pytest.raises(SystemExit):
-            main(["app", "mm", "--size", "16", "--trace", "t.json"])
+    def test_sweep_trace_rejected(self, capsys):
+        assert main(["app", "mm", "--size", "16", "--trace", "t.json"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error:")
+        assert "--variant" in err

@@ -1,0 +1,107 @@
+"""The tentpole invariant: serial, parallel, and warm-cache sweeps
+produce byte-identical JSON reports (after stripping wall-time and
+sweep-execution metadata).
+
+The fast tests here pin the invariant at reduced horizons for every
+cell kind; the ``slow``-marked CLI test runs the real ``repro fig2
+--jobs 4`` acceptance path end to end.
+"""
+
+import json
+
+import pytest
+
+from repro.core import coexec_sweep, fig1_sweep, table1_rows
+from repro.cpu.config import CoreConfig
+from repro.mem.config import MemConfig
+from repro.observe import build_report, strip_volatile
+from repro.sweep import ResultCache, SweepEngine
+
+H = 20_000
+
+
+def _bytes(report: dict) -> str:
+    return json.dumps(strip_volatile(report), indent=2)
+
+
+def _fig1_report(engine):
+    results = fig1_sweep(streams=("iadd", "fadd"), horizon_ticks=H,
+                         engine=engine)
+    return build_report("fig1", results, core_config=CoreConfig(),
+                        mem_config=MemConfig(),
+                        sweep=engine.stats.to_dict())
+
+
+def _fig2_report(engine):
+    results = coexec_sweep([("iadd", "iadd"), ("iadd", "imul")],
+                           solo_horizon_ticks=H, pair_horizon_ticks=H,
+                           engine=engine)
+    return build_report("fig2", results, core_config=CoreConfig(),
+                        mem_config=MemConfig(),
+                        sweep=engine.stats.to_dict())
+
+
+def _table1_report(engine):
+    rows = table1_rows(("mm",), {"mm": {"n": 16}}, engine=engine)
+    return build_report("table1", rows, core_config=CoreConfig(),
+                        mem_config=MemConfig(),
+                        sweep=engine.stats.to_dict())
+
+
+@pytest.mark.parametrize("make_report,cells", [
+    (_fig1_report, 12),
+    (_fig2_report, 4),      # 2 solo baselines + 2 pairs
+    (_table1_report, 3),
+], ids=["fig1", "fig2", "table1"])
+def test_jobs_and_cache_equivalence(tmp_path, make_report, cells):
+    serial = make_report(SweepEngine(jobs=1))
+
+    cold = SweepEngine(jobs=4, cache=ResultCache(tmp_path / "c"))
+    parallel = make_report(cold)
+    assert (cold.stats.hits, cold.stats.misses) == (0, cells)
+
+    warm = SweepEngine(jobs=4, cache=ResultCache(tmp_path / "c"))
+    cached = make_report(warm)
+    assert (warm.stats.hits, warm.stats.misses) == (cells, 0)
+    assert warm.stats.hit_rate == 1.0
+
+    assert _bytes(serial) == _bytes(parallel) == _bytes(cached)
+
+
+def test_volatile_fields_really_differ_and_are_stripped(tmp_path):
+    """Sanity for the stripping itself: the sweep metadata *does*
+    change between cold and warm runs, and stripping removes it."""
+    cold = SweepEngine(cache=ResultCache(tmp_path))
+    r1 = _fig1_report(cold)
+    warm = SweepEngine(cache=ResultCache(tmp_path))
+    r2 = _fig1_report(warm)
+    assert r1["sweep"] != r2["sweep"]
+    assert "sweep" not in strip_volatile(r1)
+    assert json.dumps(strip_volatile(r1)) == json.dumps(strip_volatile(r2))
+
+
+@pytest.mark.slow
+def test_cli_fig2_jobs4_acceptance(tmp_path):
+    """The acceptance criterion, verbatim: ``repro fig2 --jobs 4``
+    byte-identical to ``--jobs 1`` (modulo wall-time fields), and a
+    second warm run reports 100% cache hits with the same report."""
+    from repro.cli import main
+
+    cache = str(tmp_path / "cache")
+    r_par = str(tmp_path / "par.json")
+    r_ser = str(tmp_path / "ser.json")
+    r_warm = str(tmp_path / "warm.json")
+
+    assert main(["fig2", "--panel", "b", "--jobs", "4",
+                 "--cache-dir", cache, "--report", r_par]) == 0
+    assert main(["fig2", "--panel", "b", "--jobs", "1", "--no-cache",
+                 "--report", r_ser]) == 0
+    assert main(["fig2", "--panel", "b", "--jobs", "4",
+                 "--cache-dir", cache, "--report", r_warm]) == 0
+
+    par = json.load(open(r_par))
+    ser = json.load(open(r_ser))
+    warm = json.load(open(r_warm))
+    assert _bytes(par) == _bytes(ser) == _bytes(warm)
+    assert warm["sweep"]["cache_hits"] == warm["sweep"]["cells"] > 0
+    assert warm["sweep"]["cache_misses"] == 0

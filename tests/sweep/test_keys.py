@@ -1,0 +1,163 @@
+"""Property tests for the content-addressed cache key.
+
+The key must be a function of a config's *meaning*: invariant under
+dict insertion order and float formatting, and changed by every
+individual field mutation.
+"""
+
+import json
+import string
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ConfigError
+from repro.cpu.config import CoreConfig
+from repro.isa.streams import ILP
+from repro.mem.config import MemConfig
+from repro.sweep import (
+    app_cell,
+    cache_key,
+    canonical_json,
+    canonicalize,
+    pair_cell,
+    stream_cell,
+    table1_cell,
+)
+from repro.workloads.common import Variant
+
+_keys = st.text(string.ascii_letters + string.digits + "_-", min_size=1,
+                max_size=12)
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-10**9, max_value=10**9),
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+    st.text(max_size=20),
+)
+_values = st.recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(_keys, children, max_size=4),
+    ),
+    max_leaves=12,
+)
+_configs = st.dictionaries(_keys, _values, min_size=1, max_size=6)
+
+
+def _reorder(obj):
+    """Same content, reversed dict insertion order at every level."""
+    if isinstance(obj, dict):
+        return dict(reversed([(k, _reorder(v)) for k, v in obj.items()]))
+    if isinstance(obj, list):
+        return [_reorder(v) for v in obj]
+    return obj
+
+
+def _reformat_numbers(obj):
+    """Same numeric values through a different formatting path."""
+    if isinstance(obj, bool) or obj is None:
+        return obj
+    if isinstance(obj, float):
+        return float(repr(obj))
+    if isinstance(obj, int) and abs(obj) < 2**53:
+        return float(obj)           # 64 -> 64.0: a formatting accident
+    if isinstance(obj, dict):
+        return {k: _reformat_numbers(v) for k, v in obj.items()}
+    if isinstance(obj, list):
+        return [_reformat_numbers(v) for v in obj]
+    return obj
+
+
+class TestKeyInvariance:
+    @given(_configs)
+    @settings(max_examples=150)
+    def test_dict_ordering_is_irrelevant(self, cfg):
+        assert cache_key(cfg) == cache_key(_reorder(cfg))
+
+    @given(_configs)
+    @settings(max_examples=150)
+    def test_float_formatting_is_irrelevant(self, cfg):
+        assert cache_key(cfg) == cache_key(_reformat_numbers(cfg))
+
+    def test_json_text_formatting_is_irrelevant(self):
+        a = json.loads('{"x": 2.00, "y": 0.750}')
+        b = {"y": 0.75, "x": 2}
+        assert cache_key(a) == cache_key(b)
+
+    def test_canonical_json_is_sorted_and_compact(self):
+        text = canonical_json({"b": 1.0, "a": [2.0, "x"]})
+        assert text == '{"a":[2,"x"],"b":1}'
+
+
+class TestKeySensitivity:
+    @given(_configs)
+    @settings(max_examples=150)
+    def test_every_field_mutation_changes_key(self, cfg):
+        base = cache_key(cfg)
+        for field in cfg:
+            mutated = dict(cfg)
+            # Wrapping is guaranteed to change the canonical form, no
+            # matter the original type or value.
+            mutated[field] = ["mutated", cfg[field]]
+            assert cache_key(mutated) != base, field
+
+    @given(st.integers(min_value=-10**6, max_value=10**6))
+    def test_adjacent_integers_differ(self, n):
+        assert cache_key({"v": n}) != cache_key({"v": n + 1})
+
+
+class TestCanonicalization:
+    def test_non_finite_floats_are_distinct(self):
+        keys = {cache_key({"v": float("nan")}),
+                cache_key({"v": float("inf")}),
+                cache_key({"v": float("-inf")}),
+                cache_key({"v": 0})}
+        assert len(keys) == 4
+
+    def test_bool_is_not_int(self):
+        assert cache_key({"v": True}) != cache_key({"v": 1})
+
+    def test_unhashable_types_rejected(self):
+        with pytest.raises(TypeError):
+            canonicalize({"v": object()})
+
+
+class TestCellKeys:
+    def test_stream_cell_fields_all_matter(self):
+        base = stream_cell("iadd", ILP.MAX, 1, horizon_ticks=1000).key()
+        assert stream_cell("fadd", ILP.MAX, 1, horizon_ticks=1000).key() != base
+        assert stream_cell("iadd", ILP.MIN, 1, horizon_ticks=1000).key() != base
+        assert stream_cell("iadd", ILP.MAX, 2, horizon_ticks=1000).key() != base
+        assert stream_cell("iadd", ILP.MAX, 1, horizon_ticks=2000).key() != base
+
+    def test_simulator_config_is_part_of_the_key(self):
+        base = stream_cell("iadd", ILP.MAX, 1, horizon_ticks=1000)
+        tweaked_core = stream_cell(
+            "iadd", ILP.MAX, 1, horizon_ticks=1000,
+            core_config=CoreConfig(issue_burst=8))
+        tweaked_mem = stream_cell(
+            "iadd", ILP.MAX, 1, horizon_ticks=1000,
+            mem_config=MemConfig(prefetch_degree=4))
+        assert len({base.key(), tweaked_core.key(), tweaked_mem.key()}) == 3
+
+    def test_pair_cell_is_order_sensitive(self):
+        ab = pair_cell("iadd", "fadd", ILP.MAX, horizon_ticks=1000).key()
+        ba = pair_cell("fadd", "iadd", ILP.MAX, horizon_ticks=1000).key()
+        assert ab != ba      # cpu0/cpu1 placement is part of the cell
+
+    def test_app_cell_size_dict_order_is_irrelevant(self):
+        a = app_cell("cg", Variant.SERIAL,
+                     {"n": 224, "nnz_per_row": 40, "iterations": 3})
+        b = app_cell("cg", Variant.SERIAL,
+                     {"iterations": 3, "n": 224, "nnz_per_row": 40})
+        assert a.key() == b.key()
+
+    def test_distinct_cell_kinds_never_collide(self):
+        assert (table1_cell("mm", "serial", {"n": 16}).key()
+                != app_cell("mm", Variant.SERIAL, {"n": 16}).key())
+
+    def test_unknown_stream_rejected(self):
+        with pytest.raises(ConfigError):
+            stream_cell("bogus", ILP.MAX, 1)
