@@ -11,7 +11,7 @@ enough to assert inline).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.core.apps import AppRunResult
 from repro.core.coexec import CoexecResult

@@ -1,0 +1,85 @@
+"""Static analysis for simulated experiments (no simulation required).
+
+Five passes over a bounded symbolic unrolling of an experiment:
+
+1. **hazards** — RAW/WAW chain walking confirms a stream's declared
+   ILP (|T|) matches the dependence-chain width it realizes;
+2. **units**  — every opcode must route to an execution port the
+   machine exposes and carry a CoreConfig timing;
+3. **races**  — vector-clock happens-before over the runtime.sync
+   edges; unordered conflicting accesses are reported (the paper's
+   prefetch-overlap idiom is recognized and exempt);
+4. **spans**  — SPR precomputation spans must sit in the paper's
+   [1/A, 1/2]-of-L2 window with a sane lookahead;
+5. **lint**   — AST scan of the source tree for determinism hazards
+   (unseeded RNGs, wall-clock reads, set iteration, unordered
+   filesystem listings, builtin ``hash``).
+
+Surfaces: the ``repro check`` CLI verb (human or ``--json`` output),
+and :func:`preflight_cells`, the fail-fast gate the sweep engine runs
+before simulating anything.
+"""
+
+from repro.check.findings import (
+    CHECK_SCHEMA_VERSION,
+    CheckReport,
+    Finding,
+    Severity,
+)
+from repro.check.hazards import (
+    ChainStats,
+    chain_stats,
+    unroll_stream,
+    verify_instrs,
+    verify_stream,
+)
+from repro.check.lint import lint_paths, lint_source
+from repro.check.preflight import preflight_cells
+from repro.check.races import detect_races
+from repro.check.runner import load_experiment, run_targets
+from repro.check.spans import verify_span_plan, verify_span_request
+from repro.check.targets import (
+    CheckTarget,
+    InstrsTarget,
+    PairTarget,
+    ProgramTarget,
+    SpanTarget,
+    StreamTarget,
+    WorkloadTarget,
+    default_targets,
+    stream_targets,
+    workload_targets,
+)
+from repro.check.units import pair_contention, verify_ops
+
+__all__ = [
+    "CHECK_SCHEMA_VERSION",
+    "ChainStats",
+    "CheckReport",
+    "CheckTarget",
+    "Finding",
+    "InstrsTarget",
+    "PairTarget",
+    "ProgramTarget",
+    "Severity",
+    "SpanTarget",
+    "StreamTarget",
+    "WorkloadTarget",
+    "chain_stats",
+    "default_targets",
+    "detect_races",
+    "lint_paths",
+    "lint_source",
+    "load_experiment",
+    "pair_contention",
+    "preflight_cells",
+    "run_targets",
+    "stream_targets",
+    "unroll_stream",
+    "verify_instrs",
+    "verify_ops",
+    "verify_span_plan",
+    "verify_span_request",
+    "verify_stream",
+    "workload_targets",
+]

@@ -1,0 +1,113 @@
+"""Finding model shared by every static-analysis pass.
+
+A :class:`Finding` is one diagnosed problem: which pass produced it,
+how bad it is, where it is (a human-readable *site* — a stream name, a
+``file:line``, a pair of instruction sites), what is wrong, and how to
+fix it.  :class:`CheckReport` aggregates findings across targets and
+renders them for humans (one line per finding plus a summary) or as a
+versioned JSON document (``--json``), mirroring the run-report
+conventions of :mod:`repro.observe`.
+
+Severities follow the usual lint contract: ``ERROR`` findings fail the
+check (non-zero exit, sweep pre-flight rejection); ``WARNING`` and
+``INFO`` inform but never fail.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List
+
+#: Bumped on any change to the JSON finding layout.
+CHECK_SCHEMA_VERSION = 1
+
+
+class Severity(enum.IntEnum):
+    """How bad a finding is; ordered so comparisons read naturally."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnosed problem at one site."""
+
+    check: str            # pass id: hazards | units | races | spans | lint
+    severity: Severity
+    site: str             # where: stream name, file:line, site pair, ...
+    message: str          # what is wrong
+    hint: str = ""        # how to fix it
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "check": self.check,
+            "severity": self.severity.name,
+            "site": self.site,
+            "message": self.message,
+            "hint": self.hint,
+        }
+        if self.data:
+            out["data"] = self.data
+        return out
+
+    def render(self) -> str:
+        line = f"{self.severity.name:7s} [{self.check}] {self.site}: {self.message}"
+        if self.hint:
+            line += f"\n        hint: {self.hint}"
+        return line
+
+
+@dataclass
+class CheckReport:
+    """All findings of one ``repro check`` invocation."""
+
+    findings: List[Finding] = field(default_factory=list)
+    targets_checked: int = 0
+    files_linted: int = 0
+
+    def extend(self, findings: Iterable[Finding]) -> None:
+        self.findings.extend(findings)
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+    def count(self, severity: Severity) -> int:
+        return sum(1 for f in self.findings if f.severity is severity)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema_version": CHECK_SCHEMA_VERSION,
+            "ok": self.ok,
+            "targets_checked": self.targets_checked,
+            "files_linted": self.files_linted,
+            "counts": {s.name: self.count(s) for s in Severity},
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+    def render(self) -> str:
+        lines = [f.render() for f in sorted(
+            self.findings, key=lambda f: (-int(f.severity), f.check, f.site))]
+        scope = [f"{self.targets_checked} targets"]
+        if self.files_linted:
+            scope.append(f"{self.files_linted} files linted")
+        verdict = "OK" if self.ok else "FAIL"
+        lines.append(
+            f"repro check: {verdict} — {len(self.findings)} findings "
+            f"({self.count(Severity.ERROR)} errors, "
+            f"{self.count(Severity.WARNING)} warnings) "
+            f"across {', '.join(scope)}"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,297 @@
+"""Pass 5 — repo determinism lint (AST-based).
+
+The sweep cache and the golden suite depend on a byte-identity
+invariant: the same cell on the same source tree must produce the same
+bytes, across runs, job counts and machines.  This lint walks the
+package's ASTs and flags constructs that silently break that
+invariant:
+
+``unseeded-random``
+    Global-state RNG calls (``random.random()``, ``np.random.rand()``),
+    ``default_rng()``/``random.Random()`` with no seed, ``uuid.uuid4``,
+    ``os.urandom``, ``secrets.*`` — results change run to run.
+``wall-clock``
+    ``time.time``/``perf_counter``/``datetime.now`` and friends.
+    Wall-clock reads are legitimate only for fields the report layer
+    strips as volatile; such sites carry a pragma (below).
+``set-iteration``
+    Iterating a set literal or ``set()``/``frozenset()`` call: the
+    order is arbitrary (hash-seed dependent for strings), so anything
+    serialized from it drifts.
+``unordered-fs``
+    ``os.listdir``/``scandir``, ``glob``, ``Path.iterdir``/``glob``/
+    ``rglob``: filesystem enumeration order is platform-dependent.
+    Allowed when directly consumed by an order-insensitive reducer
+    (``sorted``, ``len``, ``sum``, ``min``, ``max``, ``set``,
+    ``any``, ``all``).
+``builtin-hash``
+    The ``hash()`` builtin is randomized per process for strings and
+    bytes (PYTHONHASHSEED); cache keys must use ``hashlib`` digests.
+
+A site that is deliberately nondeterministic (wall-time measurement
+stripped by ``strip_volatile``) opts out with an end-of-line pragma::
+
+    t = time.perf_counter()  # check: allow(wall-clock)
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Set, Union
+
+from repro.check.findings import Finding, Severity
+
+_PRAGMA = re.compile(r"#\s*check:\s*allow\(([a-z-]+)\)")
+
+#: Dotted names whose call is a wall-clock read.
+_WALL_CLOCK = {
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.date.today",
+}
+
+#: numpy.random global-state functions (anything but default_rng/Generator).
+_NP_RANDOM_OK = {"numpy.random.default_rng", "numpy.random.Generator",
+                 "numpy.random.SeedSequence", "numpy.random.PCG64"}
+
+#: random-module entry points that are fine when seeded.
+_RANDOM_SEEDED_OK = {"random.Random", "random.SystemRandom", "random.seed"}
+
+_ENTROPY = {"uuid.uuid1", "uuid.uuid4", "os.urandom", "os.getrandom"}
+
+#: Calls that consume an unordered iterable order-insensitively.
+_ORDER_INSENSITIVE = {"sorted", "len", "sum", "min", "max", "set",
+                      "frozenset", "any", "all"}
+
+_FS_FUNCTIONS = {"os.listdir", "os.scandir", "glob.glob", "glob.iglob"}
+_FS_METHODS = {"iterdir", "glob", "rglob"}
+
+
+def _pragmas(source: str) -> Dict[int, Set[str]]:
+    out: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        for match in _PRAGMA.finditer(line):
+            out.setdefault(lineno, set()).add(match.group(1))
+    return out
+
+
+class _Linter(ast.NodeVisitor):
+    def __init__(self, path: str, source: str):
+        self.path = path
+        self.pragmas = _pragmas(source)
+        self.findings: List[Finding] = []
+        self.aliases: Dict[str, str] = {}   # local name -> dotted module
+        self._call_stack: List[str] = []    # enclosing call names
+
+    # -- imports --------------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self.aliases[alias.asname or alias.name.split(".")[0]] = (
+                alias.name if alias.asname else alias.name.split(".")[0]
+            )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module and node.level == 0:
+            for alias in node.names:
+                self.aliases[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+        self.generic_visit(node)
+
+    # -- helpers --------------------------------------------------------
+
+    def _dotted(self, node: ast.expr) -> Optional[str]:
+        """Resolve an expression to a dotted name through import aliases."""
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self.aliases.get(node.id, node.id)
+        if root == "np":
+            root = "numpy"
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+    def _allowed(self, rule: str, lineno: int) -> bool:
+        return rule in self.pragmas.get(lineno, set())
+
+    def _flag(self, rule: str, node: ast.AST, message: str, hint: str,
+              severity: Severity = Severity.ERROR) -> None:
+        lineno = getattr(node, "lineno", 0)
+        if self._allowed(rule, lineno):
+            return
+        self.findings.append(Finding(
+            check="lint", severity=severity,
+            site=f"{self.path}:{lineno}",
+            message=f"[{rule}] {message}",
+            hint=hint,
+            data={"rule": rule},
+        ))
+
+    def _in_order_insensitive_call(self) -> bool:
+        return any(c in _ORDER_INSENSITIVE for c in self._call_stack)
+
+    # -- calls ----------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = self._dotted(node.func)
+        if name is not None:
+            self._check_call(name, node)
+        elif isinstance(node.func, ast.Attribute) \
+                and node.func.attr in _FS_METHODS:
+            # Method call on a computed receiver (e.g. Path('.').rglob).
+            self._check_fs_method(node)
+        callee = name.rsplit(".", 1)[-1] if name else ""
+        self._call_stack.append(callee)
+        try:
+            self.generic_visit(node)
+        finally:
+            self._call_stack.pop()
+
+    def _check_call(self, name: str, node: ast.Call) -> None:
+        if name in _WALL_CLOCK:
+            self._flag(
+                "wall-clock", node,
+                f"{name}() reads the wall clock; its value differs on "
+                f"every run",
+                "only volatile report fields may carry wall time — mark "
+                "such sites `# check: allow(wall-clock)`",
+            )
+        elif name in _ENTROPY:
+            self._flag(
+                "unseeded-random", node,
+                f"{name}() draws OS entropy; results are irreproducible",
+                "derive ids from content hashes (hashlib) instead",
+            )
+        elif name == "hash":
+            self._flag(
+                "builtin-hash", node,
+                "builtin hash() is randomized per process for str/bytes "
+                "(PYTHONHASHSEED)",
+                "use hashlib.sha256 over a canonical encoding "
+                "(see repro.sweep.keys)",
+            )
+        elif name.startswith("random."):
+            if name in _RANDOM_SEEDED_OK:
+                if not node.args and not node.keywords:
+                    self._flag(
+                        "unseeded-random", node,
+                        f"{name}() without a seed draws from OS entropy",
+                        "pass an explicit seed",
+                    )
+            else:
+                self._flag(
+                    "unseeded-random", node,
+                    f"{name}() uses the global, unseeded RNG",
+                    "use a seeded numpy default_rng(seed) or "
+                    "random.Random(seed) instance",
+                )
+        elif name.startswith("numpy.random."):
+            if name not in _NP_RANDOM_OK:
+                self._flag(
+                    "unseeded-random", node,
+                    f"{name}() mutates numpy's global RNG state",
+                    "use numpy.random.default_rng(seed)",
+                )
+            elif name == "numpy.random.default_rng" and not node.args \
+                    and not node.keywords:
+                self._flag(
+                    "unseeded-random", node,
+                    "default_rng() without a seed draws from OS entropy",
+                    "pass an explicit seed",
+                )
+        elif name in _FS_FUNCTIONS:
+            if not self._in_order_insensitive_call():
+                self._flag(
+                    "unordered-fs", node,
+                    f"{name}() yields entries in platform-dependent order",
+                    "wrap the listing in sorted(...)",
+                )
+        elif isinstance(node.func, ast.Attribute) \
+                and node.func.attr in _FS_METHODS:
+            # A method call on a non-module receiver (e.g. Path.iterdir);
+            # module-level glob.glob resolves above instead.
+            self._check_fs_method(node)
+
+    def _check_fs_method(self, node: ast.Call) -> None:
+        if not self._in_order_insensitive_call():
+            self._flag(
+                "unordered-fs", node,
+                f".{node.func.attr}() yields entries in "
+                f"platform-dependent order",
+                "wrap the listing in sorted(...)",
+            )
+
+    # -- set iteration --------------------------------------------------
+
+    def _check_iter(self, iter_node: ast.expr, where: ast.AST) -> None:
+        nondet = isinstance(iter_node, ast.Set)
+        if isinstance(iter_node, ast.Call):
+            name = self._dotted(iter_node.func)
+            nondet = name in ("set", "frozenset")
+        if nondet and not self._in_order_insensitive_call():
+            self._flag(
+                "set-iteration", where,
+                "iterating a set: element order is arbitrary and "
+                "hash-seed dependent for strings",
+                "iterate sorted(<set>) when order can reach any output",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iter(node.iter, node)
+        self.generic_visit(node)
+
+    def _visit_comp(
+        self,
+        node: Union[ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp],
+    ) -> None:
+        for gen in node.generators:
+            self._check_iter(gen.iter, node)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comp
+    visit_SetComp = _visit_comp
+    visit_DictComp = _visit_comp
+    visit_GeneratorExp = _visit_comp
+
+
+def lint_source(path: str, source: str) -> List[Finding]:
+    """Lint one file's source text."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as e:
+        return [Finding(
+            check="lint", severity=Severity.ERROR, site=f"{path}:{e.lineno}",
+            message=f"file does not parse: {e.msg}",
+            hint="fix the syntax error first",
+        )]
+    linter = _Linter(path, source)
+    linter.visit(tree)
+    return linter.findings
+
+
+def iter_python_files(root: Union[str, Path]) -> Iterator[Path]:
+    rootp = Path(root)
+    if rootp.is_file():
+        yield rootp
+        return
+    yield from sorted(rootp.rglob("*.py"))
+
+
+def lint_paths(root: Union[str, Path]) -> tuple[List[Finding], int]:
+    """Lint every ``*.py`` under ``root``; returns (findings, file count)."""
+    findings: List[Finding] = []
+    count = 0
+    rootp = Path(root)
+    for path in iter_python_files(rootp):
+        count += 1
+        rel = path.relative_to(rootp) if path != rootp else path.name
+        findings.extend(lint_source(str(rel), path.read_text()))
+    return findings, count

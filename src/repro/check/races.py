@@ -1,0 +1,293 @@
+"""Pass 3 — shared-memory race detector (static happens-before).
+
+Simulated programs are generators of :class:`~repro.isa.instr.Instr`;
+their synchronization is built from :mod:`repro.runtime.sync` — stores
+that advance a :class:`SyncVar` (release), loads that sample it inside
+a wait (acquire), and :class:`SenseBarrier` arrivals composed of both.
+This pass analyzes a program **without the cycle-accurate simulator**:
+it unrolls the thread generators through a bounded round-robin
+interpreter (one instruction per thread per turn, effects applied
+immediately — the sequentially-consistent reference semantics), builds
+the happens-before relation with vector clocks, and reports store/load
+and store/store pairs on overlapping addresses with no ordering edge.
+
+Synchronization accesses are recognized structurally: every
+:mod:`repro.runtime.sync` instruction is stamped with ``SYNC_SITE``,
+so a store there is a release (the variable's clock absorbs the
+thread's) and a load an acquire (the thread's clock absorbs the
+variable's).  The sense-reversing barrier needs no special casing —
+its counter RMW and sense publication are themselves sync stores and
+loads, and the induced edges order every arrival before every exit.
+
+Prefetch traffic is exempt from *failing* findings: ``PREFETCH`` µops
+are ignored, and the repo's helper-thread idiom (loads into the
+``PF_DST`` scratch registers, data-less touch stores) is reported at
+INFO severity only — those accesses warm the cache and discard the
+value, so overlapping a concurrent writer is benign by construction
+(it is the paper's §3.2 design).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.check.findings import Finding, Severity
+from repro.common.addrspace import AddressSpace
+from repro.isa.instr import Instr
+from repro.isa.opcodes import Op, is_load, is_store
+from repro.isa.registers import F
+from repro.runtime.sync import SYNC_SITE
+
+#: Default per-thread unrolling budget (instructions).
+DEFAULT_BUDGET = 500_000
+
+#: Consecutive trailing sync-site instructions that mark a thread as
+#: stuck in a wait that nothing will ever satisfy.
+_STUCK_RUN = 1_000
+
+#: Destination registers whose loads are cache-warming prefetches
+#: (values discarded) — see ``repro.workloads.common.PF_DST``.
+PREFETCH_DST = frozenset({F(14), F(15)})
+
+
+class _CheckAPI:
+    """Stand-in for :class:`repro.runtime.program.ThreadAPI`.
+
+    Wakes and flushes are performance artifacts; for happens-before
+    extraction they are no-ops.  ``now`` advances with the interpreter
+    so generators that consult it stay deterministic.
+    """
+
+    def __init__(self, tid: int, aspace: AddressSpace,
+                 clock: Callable[[], int]):
+        self.tid = tid
+        self._aspace = aspace
+        self._clock = clock
+
+    def wake(self, tid: int) -> None:
+        return None
+
+    def flush_self(self, penalty: Optional[int] = None) -> None:
+        return None
+
+    @property
+    def aspace(self) -> AddressSpace:
+        return self._aspace
+
+    @property
+    def now(self) -> int:
+        return self._clock()
+
+
+def _is_prefetch_access(ins: Instr) -> bool:
+    """The helper-thread prefetch idiom: value-discarding touches."""
+    if is_load(ins.op):
+        return ins.dst in PREFETCH_DST
+    if is_store(ins.op):
+        return not ins.srcs  # data-less prefetch-for-write touch
+    return False
+
+
+@dataclass
+class _RacePair:
+    """One deduplicated racy site pair."""
+
+    kind: str               # "store/load" | "store/store" | "load/store"
+    site_a: int
+    site_b: int
+    region: str
+    first_addr: int
+    prefetch: bool
+    count: int = 0
+
+
+@dataclass
+class _AddrState:
+    """FastTrack-style per-address epochs."""
+
+    write: Optional[Tuple[int, int, int, bool]] = None  # tid, clk, site, pf
+    reads: Dict[int, Tuple[int, int, bool]] = field(default_factory=dict)
+
+
+def detect_races(
+    factories: Sequence[Callable[[object], Iterator[Instr]]],
+    aspace: AddressSpace,
+    name: str = "program",
+    budget: int = DEFAULT_BUDGET,
+) -> List[Finding]:
+    """Unroll ``factories`` and report conflicting unordered accesses.
+
+    ``factories`` follow the runtime convention: each is called with a
+    thread-API object and returns the thread's instruction generator.
+    """
+    n = len(factories)
+    if n < 2:
+        return []
+
+    steps_total = 0
+
+    def clock() -> int:
+        return steps_total
+
+    gens: List[Iterator[Instr]] = [
+        factory(_CheckAPI(tid, aspace, clock))
+        for tid, factory in enumerate(factories)
+    ]
+
+    # Vector clocks: vc[t][u] = latest epoch of thread u that t has seen.
+    vc: List[List[int]] = [[0] * n for _ in range(n)]
+    for t in range(n):
+        vc[t][t] = 1
+    sync_vc: Dict[int, List[int]] = {}
+    mem: Dict[int, _AddrState] = {}
+    pairs: Dict[Tuple[str, int, int, str], _RacePair] = {}
+    done = [False] * n
+    exhausted = [False] * n
+    steps = [0] * n
+    sync_run = [0] * n  # trailing run of sync-site instructions
+
+    def region_name(addr: int) -> str:
+        region = aspace.region_of(addr)
+        return region.name if region is not None else f"addr {addr:#x}"
+
+    def record(kind: str, site_a: int, site_b: int, addr: int,
+               prefetch: bool) -> None:
+        key = (kind, site_a, site_b, region_name(addr))
+        pair = pairs.get(key)
+        if pair is None:
+            pair = _RacePair(kind=kind, site_a=site_a, site_b=site_b,
+                             region=region_name(addr), first_addr=addr,
+                             prefetch=prefetch)
+            pairs[key] = pair
+        pair.count += 1
+        pair.prefetch = pair.prefetch and prefetch
+
+    def ordered(epoch_tid: int, epoch_clk: int, observer: int) -> bool:
+        return epoch_clk <= vc[observer][epoch_tid]
+
+    def process(t: int, ins: Instr) -> None:
+        if ins.effect is not None:
+            ins.effect()
+        if ins.op is Op.PREFETCH or ins.addr is None:
+            return
+        addr = ins.addr
+        if ins.site == SYNC_SITE:
+            if is_store(ins.op):
+                # Acquire-release: sync stores are either publishes or
+                # the store half of an atomic RMW (the barrier's lock'd
+                # decrement), so the writer first absorbs every earlier
+                # release on the variable, then adds its own.  Without
+                # the acquire half, a barrier's last arrival whose RMW
+                # *load* interleaved before a peer's RMW *store* would
+                # miss that peer's edge — a false race.
+                svc = sync_vc.setdefault(addr, [0] * n)
+                for u in range(n):
+                    if svc[u] > vc[t][u]:
+                        vc[t][u] = svc[u]
+                    svc[u] = vc[t][u]
+                vc[t][t] += 1
+            elif is_load(ins.op):
+                svc2 = sync_vc.get(addr)
+                if svc2 is not None:
+                    for u in range(n):
+                        if svc2[u] > vc[t][u]:
+                            vc[t][u] = svc2[u]
+            return
+        prefetch = _is_prefetch_access(ins)
+        state = mem.setdefault(addr, _AddrState())
+        if is_load(ins.op):
+            w = state.write
+            if w is not None and w[0] != t and not ordered(w[0], w[1], t):
+                record("store/load", w[2], ins.site, addr,
+                       prefetch or w[3])
+            state.reads[t] = (vc[t][t], ins.site, prefetch)
+        elif is_store(ins.op):
+            w = state.write
+            if w is not None and w[0] != t and not ordered(w[0], w[1], t):
+                record("store/store", w[2], ins.site, addr,
+                       prefetch or w[3])
+            for rt, (rclk, rsite, rpf) in state.reads.items():
+                if rt != t and not ordered(rt, rclk, t):
+                    record("load/store", rsite, ins.site, addr,
+                           prefetch or rpf)
+            state.write = (t, vc[t][t], ins.site, prefetch)
+            state.reads.clear()
+
+    live = n
+    while live:
+        progressed = False
+        for t in range(n):
+            if done[t] or exhausted[t]:
+                continue
+            if steps[t] >= budget:
+                exhausted[t] = True
+                continue
+            try:
+                ins = next(gens[t])
+            except StopIteration:
+                done[t] = True
+                live -= 1
+                continue
+            steps[t] += 1
+            steps_total += 1
+            sync_run[t] = sync_run[t] + 1 if ins.site == SYNC_SITE else 0
+            progressed = True
+            process(t, ins)
+        if not progressed and any(exhausted[t] and not done[t]
+                                  for t in range(n)):
+            break
+
+    findings: List[Finding] = []
+    for pair in pairs.values():
+        severity = Severity.INFO if pair.prefetch else Severity.ERROR
+        what = ("prefetch touch overlaps a concurrent access — benign "
+                "by construction (value discarded)"
+                if pair.prefetch else
+                "no happens-before edge orders the accesses")
+        findings.append(Finding(
+            check="races", severity=severity,
+            site=f"{name}: sites {pair.site_a} -> {pair.site_b}",
+            message=(
+                f"unsynchronized {pair.kind} pair on region "
+                f"{pair.region!r} ({pair.count} occurrence(s), first at "
+                f"{pair.first_addr:#x}): {what}"
+            ),
+            hint=("order the pair with a SyncVar advance/wait or a "
+                  "SenseBarrier (repro.runtime.sync)"),
+            data={"kind": pair.kind, "region": pair.region,
+                  "site_a": pair.site_a, "site_b": pair.site_b,
+                  "count": pair.count, "prefetch": pair.prefetch},
+        ))
+    # A spinner is only suspicious when *every* unfinished thread is
+    # spinning: if some peer ran out of budget mid-work, the spinner is
+    # simply waiting for progress the analysis never got to make.
+    unfinished = [t for t in range(n) if exhausted[t] and not done[t]]
+    all_spinning = bool(unfinished) and all(
+        sync_run[t] >= _STUCK_RUN for t in unfinished)
+    for t in unfinished:
+        if all_spinning:
+            findings.append(Finding(
+                check="races", severity=Severity.WARNING,
+                site=f"{name}: thread {t}",
+                message=(
+                    f"thread spun on synchronization for its last "
+                    f"{sync_run[t]} instructions and never finished "
+                    f"within the {budget}-instruction budget — "
+                    f"possible deadlock or lost wakeup"
+                ),
+                hint=("check the wait's threshold against every "
+                      "advance the peers publish"),
+            ))
+        else:
+            findings.append(Finding(
+                check="races", severity=Severity.INFO,
+                site=f"{name}: thread {t}",
+                message=(
+                    f"analysis budget of {budget} instructions "
+                    f"exhausted before the thread finished; race "
+                    f"coverage is partial"
+                ),
+                hint="raise the budget for full coverage",
+            ))
+    return findings

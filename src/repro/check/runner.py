@@ -1,0 +1,65 @@
+"""Drive check targets and experiment files into one report.
+
+``run_targets`` executes each target's passes and aggregates a
+:class:`~repro.check.findings.CheckReport`.  ``load_experiment`` loads
+a user experiment file — any Python file exporting a ``TARGETS`` list
+of :class:`~repro.check.targets.CheckTarget` objects — so ``repro
+check --experiment exp.py`` analyzes exactly the streams, programs and
+span plans that experiment would simulate.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+from typing import List, Sequence, Union
+
+from repro.check.findings import CheckReport, Finding, Severity
+from repro.check.targets import CheckTarget
+from repro.common.errors import UsageError
+
+
+def run_targets(targets: Sequence[CheckTarget]) -> CheckReport:
+    """Run every target's applicable passes; never raises on findings."""
+    report = CheckReport()
+    for target in targets:
+        try:
+            report.extend(target.check())
+        except Exception as e:  # a crashing pass is itself a finding
+            report.extend([Finding(
+                check="runner", severity=Severity.ERROR, site=target.name,
+                message=f"check pass crashed: {type(e).__name__}: {e}",
+                hint="fix the target definition or report a checker bug",
+            )])
+        report.targets_checked += 1
+    return report
+
+
+def load_experiment(path: Union[str, Path]) -> List[CheckTarget]:
+    """Import an experiment file and return its ``TARGETS`` list."""
+    p = Path(path)
+    if not p.is_file():
+        raise UsageError(f"experiment file not found: {p}")
+    spec = importlib.util.spec_from_file_location(f"_check_exp_{p.stem}", p)
+    if spec is None or spec.loader is None:
+        raise UsageError(f"cannot import experiment file: {p}")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+    except Exception as e:
+        raise UsageError(f"experiment file {p} failed to import: {e}") from e
+    finally:
+        sys.modules.pop(spec.name, None)
+    targets = getattr(module, "TARGETS", None)
+    if targets is None:
+        raise UsageError(
+            f"experiment file {p} does not define TARGETS "
+            f"(a list of repro.check targets)")
+    bad = [t for t in targets if not isinstance(t, CheckTarget)]
+    if bad:
+        raise UsageError(
+            f"experiment file {p}: TARGETS entries must be CheckTarget "
+            f"instances, got {type(bad[0]).__name__}")
+    return list(targets)

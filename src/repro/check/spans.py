@@ -1,0 +1,139 @@
+"""Pass 4 — SPR precomputation-span checker (paper §3.2).
+
+"The upper bound we enforced in our codes ranges from 1/A to 1/2 of
+the L2 cache size" — spans outside that window either thrash the L2
+(too big: the helper evicts data the worker has not consumed) or add
+synchronization overhead without conflict-miss protection (too small).
+Unlike :func:`repro.spr.spans.plan_spans`, which *raises* on a bad
+request, this pass reports findings without raising, so one check run
+can surface every problem in an experiment file.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.check.findings import Finding, Severity
+from repro.mem.config import MemConfig
+from repro.spr.spans import SpanPlan
+
+
+def _window(cfg: MemConfig) -> tuple[float, float]:
+    return 1.0 / cfg.l2_assoc, 0.5
+
+
+def verify_span_request(
+    name: str,
+    total_items: int,
+    bytes_per_item: int,
+    fraction: float = 0.25,
+    lookahead: int = 1,
+    mem_config: Optional[MemConfig] = None,
+) -> List[Finding]:
+    """Validate a ``plan_spans`` request without running it."""
+    cfg = mem_config if mem_config is not None else MemConfig()
+    lo, hi = _window(cfg)
+    findings: List[Finding] = []
+    if total_items <= 0 or bytes_per_item <= 0:
+        findings.append(Finding(
+            check="spans", severity=Severity.ERROR, site=name,
+            message=(f"need positive item count and size, got "
+                     f"total_items={total_items}, "
+                     f"bytes_per_item={bytes_per_item}"),
+            hint="pass the workload's real item geometry",
+        ))
+        return findings
+    if not lo <= fraction <= hi:
+        findings.append(Finding(
+            check="spans", severity=Severity.ERROR, site=name,
+            message=(
+                f"span fraction {fraction:g} outside the paper's "
+                f"[1/A, 1/2] window = [{lo:g}, {hi:g}] of L2 "
+                f"(A = {cfg.l2_assoc})"
+            ),
+            hint=("use 1/4 of L2 — the conflict-miss-safe choice the "
+                  "paper adopts from Wang et al. (§3.2)"),
+            data={"fraction": fraction, "window": [lo, hi]},
+        ))
+        return findings
+    # Mirror plan_spans' sizing arithmetic without raising.
+    items = max(1, int(cfg.l2_size * fraction) // bytes_per_item)
+    if items > total_items:
+        items = total_items
+    num = (total_items + items - 1) // items
+    plan = SpanPlan(span_bytes=items * bytes_per_item, items_per_span=items,
+                    num_spans=num, lookahead=lookahead)
+    findings.extend(verify_span_plan(name, plan, mem_config=cfg))
+    return findings
+
+
+def verify_span_plan(
+    name: str,
+    plan: SpanPlan,
+    mem_config: Optional[MemConfig] = None,
+) -> List[Finding]:
+    """Validate a realized :class:`SpanPlan` footprint and lookahead."""
+    cfg = mem_config if mem_config is not None else MemConfig()
+    lo, hi = _window(cfg)
+    lo_bytes = int(cfg.l2_size * lo)
+    hi_bytes = int(cfg.l2_size * hi)
+    findings: List[Finding] = []
+    if plan.lookahead < 1:
+        findings.append(Finding(
+            check="spans", severity=Severity.ERROR, site=name,
+            message=(f"lookahead {plan.lookahead} gives the helper no "
+                     f"room to run ahead of the worker"),
+            hint="lookahead must be >= 1 span (paper §3.2 throttling)",
+            data={"lookahead": plan.lookahead},
+        ))
+    if plan.span_bytes > hi_bytes:
+        if plan.items_per_span == 1:
+            findings.append(Finding(
+                check="spans", severity=Severity.WARNING, site=name,
+                message=(
+                    f"a single item ({plan.span_bytes} B) exceeds the "
+                    f"L2/2 span bound ({hi_bytes} B); the span degrades "
+                    f"to one item"
+                ),
+                hint=("the paper's LU tiles stretch the bound the same "
+                      "way; expect reduced prefetch coverage"),
+                data={"span_bytes": plan.span_bytes, "bound": hi_bytes},
+            ))
+        else:
+            findings.append(Finding(
+                check="spans", severity=Severity.ERROR, site=name,
+                message=(
+                    f"span footprint {plan.span_bytes} B exceeds L2/2 = "
+                    f"{hi_bytes} B — the helper would evict unconsumed "
+                    f"data (legal window [{lo_bytes}, {hi_bytes}] B of "
+                    f"the {cfg.l2_size} B L2)"
+                ),
+                hint="shrink items_per_span or the span fraction",
+                data={"span_bytes": plan.span_bytes,
+                      "window_bytes": [lo_bytes, hi_bytes]},
+            ))
+    elif plan.span_bytes < lo_bytes and plan.num_spans > 1:
+        findings.append(Finding(
+            check="spans", severity=Severity.INFO, site=name,
+            message=(
+                f"span footprint {plan.span_bytes} B is below L2/A = "
+                f"{lo_bytes} B; spans this small add synchronization "
+                f"overhead per prefetched byte"
+            ),
+            hint="grow items_per_span toward the 1/4-of-L2 default",
+            data={"span_bytes": plan.span_bytes, "bound": lo_bytes},
+        ))
+    footprint = (plan.lookahead + 1) * plan.span_bytes
+    if plan.lookahead >= 1 and footprint > cfg.l2_size:
+        findings.append(Finding(
+            check="spans", severity=Severity.WARNING, site=name,
+            message=(
+                f"worker + helper working set "
+                f"(lookahead {plan.lookahead} + 1) x {plan.span_bytes} B "
+                f"= {footprint} B exceeds the {cfg.l2_size} B L2 — "
+                f"prefetched spans may be evicted before use"
+            ),
+            hint="reduce the lookahead or the span footprint",
+            data={"footprint": footprint, "l2_size": cfg.l2_size},
+        ))
+    return findings

@@ -1,0 +1,114 @@
+"""Pass 2 — unit legality (paper Table 1 / fig. 6).
+
+Every opcode must map onto at least one execution port the machine
+model actually exposes, and must have a timing in the
+:class:`~repro.cpu.config.CoreConfig`.  The pass also knows the two
+structural facts the paper's analysis leans on — logical ops execute
+only on ALU0, and there is a single (non-pipelined) FP divider — and
+emits contention advisories when two co-scheduled streams route
+exclusively to the same single unit (the fig. 2 slowdown mechanism).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Optional, Sequence
+
+from repro.check.findings import Finding, Severity
+from repro.cpu.config import CoreConfig
+from repro.cpu.units import ROUTES, UNIT_NAMES
+from repro.isa.opcodes import Op
+
+#: The full port set of the modelled package.
+ALL_UNITS: FrozenSet[str] = frozenset(UNIT_NAMES)
+
+
+def verify_ops(
+    name: str,
+    ops: Iterable[Op],
+    core_config: Optional[CoreConfig] = None,
+    available_units: Optional[FrozenSet[str]] = None,
+) -> List[Finding]:
+    """Check every opcode routes to an available unit with a timing."""
+    cfg = core_config if core_config is not None else CoreConfig()
+    units = available_units if available_units is not None else ALL_UNITS
+    unknown = units - ALL_UNITS
+    findings: List[Finding] = []
+    if unknown:
+        findings.append(Finding(
+            check="units", severity=Severity.ERROR, site=name,
+            message=(f"machine exposes unknown unit(s) "
+                     f"{sorted(unknown)}; the model defines "
+                     f"{sorted(ALL_UNITS)}"),
+            hint="see repro.cpu.units.UNIT_NAMES",
+        ))
+    for op in dict.fromkeys(ops):  # preserve order, dedup
+        route = ROUTES.get(op)
+        if route is None:
+            findings.append(Finding(
+                check="units", severity=Severity.ERROR, site=name,
+                message=f"opcode {op.name} has no issue-port route",
+                hint="add it to repro.cpu.units.ROUTES",
+                data={"op": op.name},
+            ))
+            continue
+        usable = [u for u in route if u in units]
+        if not usable:
+            findings.append(Finding(
+                check="units", severity=Severity.ERROR, site=name,
+                message=(
+                    f"opcode {op.name} needs port(s) {list(route)} but the "
+                    f"machine only exposes {sorted(units)}"
+                ),
+                hint=("pick an opcode the machine can execute, or model "
+                      "the missing unit in repro.cpu.units"),
+                data={"op": op.name, "route": list(route)},
+            ))
+        if op not in cfg.timings:
+            findings.append(Finding(
+                check="units", severity=Severity.ERROR, site=name,
+                message=f"opcode {op.name} has no timing in CoreConfig",
+                hint="add an OpTiming entry to CoreConfig.timings",
+                data={"op": op.name},
+            ))
+    return findings
+
+
+def _exclusive_units(ops: Iterable[Op]) -> FrozenSet[str]:
+    """Units that some op of the stream can *only* execute on."""
+    exclusive = set()
+    for op in ops:
+        route = ROUTES.get(op, ())
+        if len(route) == 1:
+            exclusive.add(route[0])
+    return frozenset(exclusive)
+
+
+def pair_contention(
+    name_a: str,
+    ops_a: Sequence[Op],
+    name_b: str,
+    ops_b: Sequence[Op],
+) -> List[Finding]:
+    """Advisory: co-scheduled streams that serialize on one port.
+
+    This is deliberate in the paper's fig. 2 (it is the measured
+    effect), so the finding is informational — but an experiment that
+    *assumed* independent progress would want to know.
+    """
+    shared = _exclusive_units(ops_a) & _exclusive_units(ops_b)
+    findings: List[Finding] = []
+    for unit in sorted(shared):
+        note = ""
+        if unit == "fpdiv":
+            note = " (non-pipelined: expect the fdiv x fdiv serialization)"
+        elif unit == "alu0":
+            note = " (the paper's logical-op/ALU0 bottleneck, §5.3)"
+        findings.append(Finding(
+            check="units", severity=Severity.INFO,
+            site=f"{name_a} x {name_b}",
+            message=(f"both streams route exclusively to {unit!r}; "
+                     f"co-execution serializes on it{note}"),
+            hint="expected for fig. 2 pairs; avoid for independent work",
+            data={"unit": unit},
+        ))
+    return findings

@@ -8,8 +8,18 @@
     python -m repro app cg --variant tlp-pfetch
     python -m repro table1                    # subunit utilization
     python -m repro stream fadd --ilp max --threads 2
+    python -m repro check                     # static analysis, no simulation
+    python -m repro check --experiment exp.py --json
+    python -m repro check --lint-src          # determinism lint over src/
 
 Every command prints the same renderings the benchmark harness emits.
+
+``repro check`` (the :mod:`repro.check` analyzer) verifies experiments
+*without simulating them*: hazard/ILP chains, unit legality, vector-
+clock race detection, SPR span windows, and (with ``--lint-src``) an
+AST determinism lint of the source tree.  The sweep commands run the
+same hazard/unit/race/span passes as a fail-fast pre-flight over every
+cell; ``--no-check`` skips that.
 
 Sweep flags (the :mod:`repro.sweep` engine; ``fig1``, ``fig2``,
 ``table1``, and ``app`` without ``--variant``):
@@ -70,7 +80,7 @@ from repro.core import (
     run_app_experiment,
     table1_rows,
 )
-from repro.core.apps import APP_SIZES, APP_VARIANTS
+from repro.core.apps import APP_SIZES
 from repro.core.coexec import FIG2A_STREAMS, FIG2B_STREAMS, FIG2C_PAIRS
 from repro.cpu.config import CoreConfig
 from repro.isa import ILP
@@ -132,6 +142,9 @@ def _add_sweep_flags(sp: argparse.ArgumentParser) -> None:
                     help="disable the sweep result cache")
     sp.add_argument("--fresh", action="store_true",
                     help="recompute every cell, overwriting cache entries")
+    sp.add_argument("--no-check", action="store_true",
+                    help="skip the static pre-flight checks "
+                    "(hazards/units/races/spans) before simulating")
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -172,6 +185,25 @@ def _parser() -> argparse.ArgumentParser:
     st.add_argument("--ilp", choices=sorted(_ILP), default="max")
     st.add_argument("--threads", type=int, choices=[1, 2], default=1)
     _add_output_flags(st, traceable=True)
+
+    ck = sub.add_parser(
+        "check",
+        help="static analysis — hazards, units, races, spans, lint — "
+        "without simulating anything",
+    )
+    ck.add_argument("--experiment", metavar="PATH",
+                    help="analyze the TARGETS list exported by a Python "
+                    "experiment file instead of the shipped defaults")
+    ck.add_argument("--lint-src", nargs="?", const="src", default=None,
+                    metavar="PATH",
+                    help="run the determinism lint over PATH (default: "
+                    "src); given alone, runs only the lint")
+    ck.add_argument("--budget", type=_positive_int, default=None,
+                    metavar="N",
+                    help="per-thread instruction budget for the race "
+                    "scan of the default targets")
+    ck.add_argument("--json", action="store_true",
+                    help="print the findings as a versioned JSON document")
     return p
 
 
@@ -188,12 +220,23 @@ def _size_dict(app: str, size: Optional[int]) -> dict:
 def _make_engine(args: argparse.Namespace) -> SweepEngine:
     """Build the sweep engine the command's flags describe.
 
-    Cache-directory problems surface here, before any simulation runs.
+    Flag problems surface here as :class:`UsageError` (the same
+    ``repro: error:`` shape and exit status as argparse's own errors),
+    before any simulation runs.
     """
+    if not isinstance(args.jobs, int) or args.jobs < 1:
+        raise UsageError(f"--jobs must be a positive integer, "
+                         f"got {args.jobs!r}")
     cache = None
     if not args.no_cache:
-        cache = ResultCache(args.cache_dir)
-    return SweepEngine(jobs=args.jobs, cache=cache, fresh=args.fresh)
+        try:
+            cache = ResultCache(args.cache_dir)
+        except CacheError as e:
+            raise UsageError(
+                f"--cache-dir {args.cache_dir!r} is unusable: {e} "
+                f"(pick a writable directory or pass --no-cache)")
+    return SweepEngine(jobs=args.jobs, cache=cache, fresh=args.fresh,
+                       preflight=not args.no_check)
 
 
 def _sweep_note(engine: SweepEngine) -> None:
@@ -346,6 +389,30 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro import check as checkmod
+    from repro.check.races import DEFAULT_BUDGET
+
+    lint_only = args.lint_src is not None and args.experiment is None
+    if args.experiment is not None:
+        targets = checkmod.load_experiment(args.experiment)
+    elif lint_only:
+        targets = []
+    else:
+        targets = checkmod.default_targets(
+            budget=args.budget or DEFAULT_BUDGET)
+    report = checkmod.run_targets(targets)
+    if args.lint_src is not None:
+        findings, count = checkmod.lint_paths(args.lint_src)
+        report.extend(findings)
+        report.files_linted = count
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
+    return report.exit_code
+
+
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "fig1":
         return _cmd_fig1(args)
@@ -357,6 +424,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_table1(args)
     if args.command == "stream":
         return _cmd_stream(args)
+    if args.command == "check":
+        return _cmd_check(args)
     raise AssertionError("unreachable")
 
 

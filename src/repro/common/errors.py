@@ -23,6 +23,12 @@ class CacheError(ReproError):
     directory cannot be created or written)."""
 
 
+class CheckError(ReproError):
+    """Raised when static analysis (:mod:`repro.check`) rejects an
+    experiment before simulation — e.g. the sweep pre-flight finding a
+    stream whose realized ILP contradicts its declaration."""
+
+
 def format_cli_error(prog: str, message) -> str:
     """The one CLI error shape: mirrors argparse's own error prefix."""
     return f"{prog}: error: {message}"

@@ -95,9 +95,9 @@ def run_app_experiment(
                    accountant=accountant, profiler=profiler)
     for factory in build.factories:
         prog.add_thread(factory)
-    t_wall = time.perf_counter()
+    t_wall = time.perf_counter()  # check: allow(wall-clock)
     result = prog.run()
-    t_wall = time.perf_counter() - t_wall
+    t_wall = time.perf_counter() - t_wall  # check: allow(wall-clock)
     mon = result.monitor
     worker_tid = build.meta.get("worker_tid", 0)
     total_misses = mon.read(Event.L2_READ_MISS)

@@ -46,11 +46,23 @@ def plan_spans(
     lo, hi = 1.0 / cfg.l2_assoc, 0.5
     if not lo <= fraction <= hi:
         raise ConfigError(
-            f"span fraction {fraction} outside the paper's window "
-            f"[1/{cfg.l2_assoc}, 1/2]"
+            f"span fraction {fraction!r} is outside the paper's legal "
+            f"window [1/{cfg.l2_assoc}, 1/2] = [{lo:.6g}, {hi:.6g}] "
+            f"(A={cfg.l2_assoc}-way L2); pick a fraction in that range "
+            f"— 1/4 is the conflict-miss-safe default"
         )
-    if total_items <= 0 or bytes_per_item <= 0:
-        raise ConfigError("need positive item count and size")
+    if total_items <= 0:
+        raise ConfigError(
+            f"total_items must be positive, got {total_items!r}"
+        )
+    if bytes_per_item <= 0:
+        raise ConfigError(
+            f"bytes_per_item must be positive, got {bytes_per_item!r}"
+        )
+    if lookahead < 1:
+        raise ConfigError(
+            f"lookahead must be at least 1 span, got {lookahead!r}"
+        )
     span_bytes = int(cfg.l2_size * fraction)
     items = max(1, span_bytes // bytes_per_item)
     if items > total_items:

@@ -86,6 +86,7 @@ class SweepEngine:
     jobs: int = 1
     cache: Optional[ResultCache] = None
     fresh: bool = False
+    preflight: bool = True
     stats: SweepStats = field(init=False)
 
     def __post_init__(self):
@@ -99,7 +100,19 @@ class SweepEngine:
         )
 
     def run(self, cells: Sequence[SweepCell]) -> List[Any]:
-        """Execute ``cells``; return their results in submission order."""
+        """Execute ``cells``; return their results in submission order.
+
+        Unless ``preflight`` is off, every cell is statically analyzed
+        first (:func:`repro.check.preflight_cells`) — a cell whose
+        stream recipe or workload fingerprint is stale, whose stream
+        fails the hazard/unit passes, or whose workload races, raises
+        :class:`~repro.common.errors.CheckError` before anything is
+        simulated or cached.
+        """
+        if self.preflight and cells:
+            from repro.check.preflight import preflight_cells
+
+            preflight_cells(cells)
         n = len(cells)
         self.stats.cells += n
         results: List[Any] = [None] * n

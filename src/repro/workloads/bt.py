@@ -50,7 +50,7 @@ from repro.spr.spans import plan_spans
 from repro.workloads.common import (
     ACC,
     IDX,
-    PTR,
+    PF_DST,
     SITE_BLOCKS,
     VAL,
     Variant,
@@ -242,6 +242,7 @@ def build(
     aspace = aspace or AddressSpace()
     state = _BTState(aspace, grid)
     mem = mem_config or MemConfig()
+    span_plan = None
     nlines = state.num_lines()
 
     def check() -> bool:
@@ -281,8 +282,9 @@ def build(
         # (5 KB > L2) would evict data before the worker consumed it.
         bytes_per_cell = (3 * BLOCK * BLOCK + BLOCK) * 8
         ncells_total = 3 * nlines * grid
-        plan = plan_spans(total_items=ncells_total,
-                          bytes_per_item=bytes_per_cell, mem_config=mem)
+        plan = span_plan = plan_spans(total_items=ncells_total,
+                                      bytes_per_item=bytes_per_cell,
+                                      mem_config=mem)
         w_prog = SyncVar(aspace, "bt.w_prog", value=-1)
         line_size = mem.line_size
         all_cells = [
@@ -321,7 +323,7 @@ def build(
                         for off in range(0, BLOCK * BLOCK * 8, line_size):
                             yield Instr(Op.IADD, dst=IDX[3],
                                         srcs=(IDX[3],), site=SITE_PREFETCH)
-                            yield Instr.load(base + off, dst=VAL[3],
+                            yield Instr.load(base + off, dst=PF_DST[0],
                                              op=Op.FLOAD, srcs=(IDX[3],),
                                              site=SITE_PREFETCH)
                     # ... and prefetch-for-write the in-place rhs/diag
@@ -344,5 +346,5 @@ def build(
         factories=factories,
         aspace=aspace,
         reference_check=check,
-        meta={"grid": grid, "worker_tid": 0},
+        meta={"grid": grid, "worker_tid": 0, "span_plan": span_plan},
     )

@@ -52,6 +52,7 @@ from repro.spr.spans import plan_spans
 from repro.workloads.common import (
     ACC,
     IDX,
+    PF_DST,
     PTR,
     SITE_BLOCKS,
     VAL,
@@ -251,6 +252,7 @@ def build(
     aspace = aspace or AddressSpace()
     state = _CGState(aspace, n, nnz_per_row)
     mem = mem_config or MemConfig()
+    span_plan = None
     expected = state.reference(iterations)
 
     def check() -> bool:
@@ -303,8 +305,9 @@ def build(
         # Span = a block of rows whose SpMV footprint (row data + the
         # gathered p entries) is about L2/4.
         bytes_per_row = nnz_per_row * (4 + 8 + 8) + 12
-        plan = plan_spans(total_items=n, bytes_per_item=bytes_per_row,
-                          mem_config=mem)
+        plan = span_plan = plan_spans(total_items=n,
+                                      bytes_per_item=bytes_per_row,
+                                      mem_config=mem)
         w_prog = SyncVar(aspace, "cg.w_prog", value=-1)
         barrier = SenseBarrier(2, aspace, "cg.red") if hybrid else None
         half = n // 2
@@ -327,9 +330,9 @@ def build(
                                 site=SITE_PREFETCH)
                     yield Instr(Op.IADD, dst=PTR[2], srcs=(PTR[2],),
                                 site=SITE_PREFETCH)
-                    yield Instr.load(state.reg_p.addr_of(col), dst=VAL[3],
-                                     op=Op.FLOAD, srcs=(IDX[3],),
-                                     site=SITE_PREFETCH)
+                    yield Instr.load(state.reg_p.addr_of(col),
+                                     dst=PF_DST[0], op=Op.FLOAD,
+                                     srcs=(IDX[3],), site=SITE_PREFETCH)
 
         if not hybrid:
             def worker(api):
@@ -397,6 +400,7 @@ def build(
             "nnz": state.nnz,
             "iterations": iterations,
             "worker_tid": 0,
+            "span_plan": span_plan,
         },
     )
 

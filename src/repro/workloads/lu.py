@@ -219,6 +219,7 @@ def build(
     state = _LUState(aspace, n, tile)
     tiles = n // tile
     mem = mem_config or MemConfig()
+    span_plan = None
 
     if variant is Variant.SERIAL:
         def factory(api):
@@ -303,7 +304,7 @@ def build(
 
         all_tiles = [t_ for k in range(tiles) for t_ in step_tiles(k)]
         pf_tiles = [t_ for k in range(tiles) for t_ in step_prefetch_tiles(k)]
-        plan = plan_spans(
+        plan = span_plan = plan_spans(
             total_items=len(all_tiles),
             bytes_per_item=state.A.tile_bytes(),
             mem_config=mem,
@@ -365,5 +366,6 @@ def build(
             "tile": tile,
             "paper_size": {v: k for k, v in PAPER_SIZES.items()}.get(n),
             "worker_tid": 0,
+            "span_plan": span_plan,
         },
     )

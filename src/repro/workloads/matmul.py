@@ -164,6 +164,7 @@ def build(
     tiles = n // tile
     triples = _triples(tiles)
     mem = mem_config or MemConfig()
+    span_plan = None
 
     if variant is Variant.SERIAL:
         def factory(api):
@@ -230,7 +231,7 @@ def build(
         factories = [make(0), make(1)]
 
     elif variant is Variant.TLP_PFETCH:
-        plan = plan_spans(
+        plan = span_plan = plan_spans(
             total_items=len(triples),
             bytes_per_item=3 * arrays.A.tile_bytes(),
             mem_config=mem,
@@ -317,5 +318,6 @@ def build(
             "tile": tile,
             "paper_size": {v: k for k, v in PAPER_SIZES.items()}.get(n),
             "worker_tid": 0,
+            "span_plan": span_plan,
         },
     )

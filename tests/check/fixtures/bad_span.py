@@ -1,0 +1,8 @@
+"""Seeded defect: an SPR span request outside the [1/A, 1/2] window."""
+
+from repro.check import SpanTarget
+
+TARGETS = [
+    SpanTarget("oversized span request", total_items=4096,
+               bytes_per_item=64, fraction=0.75),
+]

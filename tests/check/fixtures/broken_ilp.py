@@ -1,0 +1,13 @@
+"""Seeded defect: a stream whose declared |T| contradicts its chains.
+
+The ``iadd`` rotation at MIN ILP realizes one RAW chain; declaring
+|T| = 6 against it is exactly the fig.-1 mislabeling the hazard pass
+exists to catch.
+"""
+
+from repro.check import StreamTarget
+from repro.isa.streams import ILP, StreamSpec
+
+TARGETS = [
+    StreamTarget(StreamSpec("iadd", ilp=ILP.MIN), declared_ilp=6),
+]

@@ -1,0 +1,34 @@
+"""A correct experiment: every target passes all applicable passes."""
+
+from repro.check import ProgramTarget, SpanTarget, StreamTarget
+from repro.common.addrspace import AddressSpace
+from repro.isa import Instr, Op, R
+from repro.isa.streams import ILP, StreamSpec
+from repro.runtime import SyncVar, advance_var, wait_ge
+
+aspace = AddressSpace()
+shared = aspace.alloc("shared", 64)
+ready = SyncVar(aspace, "ready")
+
+
+def producer(api):
+    for i in range(8):
+        yield Instr.arith(Op.IADD, dst=R(0), src=R(8), site=100)
+        yield Instr.store(shared.base + 8 * i, src=R(0),
+                          op=Op.ISTORE, site=101)
+    yield from advance_var(ready, api)
+
+
+def consumer(api):
+    yield from wait_ge(ready, 1, api)
+    for i in range(8):
+        yield Instr.load(shared.base + 8 * i, dst=R(1),
+                         op=Op.ILOAD, site=201)
+
+
+TARGETS = [
+    StreamTarget(StreamSpec("iadd", ilp=ILP.MAX)),
+    StreamTarget(StreamSpec("fload", ilp=ILP.MED)),
+    ProgramTarget("synchronized pair", [producer, consumer], aspace),
+    SpanTarget("quarter-L2 spans", total_items=4096, bytes_per_item=64),
+]

@@ -1,0 +1,21 @@
+"""Seeded defect: a stream routed to a port the machine lacks.
+
+``fdiv`` executes only on the ``fpdiv`` unit; a machine exposing just
+the integer ALUs and memory ports cannot issue it.
+"""
+
+from repro.check import CheckTarget, verify_ops
+from repro.isa.opcodes import Op
+
+
+class RestrictedMachineTarget(CheckTarget):
+    name = "fdiv stream on a machine without fpdiv"
+
+    def check(self):
+        return verify_ops(
+            self.name, [Op.FDIV],
+            available_units=frozenset({"alu0", "alu1", "load", "store"}),
+        )
+
+
+TARGETS = [RestrictedMachineTarget()]

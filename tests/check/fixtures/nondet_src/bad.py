@@ -1,0 +1,23 @@
+"""Seeded defect: every determinism-lint rule in one file."""
+
+import glob
+import random
+import time
+
+
+def jitter():
+    return random.random() + time.time()
+
+
+def tag(payload):
+    return hash(payload)
+
+
+def first_log():
+    for name in glob.glob("*.log"):
+        return name
+
+
+def drain(items):
+    for item in {"a", "b", "c"}:
+        items.append(item)

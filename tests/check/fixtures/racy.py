@@ -1,0 +1,32 @@
+"""Seeded defect: two threads sharing a region with no ordering edge.
+
+The writer publishes sums into ``shared`` and the reader consumes them,
+but nothing synchronizes the pair — every overlapping store/load is a
+data race.
+"""
+
+from repro.check import ProgramTarget
+from repro.common.addrspace import AddressSpace
+from repro.isa import Instr, Op, R
+
+aspace = AddressSpace()
+shared = aspace.alloc("shared", 128)
+
+
+def writer(api):
+    for i in range(16):
+        yield Instr.arith(Op.IADD, dst=R(0), src=R(8), site=100)
+        yield Instr.store(shared.base + 8 * (i % 16), src=R(0),
+                          op=Op.ISTORE, site=101)
+
+
+def reader(api):
+    for i in range(16):
+        yield Instr.load(shared.base + 8 * (i % 16), dst=R(1),
+                         op=Op.ILOAD, site=201)
+        yield Instr.arith(Op.IADD, dst=R(2), src=R(1), site=202)
+
+
+TARGETS = [
+    ProgramTarget("racy two-thread program", [writer, reader], aspace),
+]

@@ -1,0 +1,108 @@
+"""The ``repro check`` CLI verb against the seeded defect fixtures.
+
+The acceptance contract: every seeded defect class is detected with a
+non-zero exit (human and ``--json`` output), and a correct experiment
+passes clean.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.check import CHECK_SCHEMA_VERSION
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+DEFECTS = {
+    "broken_ilp.py": ("hazards", "serialized"),
+    "illegal_port.py": ("units", "FDIV"),
+    "racy.py": ("races", "unsynchronized"),
+    "bad_span.py": ("spans", "[1/A, 1/2]"),
+}
+
+
+class TestSeededDefects:
+    @pytest.mark.parametrize("fixture", sorted(DEFECTS))
+    def test_defect_fails_with_finding(self, fixture, capsys):
+        rc = main(["check", "--experiment", str(FIXTURES / fixture)])
+        out = capsys.readouterr().out
+        check, needle = DEFECTS[fixture]
+        assert rc == 1
+        assert "FAIL" in out
+        assert f"[{check}]" in out
+        assert needle in out
+
+    @pytest.mark.parametrize("fixture", sorted(DEFECTS))
+    def test_defect_json_output(self, fixture, capsys):
+        rc = main(["check", "--experiment", str(FIXTURES / fixture),
+                   "--json"])
+        doc = json.loads(capsys.readouterr().out)
+        check, _ = DEFECTS[fixture]
+        assert rc == 1
+        assert doc["schema_version"] == CHECK_SCHEMA_VERSION
+        assert doc["ok"] is False
+        assert doc["counts"]["ERROR"] >= 1
+        assert any(f["check"] == check and f["severity"] == "ERROR"
+                   for f in doc["findings"])
+
+    def test_nondeterminism_lint_fixture(self, capsys):
+        rc = main(["check", "--lint-src",
+                   str(FIXTURES / "nondet_src")])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "[lint]" in out
+        assert "unseeded-random" in out
+
+    def test_nondeterminism_lint_json(self, capsys):
+        rc = main(["check", "--lint-src", str(FIXTURES / "nondet_src"),
+                   "--json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert rc == 1
+        assert doc["files_linted"] == 1
+        rules = {f["data"]["rule"] for f in doc["findings"]}
+        assert "wall-clock" in rules and "builtin-hash" in rules
+
+
+class TestCleanRuns:
+    def test_clean_experiment_passes(self, capsys):
+        rc = main(["check", "--experiment", str(FIXTURES / "clean.py")])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "repro check: OK" in out
+
+    def test_clean_experiment_json(self, capsys):
+        rc = main(["check", "--experiment", str(FIXTURES / "clean.py"),
+                   "--json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert doc["ok"] is True
+        assert doc["targets_checked"] == 4
+
+    def test_repo_lint_is_clean(self, capsys):
+        src_root = Path(__file__).parents[2] / "src"
+        rc = main(["check", "--lint-src", str(src_root)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "files linted" in out
+
+
+class TestErrorPaths:
+    def test_missing_experiment_file(self, capsys):
+        rc = main(["check", "--experiment", "no/such/file.py"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error:")
+
+    def test_experiment_without_targets(self, tmp_path, capsys):
+        exp = tmp_path / "empty.py"
+        exp.write_text("x = 1\n")
+        rc = main(["check", "--experiment", str(exp)])
+        assert rc == 2
+        assert "TARGETS" in capsys.readouterr().err
+
+    def test_budget_must_be_positive(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["check", "--budget", "0"])
+        assert exc.value.code == 2

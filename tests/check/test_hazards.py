@@ -1,0 +1,92 @@
+"""Tests for the hazard/ILP verifier (pass 1)."""
+
+import pytest
+
+from repro.check import chain_stats, verify_instrs, verify_stream
+from repro.check.findings import Severity
+from repro.isa import Instr, Op, R
+from repro.isa.streams import ILP, STREAM_OPS, StreamSpec
+
+
+def serialized(n):
+    """One RAW chain: every op reads and writes R(0)."""
+    return [Instr.arith(Op.IADD, dst=R(0), src=R(8)) for _ in range(n)]
+
+
+def rotated(n, targets):
+    """|targets| disjoint two-operand chains."""
+    return [Instr.arith(Op.IADD, dst=R(i % targets), src=R(8))
+            for i in range(n)]
+
+
+def three_operand(n):
+    """No RAW chains at all: dst not among srcs."""
+    return [Instr(Op.IADD, dst=R(i % 6), srcs=(R(8),)) for i in range(n)]
+
+
+class TestChainStats:
+    def test_serialized_chain_width_one(self):
+        stats = chain_stats(serialized(24))
+        assert stats.critical_path == 24
+        assert stats.width == pytest.approx(1.0)
+        assert stats.distinct_targets == 1
+
+    def test_rotation_realizes_target_count(self):
+        for t in (1, 3, 6):
+            stats = chain_stats(rotated(24, t))
+            assert stats.width == pytest.approx(t)
+            assert stats.distinct_targets == t
+
+    def test_broken_chains_go_wide(self):
+        stats = chain_stats(three_operand(24))
+        assert stats.critical_path == 1
+        assert stats.width == pytest.approx(24)
+
+    def test_empty_window(self):
+        stats = chain_stats([])
+        assert stats.instructions == 0 and stats.width == 0.0
+
+
+class TestVerifyInstrs:
+    def test_correct_declaration_passes(self):
+        assert verify_instrs("ok", rotated(24, 3), 3) == []
+
+    def test_serialized_stream_flagged(self):
+        findings = verify_instrs("bad", serialized(24), 6)
+        assert len(findings) == 1
+        assert findings[0].severity is Severity.ERROR
+        assert "serialized" in findings[0].message
+        assert findings[0].data["declared"] == 6
+
+    def test_broken_chains_flagged(self):
+        findings = verify_instrs("bad", three_operand(24), 6)
+        assert len(findings) == 1
+        assert "broken" in findings[0].message
+
+    def test_nonpositive_ilp_rejected(self):
+        findings = verify_instrs("bad", rotated(6, 1), 0)
+        assert findings and findings[0].severity is Severity.ERROR
+
+    def test_load_stream_checks_target_rotation(self):
+        loads = [Instr.load(64 * i, dst=R(i % 2), op=Op.FLOAD)
+                 for i in range(12)]
+        assert verify_instrs("loads", loads, 2) == []
+        findings = verify_instrs("loads", loads, 3)
+        assert findings and "destination" in findings[0].message
+
+    def test_store_streams_exempt(self):
+        stores = [Instr.store(64 * i, src=R(0), op=Op.FSTORE)
+                  for i in range(12)]
+        assert verify_instrs("stores", stores, 6) == []
+
+
+class TestVerifyStream:
+    @pytest.mark.parametrize("name", sorted(STREAM_OPS))
+    @pytest.mark.parametrize("ilp", list(ILP))
+    def test_every_shipped_stream_is_clean(self, name, ilp):
+        assert verify_stream(StreamSpec(name, ilp=ilp)) == []
+
+    def test_wrong_declaration_detected(self):
+        findings = verify_stream(StreamSpec("iadd", ilp=ILP.MIN),
+                                 declared_ilp=6)
+        assert findings and findings[0].severity is Severity.ERROR

@@ -1,0 +1,95 @@
+"""Tests for the determinism lint (pass 5)."""
+
+from pathlib import Path
+
+from repro.check import lint_paths, lint_source
+from repro.check.findings import Severity
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def rules(findings):
+    return [f.data["rule"] for f in findings]
+
+
+class TestRules:
+    def test_wall_clock(self):
+        findings = lint_source("x.py", "import time\nt = time.time()\n")
+        assert rules(findings) == ["wall-clock"]
+
+    def test_wall_clock_pragma_allows(self):
+        src = "import time\nt = time.time()  # check: allow(wall-clock)\n"
+        assert lint_source("x.py", src) == []
+
+    def test_unseeded_global_random(self):
+        findings = lint_source("x.py",
+                               "import random\nx = random.random()\n")
+        assert rules(findings) == ["unseeded-random"]
+
+    def test_seeded_rng_ok(self):
+        src = ("import random\nrng = random.Random(42)\n"
+               "x = rng.random()\n")
+        assert lint_source("x.py", src) == []
+
+    def test_numpy_alias_resolved(self):
+        src = "import numpy as np\nx = np.random.rand(3)\n"
+        assert rules(lint_source("x.py", src)) == ["unseeded-random"]
+
+    def test_default_rng_needs_seed(self):
+        src = "import numpy as np\nr = np.random.default_rng()\n"
+        assert rules(lint_source("x.py", src)) == ["unseeded-random"]
+        assert lint_source(
+            "x.py", "import numpy as np\nr = np.random.default_rng(7)\n"
+        ) == []
+
+    def test_builtin_hash(self):
+        findings = lint_source("x.py", "h = hash('key')\n")
+        assert rules(findings) == ["builtin-hash"]
+        assert lint_source(
+            "x.py", "import hashlib\nh = hashlib.sha256(b'key')\n") == []
+
+    def test_set_iteration(self):
+        findings = lint_source(
+            "x.py", "for x in {'a', 'b'}:\n    print(x)\n")
+        assert rules(findings) == ["set-iteration"]
+
+    def test_sorted_set_iteration_ok(self):
+        assert lint_source(
+            "x.py", "out = [x for x in sorted({'a', 'b'})]\n") == []
+
+    def test_unordered_fs(self):
+        findings = lint_source("x.py",
+                               "import os\nnames = os.listdir('.')\n")
+        assert rules(findings) == ["unordered-fs"]
+
+    def test_fs_inside_reducer_ok(self):
+        assert lint_source(
+            "x.py", "import os\nn = len(os.listdir('.'))\n") == []
+        assert lint_source(
+            "x.py", "import os\nnames = sorted(os.listdir('.'))\n") == []
+
+    def test_path_glob_method(self):
+        src = ("from pathlib import Path\n"
+               "files = list(Path('.').rglob('*.py'))\n")
+        assert rules(lint_source("x.py", src)) == ["unordered-fs"]
+
+    def test_syntax_error_reported(self):
+        findings = lint_source("x.py", "def broken(:\n")
+        assert findings and "does not parse" in findings[0].message
+
+
+class TestPaths:
+    def test_fixture_tree_flags_every_rule(self):
+        findings, count = lint_paths(FIXTURES / "nondet_src")
+        assert count == 1
+        got = set(rules(findings))
+        assert got == {"wall-clock", "unseeded-random", "builtin-hash",
+                       "unordered-fs", "set-iteration"}
+        assert all(f.severity is Severity.ERROR for f in findings)
+        assert all(f.site.startswith("bad.py:") for f in findings)
+
+    def test_repo_source_tree_is_clean(self):
+        src_root = Path(__file__).parents[2] / "src"
+        findings, count = lint_paths(src_root)
+        assert count > 50
+        assert findings == []

@@ -1,0 +1,164 @@
+"""Tests for the happens-before race detector (pass 3)."""
+
+from repro.check import detect_races
+from repro.check.findings import Severity
+from repro.common.addrspace import AddressSpace
+from repro.isa import Instr, Op, R
+from repro.isa.registers import F
+from repro.runtime import SenseBarrier, SyncVar, advance_var, wait_ge
+
+
+def errors(findings):
+    return [f for f in findings if f.severity is Severity.ERROR]
+
+
+def make_shared():
+    aspace = AddressSpace()
+    return aspace, aspace.alloc("shared", 128)
+
+
+class TestUnsynchronized:
+    def test_store_load_pair_detected(self):
+        aspace, shared = make_shared()
+
+        def writer(api):
+            yield Instr.store(shared.base, src=R(0), op=Op.ISTORE, site=11)
+
+        def reader(api):
+            yield Instr.load(shared.base, dst=R(1), op=Op.ILOAD, site=22)
+
+        findings = detect_races([writer, reader], aspace, name="t")
+        errs = errors(findings)
+        assert len(errs) == 1
+        assert errs[0].data["kind"] in ("store/load", "load/store")
+        assert errs[0].data["region"] == "shared"
+        assert "11" in errs[0].site and "22" in errs[0].site
+
+    def test_store_store_pair_detected(self):
+        aspace, shared = make_shared()
+
+        def t0(api):
+            yield Instr.store(shared.base, src=R(0), op=Op.ISTORE, site=1)
+
+        def t1(api):
+            yield Instr.store(shared.base, src=R(0), op=Op.ISTORE, site=2)
+
+        findings = detect_races([t0, t1], aspace)
+        assert any(f.data.get("kind") == "store/store"
+                   for f in errors(findings))
+
+    def test_disjoint_addresses_are_silent(self):
+        aspace, shared = make_shared()
+
+        def t0(api):
+            yield Instr.store(shared.base, src=R(0), op=Op.ISTORE, site=1)
+
+        def t1(api):
+            yield Instr.store(shared.base + 64, src=R(0), op=Op.ISTORE,
+                              site=2)
+
+        assert detect_races([t0, t1], aspace) == []
+
+    def test_single_thread_never_races(self):
+        aspace, shared = make_shared()
+
+        def t0(api):
+            yield Instr.store(shared.base, src=R(0), op=Op.ISTORE, site=1)
+
+        assert detect_races([t0], aspace) == []
+
+
+class TestSynchronized:
+    def test_syncvar_orders_the_pair(self):
+        aspace, shared = make_shared()
+        ready = SyncVar(aspace, "ready")
+
+        def producer(api):
+            yield Instr.store(shared.base, src=R(0), op=Op.ISTORE, site=1)
+            yield from advance_var(ready, api)
+
+        def consumer(api):
+            yield from wait_ge(ready, 1, api)
+            yield Instr.load(shared.base, dst=R(1), op=Op.ILOAD, site=2)
+
+        assert errors(detect_races([producer, consumer], aspace)) == []
+
+    def test_barrier_orders_phases(self):
+        aspace, shared = make_shared()
+        barrier = SenseBarrier(2, aspace)
+
+        def writer(api):
+            yield Instr.store(shared.base, src=R(0), op=Op.ISTORE, site=1)
+            yield from barrier.wait(api)
+
+        def reader(api):
+            yield from barrier.wait(api)
+            yield Instr.load(shared.base, dst=R(1), op=Op.ILOAD, site=2)
+
+        assert errors(detect_races([writer, reader], aspace)) == []
+
+    def test_missing_barrier_is_detected(self):
+        aspace, shared = make_shared()
+        barrier = SenseBarrier(2, aspace)
+
+        def writer(api):
+            yield from barrier.wait(api)
+            yield Instr.store(shared.base, src=R(0), op=Op.ISTORE, site=1)
+
+        def reader(api):
+            yield from barrier.wait(api)
+            yield Instr.load(shared.base, dst=R(1), op=Op.ILOAD, site=2)
+
+        assert errors(detect_races([writer, reader], aspace))
+
+
+class TestPrefetchExemption:
+    def test_pf_dst_load_is_info_only(self):
+        aspace, shared = make_shared()
+
+        def worker(api):
+            yield Instr.store(shared.base, src=R(0), op=Op.ISTORE, site=1)
+
+        def helper(api):
+            yield Instr.load(shared.base, dst=F(14), op=Op.FLOAD, site=2)
+
+        findings = detect_races([worker, helper], aspace)
+        assert findings and errors(findings) == []
+        assert all(f.severity is Severity.INFO for f in findings)
+        assert all(f.data["prefetch"] for f in findings)
+
+    def test_prefetch_uop_is_ignored(self):
+        aspace, shared = make_shared()
+
+        def worker(api):
+            yield Instr.store(shared.base, src=R(0), op=Op.ISTORE, site=1)
+
+        def helper(api):
+            yield Instr(Op.PREFETCH, addr=shared.base, site=2)
+
+        assert detect_races([worker, helper], aspace) == []
+
+
+class TestBudget:
+    def test_budget_exhaustion_reports_partial_coverage(self):
+        aspace, shared = make_shared()
+
+        def busy(api):
+            while True:
+                yield Instr.arith(Op.IADD, dst=R(0), src=R(8), site=1)
+
+        findings = detect_races([busy, busy], aspace, budget=200)
+        assert findings
+        assert all(f.severity is Severity.INFO for f in findings)
+        assert any("coverage is partial" in f.message for f in findings)
+
+    def test_mutual_wait_flags_possible_deadlock(self):
+        aspace, _ = make_shared()
+        never = SyncVar(aspace, "never")
+
+        def waiter(api):
+            yield from wait_ge(never, 1, api)
+
+        findings = detect_races([waiter, waiter], aspace, budget=5_000)
+        assert any(f.severity is Severity.WARNING
+                   and "deadlock" in f.message for f in findings)

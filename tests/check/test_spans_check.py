@@ -1,0 +1,111 @@
+"""Tests for the SPR span checker (pass 4)."""
+
+from repro.check import verify_span_plan, verify_span_request
+from repro.check.findings import Severity
+from repro.mem.config import MemConfig
+from repro.spr.spans import SpanPlan, plan_spans
+
+
+def severities(findings):
+    return [f.severity for f in findings]
+
+
+class TestRequest:
+    def test_default_quarter_is_clean(self):
+        assert verify_span_request("ok", 4096, 64) == []
+
+    def test_fraction_outside_window_is_error(self):
+        findings = verify_span_request("bad", 4096, 64, fraction=0.75)
+        assert severities(findings) == [Severity.ERROR]
+        assert findings[0].data["fraction"] == 0.75
+        assert "[1/A, 1/2]" in findings[0].message
+
+    def test_fraction_below_window_is_error(self):
+        cfg = MemConfig()
+        too_small = 0.5 / cfg.l2_assoc
+        findings = verify_span_request("bad", 4096, 64, fraction=too_small,
+                                       mem_config=cfg)
+        assert severities(findings) == [Severity.ERROR]
+
+    def test_window_boundaries_accepted(self):
+        cfg = MemConfig()
+        assert verify_span_request("lo", 4096, 64,
+                                   fraction=1.0 / cfg.l2_assoc,
+                                   mem_config=cfg) == []
+        ok = verify_span_request("hi", 4096, 64, fraction=0.5,
+                                 mem_config=cfg)
+        assert Severity.ERROR not in severities(ok)
+
+    def test_bad_geometry_is_error(self):
+        findings = verify_span_request("bad", 0, 64)
+        assert severities(findings) == [Severity.ERROR]
+        assert "total_items=0" in findings[0].message
+
+    def test_matches_plan_spans_arithmetic(self):
+        """The no-raise mirror must agree with the real planner."""
+        cfg = MemConfig()
+        plan = plan_spans(4096, 64, mem_config=cfg)
+        assert verify_span_request("ok", 4096, 64, mem_config=cfg) == []
+        assert verify_span_plan("ok", plan, mem_config=cfg) == []
+
+
+class TestPlan:
+    def test_zero_lookahead_is_error(self):
+        plan = SpanPlan(span_bytes=4096, items_per_span=64, num_spans=8,
+                        lookahead=0)
+        findings = verify_span_plan("bad", plan)
+        assert any(f.severity is Severity.ERROR and "lookahead"
+                   in f.message for f in findings)
+
+    def test_oversized_span_is_error(self):
+        cfg = MemConfig()
+        plan = SpanPlan(span_bytes=cfg.l2_size, items_per_span=16,
+                        num_spans=4)
+        findings = verify_span_plan("bad", plan, mem_config=cfg)
+        assert any(f.severity is Severity.ERROR and "exceeds L2/2"
+                   in f.message for f in findings)
+
+    def test_single_oversized_item_degrades_to_warning(self):
+        cfg = MemConfig()
+        plan = SpanPlan(span_bytes=cfg.l2_size, items_per_span=1,
+                        num_spans=4)
+        findings = verify_span_plan("lu-tile", plan, mem_config=cfg)
+        assert [f.severity for f in findings
+                if "single item" in f.message] == [Severity.WARNING]
+
+    def test_tiny_spans_are_advisory(self):
+        cfg = MemConfig()
+        plan = SpanPlan(span_bytes=64, items_per_span=1, num_spans=100)
+        findings = verify_span_plan("small", plan, mem_config=cfg)
+        assert findings
+        assert all(f.severity is Severity.INFO for f in findings)
+
+    def test_combined_footprint_warning(self):
+        cfg = MemConfig()
+        span = int(cfg.l2_size * 0.5)
+        plan = SpanPlan(span_bytes=span, items_per_span=8, num_spans=4,
+                        lookahead=3)
+        findings = verify_span_plan("deep lookahead", plan, mem_config=cfg)
+        assert any(f.severity is Severity.WARNING
+                   and "working set" in f.message for f in findings)
+
+    def test_shipped_workload_plans_are_clean(self):
+        """Every pfetch workload's published plan passes the window."""
+        from repro.workloads import WORKLOADS
+        from repro.workloads.common import Variant
+
+        checked = 0
+        for app, variant in (("mm", Variant.TLP_PFETCH),
+                             ("lu", Variant.TLP_PFETCH),
+                             ("cg", Variant.TLP_PFETCH),
+                             ("bt", Variant.TLP_PFETCH)):
+            from repro.core.apps import APP_SIZES
+
+            build = WORKLOADS[app].build(variant, **APP_SIZES[app][0])
+            plan = build.meta.get("span_plan")
+            assert plan is not None, f"{app} publishes no span_plan"
+            findings = verify_span_plan(app, plan)
+            assert not [f for f in findings
+                        if f.severity is Severity.ERROR]
+            checked += 1
+        assert checked == 4

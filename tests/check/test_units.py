@@ -1,0 +1,52 @@
+"""Tests for the unit-legality pass (pass 2)."""
+
+from repro.check import pair_contention, verify_ops
+from repro.check.findings import Severity
+from repro.check.units import ALL_UNITS
+from repro.isa.opcodes import Op
+from repro.isa.streams import STREAM_OPS
+
+
+class TestVerifyOps:
+    def test_all_shipped_streams_route(self):
+        for name, ops in STREAM_OPS.items():
+            assert verify_ops(name, ops) == []
+
+    def test_missing_unit_is_illegal(self):
+        findings = verify_ops(
+            "fdiv", [Op.FDIV],
+            available_units=frozenset(ALL_UNITS - {"fpdiv"}))
+        assert len(findings) == 1
+        assert findings[0].severity is Severity.ERROR
+        assert "FDIV" in findings[0].message
+        assert "fpdiv" in str(findings[0].data["route"])
+
+    def test_unknown_unit_name_rejected(self):
+        findings = verify_ops("x", [Op.IADD],
+                              available_units=frozenset({"alu0", "gpu"}))
+        assert any("unknown unit" in f.message for f in findings)
+
+    def test_ops_deduplicated(self):
+        findings = verify_ops(
+            "fdiv", [Op.FDIV] * 10,
+            available_units=frozenset(ALL_UNITS - {"fpdiv"}))
+        assert len(findings) == 1
+
+
+class TestPairContention:
+    def test_fdiv_pair_serializes_on_the_divider(self):
+        findings = pair_contention("fdiv", STREAM_OPS["fdiv"],
+                                   "fdiv", STREAM_OPS["fdiv"])
+        assert len(findings) == 1
+        assert findings[0].severity is Severity.INFO
+        assert findings[0].data["unit"] == "fpdiv"
+        assert "non-pipelined" in findings[0].message
+
+    def test_logical_pair_hits_alu0(self):
+        findings = pair_contention("ilogic", STREAM_OPS["ilogic"],
+                                   "ilogic", STREAM_OPS["ilogic"])
+        assert any(f.data.get("unit") == "alu0" for f in findings)
+
+    def test_independent_streams_are_silent(self):
+        assert pair_contention("iadd", STREAM_OPS["iadd"],
+                               "fadd", STREAM_OPS["fadd"]) == []

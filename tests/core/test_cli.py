@@ -70,6 +70,23 @@ class TestCLIErrorPaths:
         assert err.startswith("repro: error:")
         assert "cannot create cache dir" in err
 
+    def test_unwritable_cache_dir_names_flag_and_escape_hatch(
+            self, tmp_path, capsys):
+        """The UsageError names the offending flag and the way out."""
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        rc = main(["fig1", "--cache-dir", str(blocker / "cache")])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "--cache-dir" in err
+        assert "--no-cache" in err
+
+    def test_jobs_error_names_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["fig1", "--jobs", "-2"])
+        assert exc.value.code == 2
+        assert "--jobs" in capsys.readouterr().err
+
     def test_unknown_stream(self, capsys):
         assert main(["stream", "bogus"]) == 2
         err = capsys.readouterr().err

@@ -3,8 +3,7 @@
 import pytest
 
 from repro.core import table1_rows
-from repro.core.table1 import Table1Row, _interleaved_mix
-from repro.isa.opcodes import SubUnit
+from repro.core.table1 import _interleaved_mix
 from repro.workloads import matmul
 from repro.workloads.common import Variant
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro.common import ConfigError
 from repro.cpu import CoreConfig
-from repro.cpu.config import DEFAULT_TIMINGS, OpTiming
+from repro.cpu.config import DEFAULT_TIMINGS
 from repro.isa import Op
 
 

@@ -1,7 +1,5 @@
 """Focused behavioural tests of individual core mechanisms."""
 
-import pytest
-
 from repro.cpu import CoreConfig, SMTCore
 from repro.isa import Instr, Op, F, R
 from repro.mem import MemConfig, MemoryHierarchy

@@ -1,6 +1,5 @@
 """Property-based tests of the core model's structural invariants."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.cpu import CoreConfig, SMTCore, ThreadState

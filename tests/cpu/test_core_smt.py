@@ -3,7 +3,7 @@
 import pytest
 
 from repro.common import DeadlockError
-from repro.cpu import CoreConfig, SMTCore, ThreadState
+from repro.cpu import CoreConfig, SMTCore
 from repro.isa import Instr, Op, F, R
 from repro.mem import MemConfig, MemoryHierarchy
 from repro.perfmon import Event, PerfMonitor

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.common import DeadlockError
-from repro.cpu import CoreConfig, SMTCore, ThreadContext, ThreadState
+from repro.cpu import CoreConfig, SMTCore, ThreadContext
 from repro.isa import Instr, Op, R
 
 

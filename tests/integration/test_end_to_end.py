@@ -76,8 +76,6 @@ class TestCounterCoherence:
 class TestCrossVariantConsistency:
     def test_same_functional_answer_every_variant(self):
         """All MM variants compute the same C (different schedules)."""
-        import numpy as np
-
         answers = []
         for v in (Variant.SERIAL, Variant.TLP_COARSE, Variant.TLP_PFETCH):
             build = matmul.build(v, n=16)

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.mem import MemConfig, MemoryHierarchy
-from repro.perfmon import Event, PerfMonitor
+from repro.perfmon import Event
 
 
 @pytest.fixture

@@ -4,7 +4,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import run_app_experiment
-from repro.cpu import CoreConfig
 from repro.isa import F, Instr, Op, R
 from repro.observe import (
     ALLOC_CATEGORIES,

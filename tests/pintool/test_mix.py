@@ -4,7 +4,7 @@ import pytest
 
 from repro.isa import Instr, Op, F, R
 from repro.isa.opcodes import SubUnit
-from repro.pintool import InstructionMix, instruction_mix
+from repro.pintool import instruction_mix
 
 
 def make_trace():

@@ -1,7 +1,5 @@
 """Tests for the generic predicate spin (spin_until)."""
 
-import pytest
-
 from repro.isa import Instr, Op, R
 from repro.perfmon import Event
 from repro.runtime import Program, SyncVar, advance_var, spin_until

@@ -132,6 +132,53 @@ class TestWaitGe:
         prog.add_thread(consumer)
         prog.run()  # must terminate
 
+    @pytest.mark.parametrize("mode", [WaitMode.SPIN, WaitMode.HALT])
+    def test_wait_satisfied_before_wait_exits_immediately(self, mode):
+        """A wait whose condition already holds on entry must exit on
+        its first successful sample: no halt, no IPI traffic, and no
+        more spinning than the load-to-use latency forces (the
+        generator runs ahead of retirement, so a couple of pauses may
+        retire before the first sample's effect lands)."""
+        prog = Program()
+        var = SyncVar(prog.aspace, value=3)
+
+        def consumer(api):
+            yield from wait_ge(var, 2, api, mode=mode)
+            yield from iadds(5)
+
+        prog.add_thread(consumer)
+        prog.add_thread(lambda api: iter(iadds(50)))
+        result = prog.run()
+        assert result.monitor.read(Event.PAUSE_RETIRED, 0) <= 3
+        assert result.monitor.read(Event.HALT_TRANSITIONS, 0) == 0
+        assert result.monitor.read(Event.IPI_SENT) == 0
+        assert result.retired[0] >= 5
+
+    def test_halt_sleep_wake_ordering(self):
+        """The publish effect runs before the sleeper resumes, and the
+        wake-up is delivered by IPI after at least one halt transition."""
+        prog = Program()
+        var = SyncVar(prog.aspace)
+        order = []
+
+        def consumer(api):
+            yield from wait_ge(var, 1, api, mode=WaitMode.HALT)
+            order.append("woke")
+            yield Instr(Op.NOP)
+
+        def producer(api):
+            for i in iadds(3000):
+                yield i
+            order.append("published")
+            yield from advance_var(var, api)
+
+        prog.add_thread(consumer)
+        prog.add_thread(producer)
+        result = prog.run()
+        assert order == ["published", "woke"]
+        assert result.monitor.read(Event.HALT_TRANSITIONS, 0) >= 1
+        assert result.monitor.read(Event.IPI_SENT) >= 1
+
     def test_halted_waiter_frees_resources_for_producer(self):
         """A halted waiter must not slow the producer: compare against
         the producer running with a spinning waiter."""
@@ -207,6 +254,36 @@ class TestSenseBarrier:
         prog.run()
         assert counters == {0: 4, 1: 4}
         assert barrier.arrivals == 8
+
+    def test_barrier_phase_ordering_across_reuse(self):
+        """Across two reuses, every phase-k exit follows every phase-k
+        arrival — the sense reversal must not let a fast thread lap a
+        slow one into the next epoch."""
+        prog = Program()
+        barrier = SenseBarrier(2, prog.aspace)
+        trace = []
+
+        def factory_for(tid):
+            def factory(api):
+                for phase in range(2):
+                    for i in iadds(100 if tid == 0 else 900 * (phase + 1)):
+                        yield i
+                    trace.append(("arrive", phase, tid))
+                    yield from barrier.wait(api)
+                    trace.append(("go", phase, tid))
+
+            return factory
+
+        prog.add_thread(factory_for(0))
+        prog.add_thread(factory_for(1))
+        prog.run()
+        for phase in range(2):
+            arrives = [i for i, (k, p, _) in enumerate(trace)
+                       if k == "arrive" and p == phase]
+            gos = [i for i, (k, p, _) in enumerate(trace)
+                   if k == "go" and p == phase]
+            assert len(arrives) == len(gos) == 2
+            assert max(arrives) < min(gos)
 
     def test_barrier_costs_more_in_halt_mode_when_wait_is_short(self):
         """The §3.1 tradeoff: halt transitions are expensive, so for

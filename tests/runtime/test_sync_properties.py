@@ -1,6 +1,5 @@
 """Property-based tests of barrier safety and liveness."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.isa import Instr, Op, R

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.isa import Instr, Op, F
+from repro.isa import Instr, F
 from repro.mem import MemConfig
 from repro.spr import find_delinquent_sites
 
@@ -76,7 +76,6 @@ class TestWorkloadDelinquency:
         from repro.pintool import DryRunAPI
         from repro.workloads import cg
         from repro.workloads.common import Variant
-        from repro.workloads.cg import SITE_LOAD_GATHER
 
         build = cg.build(Variant.SERIAL, n=224, nnz_per_row=40,
                          iterations=1)

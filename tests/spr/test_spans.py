@@ -43,6 +43,45 @@ class TestPlan:
         with pytest.raises(ConfigError):
             plan_spans(8, 0)
 
+    def test_window_boundaries_exact(self):
+        """Exactly 1/A and exactly 1/2 are legal (closed interval)."""
+        cfg = MemConfig()
+        lo = 1.0 / cfg.l2_assoc
+        assert plan_spans(10, 8, mem_config=cfg, fraction=lo)
+        assert plan_spans(10, 8, mem_config=cfg, fraction=0.5)
+
+    def test_just_outside_window_rejected(self):
+        cfg = MemConfig()
+        lo = 1.0 / cfg.l2_assoc
+        for bad in (lo * 0.999, 0.5 + 1e-9, 0.0, -0.25, 1.0):
+            with pytest.raises(ConfigError):
+                plan_spans(10, 8, mem_config=cfg, fraction=bad)
+
+    def test_window_error_names_fraction_and_bounds(self):
+        """The message carries the offending value and numeric window."""
+        cfg = MemConfig()
+        with pytest.raises(ConfigError) as exc:
+            plan_spans(10, 8, mem_config=cfg, fraction=0.75)
+        msg = str(exc.value)
+        assert "0.75" in msg
+        assert f"1/{cfg.l2_assoc}" in msg
+        assert f"{1.0 / cfg.l2_assoc:.6g}" in msg
+        assert "0.5" in msg
+
+    def test_bad_geometry_errors_name_the_argument(self):
+        with pytest.raises(ConfigError) as exc:
+            plan_spans(-3, 8)
+        assert "total_items" in str(exc.value) and "-3" in str(exc.value)
+        with pytest.raises(ConfigError) as exc:
+            plan_spans(8, -64)
+        assert "bytes_per_item" in str(exc.value) and "-64" in str(exc.value)
+
+    def test_lookahead_must_be_at_least_one(self):
+        with pytest.raises(ConfigError) as exc:
+            plan_spans(10, 8, lookahead=0)
+        assert "lookahead" in str(exc.value)
+        assert plan_spans(10, 8, lookahead=2).lookahead == 2
+
 
 @given(
     total=st.integers(min_value=1, max_value=10_000),

@@ -1,6 +1,5 @@
 """Tests for the LU workload."""
 
-import numpy as np
 import pytest
 
 from repro.pintool import DryRunAPI, instruction_mix
