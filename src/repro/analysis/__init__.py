@@ -20,6 +20,7 @@ from repro.analysis.expectations import (
     Expectation,
     check_app_shapes,
     check_coexec_bands,
+    check_model_containment,
     check_stream_bands,
 )
 
@@ -33,5 +34,6 @@ __all__ = [
     "Expectation",
     "check_app_shapes",
     "check_coexec_bands",
+    "check_model_containment",
     "check_stream_bands",
 ]

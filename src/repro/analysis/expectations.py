@@ -92,6 +92,31 @@ def check_stream_bands(
     return checks
 
 
+def check_model_containment(
+        results: Sequence[StreamCPIResult]) -> list[Expectation]:
+    """Every measured fig.-1 CPI must sit in its provable interval.
+
+    The strongest shape claim we can make: not a band borrowed from the
+    paper's prose but an interval *derived* from the machine
+    configuration by :mod:`repro.model`.  The sweep engine enforces the
+    same containment as a hard oracle; this builder surfaces it in
+    expectation listings next to the paper's qualitative bands.
+    """
+    from repro.model import stream_bounds
+
+    checks: list[Expectation] = []
+    for r in results:
+        sibling = r.stream if r.threads == 2 else None
+        bound = stream_bounds(r.stream, ilp=r.ilp, sibling=sibling)
+        checks.append(Expectation(
+            "fig1", f"{r.stream} {r.threads}thr {r.ilp.name.lower()}: "
+            f"CPI within the static model interval — {bound.binding}",
+            f"[{bound.lower:.3f}, {bound.upper:.3f}]",
+            f"{r.cpi:.3f}",
+            bound.contains(r.cpi, atol=1e-9)))
+    return checks
+
+
 def check_coexec_bands(results: Sequence[CoexecResult]) -> list[Expectation]:
     """Qualitative bands for fig.-2 co-execution data.
 

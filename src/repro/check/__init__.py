@@ -1,6 +1,6 @@
 """Static analysis for simulated experiments (no simulation required).
 
-Five passes over a bounded symbolic unrolling of an experiment:
+Six passes over a bounded symbolic unrolling of an experiment:
 
 1. **hazards** — RAW/WAW chain walking confirms a stream's declared
    ILP (|T|) matches the dependence-chain width it realizes;
@@ -13,7 +13,11 @@ Five passes over a bounded symbolic unrolling of an experiment:
    [1/A, 1/2]-of-L2 window with a sane lookahead;
 5. **lint**   — AST scan of the source tree for determinism hazards
    (unseeded RNGs, wall-clock reads, set iteration, unordered
-   filesystem listings, builtin ``hash``).
+   filesystem listings, builtin ``hash``);
+6. **model**  — the analytic machine model (:mod:`repro.model`)
+   reports each stream's provable CPI interval and each pair's
+   slowdown envelope, and errors when the model itself is
+   inconsistent (missing timing, lower above upper).
 
 Surfaces: the ``repro check`` CLI verb (human or ``--json`` output),
 and :func:`preflight_cells`, the fail-fast gate the sweep engine runs

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List
+from typing import Any, Dict, Iterable, List, Set, Tuple
 
 #: Bumped on any change to the JSON finding layout.
 CHECK_SCHEMA_VERSION = 1
@@ -68,9 +68,25 @@ class CheckReport:
     findings: List[Finding] = field(default_factory=list)
     targets_checked: int = 0
     files_linted: int = 0
+    _seen: Set[Tuple[str, int, str, str, str]] = field(
+        default_factory=set, repr=False)
 
     def extend(self, findings: Iterable[Finding]) -> None:
-        self.findings.extend(findings)
+        """Append findings, dropping exact duplicates.
+
+        The same target can legitimately be analyzed twice in one run
+        (once via ``default_targets``, once via an ``--experiment``
+        file that re-exports it); identical findings must not be
+        double-counted.  Identity is the full rendered content —
+        ``(check, severity, site, message, hint)`` — so two *distinct*
+        problems at one site are both kept.
+        """
+        for f in findings:
+            key = (f.check, int(f.severity), f.site, f.message, f.hint)
+            if key in self._seen:
+                continue
+            self._seen.add(key)
+            self.findings.append(f)
 
     @property
     def errors(self) -> List[Finding]:
@@ -83,6 +99,15 @@ class CheckReport:
     @property
     def exit_code(self) -> int:
         return 0 if self.ok else 1
+
+    def exit_code_at(self, threshold: Severity) -> int:
+        """Exit code with a caller-chosen failure threshold.
+
+        ``exit_code`` fails on ERROR only; CI can tighten to WARNING
+        (``--fail-on warn``) or even INFO without changing what gets
+        reported — only what fails the run.
+        """
+        return 1 if any(f.severity >= threshold for f in self.findings) else 0
 
     def count(self, severity: Severity) -> int:
         return sum(1 for f in self.findings if f.severity is severity)

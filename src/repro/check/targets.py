@@ -48,6 +48,13 @@ class StreamTarget(CheckTarget):
             self.spec, window=self.window, declared_ilp=self.declared_ilp)
         findings.extend(units.verify_ops(
             self.name, self.spec.ops, core_config=self.core_config))
+        # Sixth pass: the analytic machine model's provable CPI
+        # interval (imported lazily — check must not depend on model
+        # at module load, model reuses check.hazards).
+        from repro.model.oracle import stream_model_findings
+
+        findings.extend(stream_model_findings(
+            self.spec, core_config=self.core_config))
         return findings
 
 
@@ -95,9 +102,13 @@ class PairTarget(CheckTarget):
                 ))
         if findings:
             return findings
-        return units.pair_contention(
+        findings = units.pair_contention(
             self.stream_a, STREAM_OPS[self.stream_a],
             self.stream_b, STREAM_OPS[self.stream_b])
+        from repro.model.oracle import pair_model_findings
+
+        findings.extend(pair_model_findings(self.stream_a, self.stream_b))
+        return findings
 
 
 @dataclass

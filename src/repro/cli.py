@@ -11,15 +11,28 @@
     python -m repro check                     # static analysis, no simulation
     python -m repro check --experiment exp.py --json
     python -m repro check --lint-src          # determinism lint over src/
+    python -m repro check --fail-on warn      # warnings fail too (CI)
+    python -m repro model                     # provable CPI/slowdown bounds
+    python -m repro model --ilp max --json
 
 Every command prints the same renderings the benchmark harness emits.
 
 ``repro check`` (the :mod:`repro.check` analyzer) verifies experiments
 *without simulating them*: hazard/ILP chains, unit legality, vector-
-clock race detection, SPR span windows, and (with ``--lint-src``) an
-AST determinism lint of the source tree.  The sweep commands run the
-same hazard/unit/race/span passes as a fail-fast pre-flight over every
-cell; ``--no-check`` skips that.
+clock race detection, SPR span windows, (with ``--lint-src``) an AST
+determinism lint of the source tree, and the analytic-model pass
+reporting each stream's provable CPI interval.  The sweep commands run
+the same hazard/unit/race/span passes as a fail-fast pre-flight over
+every cell, then cross-check every simulated result against its static
+CPI interval (the :mod:`repro.model` differential oracle);
+``--no-check`` skips both.
+
+``repro model`` (the :mod:`repro.model` analyzer) prints, without
+simulating anything, the provable CPI interval of every §4 stream
+(solo and against a hyper-threaded copy of itself) and the provable
+slowdown envelope of every fig.-2 pair, each annotated with its
+binding constraint (e.g. ``fdiv: bound by non-pipelined divider
+interval 76t``).
 
 Sweep flags (the :mod:`repro.sweep` engine; ``fig1``, ``fig2``,
 ``table1``, and ``app`` without ``--variant``):
@@ -144,7 +157,8 @@ def _add_sweep_flags(sp: argparse.ArgumentParser) -> None:
                     help="recompute every cell, overwriting cache entries")
     sp.add_argument("--no-check", action="store_true",
                     help="skip the static pre-flight checks "
-                    "(hazards/units/races/spans) before simulating")
+                    "(hazards/units/races/spans) before simulating and "
+                    "the model-bound oracle after")
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -202,8 +216,21 @@ def _parser() -> argparse.ArgumentParser:
                     metavar="N",
                     help="per-thread instruction budget for the race "
                     "scan of the default targets")
+    ck.add_argument("--fail-on", choices=["error", "warn", "info"],
+                    default="error",
+                    help="lowest severity that fails the run "
+                    "(default %(default)s)")
     ck.add_argument("--json", action="store_true",
                     help="print the findings as a versioned JSON document")
+
+    md = sub.add_parser(
+        "model",
+        help="provable CPI bounds and slowdown envelopes — the static "
+        "machine model, no simulation",
+    )
+    md.add_argument("--ilp", choices=sorted(_ILP), default=None,
+                    help="restrict to one ILP level (default: all)")
+    _add_output_flags(md)
     return p
 
 
@@ -236,7 +263,8 @@ def _make_engine(args: argparse.Namespace) -> SweepEngine:
                 f"--cache-dir {args.cache_dir!r} is unusable: {e} "
                 f"(pick a writable directory or pass --no-cache)")
     return SweepEngine(jobs=args.jobs, cache=cache, fresh=args.fresh,
-                       preflight=not args.no_check)
+                       preflight=not args.no_check,
+                       oracle=not args.no_check)
 
 
 def _sweep_note(engine: SweepEngine) -> None:
@@ -275,11 +303,14 @@ def _write_trace(tracer: PipelineTracer, path: str) -> None:
 
 
 def _cmd_fig1(args: argparse.Namespace) -> int:
+    from repro.model import fig1_model_section
+
     engine = _make_engine(args)
     results = fig1_sweep(engine=engine)
     report = build_report("fig1", results, core_config=CoreConfig(),
                           mem_config=MemConfig(),
-                          sweep=engine.stats.to_dict())
+                          sweep=engine.stats.to_dict(),
+                          model=fig1_model_section(results))
     _sweep_note(engine)
     _emit(args, report, render_fig1(results))
     return 0
@@ -300,9 +331,12 @@ def _cmd_fig2(args: argparse.Namespace) -> int:
         pairs = list(FIG2C_PAIRS)
         title = f"fp x int pairs ({ilp.name.lower()} ILP)"
     results = coexec_sweep(pairs, ilp=ilp, engine=engine)
+    from repro.model import fig2_model_section
+
     report = build_report(f"fig2{panel}", results, core_config=CoreConfig(),
                           mem_config=MemConfig(),
                           sweep=engine.stats.to_dict(),
+                          model=fig2_model_section(results),
                           extra={"panel": panel, "ilp": ilp.name.lower()})
     _sweep_note(engine)
     _emit(args, report, render_fig2(results, f"Figure 2({panel}) — {title}"))
@@ -410,7 +444,62 @@ def _cmd_check(args: argparse.Namespace) -> int:
         print(json.dumps(report.to_dict(), indent=2))
     else:
         print(report.render())
-    return report.exit_code
+    threshold = {"error": checkmod.Severity.ERROR,
+                 "warn": checkmod.Severity.WARNING,
+                 "info": checkmod.Severity.INFO}[args.fail_on]
+    return report.exit_code_at(threshold)
+
+
+def _cmd_model(args: argparse.Namespace) -> int:
+    from repro.model import (
+        MODEL_SCHEMA_VERSION,
+        MODEL_SLACK,
+        MODEL_STREAMS,
+        pair_bounds,
+        render_model_pairs,
+        render_model_streams,
+        stream_bounds,
+    )
+
+    ilps = [_ILP[args.ilp]] if args.ilp else [ILP.MIN, ILP.MED, ILP.MAX]
+    stream_entries = []
+    table = []
+    for name in MODEL_STREAMS:
+        for ilp in ilps:
+            solo = stream_bounds(name, ilp=ilp)
+            dual = stream_bounds(name, ilp=ilp, sibling=name)
+            table.append((solo, dual))
+            stream_entries.append({"stream": name, "ilp": ilp.name,
+                                   "solo": solo.to_dict(),
+                                   "dual": dual.to_dict()})
+    fig2_pairs = (
+        [(a, b) for i, a in enumerate(FIG2A_STREAMS)
+         for b in FIG2A_STREAMS[i:]]
+        + [(a, b) for i, a in enumerate(FIG2B_STREAMS)
+           for b in FIG2B_STREAMS[i:]]
+        + list(FIG2C_PAIRS)
+    )
+    pair_entries = []
+    pair_table = []
+    for ilp in ilps:
+        for a, b in fig2_pairs:
+            pb = pair_bounds(a, b, ilp=ilp)
+            pair_table.append(pb)
+            pair_entries.append(pb.to_dict())
+    report = {
+        "schema_version": MODEL_SCHEMA_VERSION,
+        "kind": "model",
+        "generator": "repro.model",
+        "config": {"core": CoreConfig().to_dict(),
+                   "mem": MemConfig().to_dict()},
+        "slack": MODEL_SLACK,
+        "streams": stream_entries,
+        "pairs": pair_entries,
+    }
+    rendering = "\n\n".join([render_model_streams(table),
+                             render_model_pairs(pair_table)])
+    _emit(args, report, rendering)
+    return 0
 
 
 def _dispatch(args: argparse.Namespace) -> int:
@@ -426,6 +515,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_stream(args)
     if args.command == "check":
         return _cmd_check(args)
+    if args.command == "model":
+        return _cmd_model(args)
     raise AssertionError("unreachable")
 
 

@@ -29,6 +29,13 @@ class CheckError(ReproError):
     stream whose realized ILP contradicts its declaration."""
 
 
+class ModelViolation(CheckError):
+    """Raised when a simulated result falls outside the static CPI
+    interval the analytic model proves for it (:mod:`repro.model`) — a
+    simulator regression caught analytically rather than by golden
+    files."""
+
+
 def format_cli_error(prog: str, message) -> str:
     """The one CLI error shape: mirrors argparse's own error prefix."""
     return f"{prog}: error: {message}"

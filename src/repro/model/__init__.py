@@ -1,0 +1,59 @@
+"""Static CPI/slowdown bound analyzer and differential oracle.
+
+An llvm-mca-style analytic machine model over the same bounded
+symbolic unrolling :mod:`repro.check` uses: per-stream CPI intervals
+(:mod:`repro.model.bounds`), pairwise co-execution slowdown envelopes
+(:mod:`repro.model.contention`), and a differential oracle
+(:mod:`repro.model.oracle`) that cross-validates every simulated sweep
+cell against its provable interval — the
+:class:`~repro.sweep.engine.SweepEngine` runs it after every sweep,
+and ``repro check`` reports the bounds as its sixth pass.
+
+Surface: the ``repro model`` CLI verb (bound tables, ``--json``).
+"""
+
+from repro.model.bounds import (
+    MODEL_SCHEMA_VERSION,
+    MODEL_SLACK,
+    MODEL_STREAMS,
+    CPIBound,
+    stream_bounds,
+    weighted_critical_path,
+)
+from repro.model.contention import PairBound, exclusive_demand, pair_bounds
+from repro.model.oracle import (
+    cpi_margin,
+    fig1_model_section,
+    fig2_model_section,
+    oracle_cells,
+    pair_model_findings,
+    stream_model_findings,
+    validate_cells,
+)
+from repro.model.render import (
+    render_model_margins,
+    render_model_pairs,
+    render_model_streams,
+)
+
+__all__ = [
+    "MODEL_SCHEMA_VERSION",
+    "MODEL_SLACK",
+    "MODEL_STREAMS",
+    "CPIBound",
+    "PairBound",
+    "cpi_margin",
+    "exclusive_demand",
+    "fig1_model_section",
+    "fig2_model_section",
+    "oracle_cells",
+    "pair_bounds",
+    "pair_model_findings",
+    "render_model_margins",
+    "render_model_pairs",
+    "render_model_streams",
+    "stream_bounds",
+    "stream_model_findings",
+    "validate_cells",
+    "weighted_critical_path",
+]

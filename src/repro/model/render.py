@@ -1,0 +1,65 @@
+"""ASCII tables for the `repro model` verb.
+
+Laid out like :mod:`repro.analysis.render`'s figure tables so bound
+reports read side by side with the measured artifacts.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.model.bounds import CPIBound
+from repro.model.contention import PairBound
+
+
+def render_model_streams(bounds: Sequence[Tuple[CPIBound, CPIBound]]) -> str:
+    """Stream bound table; ``bounds`` is (solo, dual) CPIBound pairs."""
+    header = (f"{'stream':<10}{'ILP':>4} | {'solo CPI interval':>22}"
+              f" | {'dual CPI interval':>22} | binding constraint")
+    lines = ["repro model — provable CPI intervals (cycles/instr)",
+             header, "-" * len(header)]
+    for solo, dual in bounds:
+        lines.append(
+            f"{solo.stream:<10}{solo.ilp.name.lower():>4} | "
+            f"[{solo.lower:9.3f}, {solo.upper:9.3f}] | "
+            f"[{dual.lower:9.3f}, {dual.upper:9.3f}] | "
+            f"{solo.binding}"
+        )
+    return "\n".join(lines)
+
+
+def render_model_pairs(pairs: Sequence[PairBound]) -> str:
+    """Pair bound table: slowdown envelopes plus the shared unit."""
+    header = (f"{'pair':<20}{'ILP':>4} | {'slowdown A':>16}"
+              f" | {'slowdown B':>16} | contention")
+    lines = ["repro model — provable co-execution slowdown envelopes",
+             header, "-" * len(header)]
+    for pb in pairs:
+        lo_a, hi_a = pb.slowdown_a()
+        lo_b, hi_b = pb.slowdown_b()
+        lines.append(
+            f"{pb.stream_a + ' x ' + pb.stream_b:<20}"
+            f"{pb.ilp.name.lower():>4} | "
+            f"[{lo_a:6.2f}, {hi_a:6.2f}] | "
+            f"[{lo_b:6.2f}, {hi_b:6.2f}] | "
+            f"{pb.binding}"
+        )
+    lines.append("(slowdown 1.00 = unaffected; envelopes are provable, "
+                 "not predictions)")
+    return "\n".join(lines)
+
+
+def _margin_line(m: dict) -> str:
+    mark = "ok" if m["contained"] else "VIOLATION"
+    sib = f" x {m['sibling']}" if m["sibling"] else ""
+    return (f"  {m['stream']:<10}{m['ilp'].lower():>4} "
+            f"{m['threads']}thr{sib:<12} measured {m['measured_cpi']:9.3f} "
+            f"in [{m['lower_cpi']:9.3f}, {m['upper_cpi']:9.3f}]  {mark}")
+
+
+def render_model_margins(section: dict, title: str = "") -> str:
+    """Bound-vs-measured margin table (run-report model sections)."""
+    lines = [title or "model margins — measured CPI vs static interval"]
+    for m in section.get("margins", []):
+        lines.append(_margin_line(m))
+    return "\n".join(lines)

@@ -78,6 +78,7 @@ def build_report(
     heatmap: Optional[Any] = None,
     wall_time_s: Optional[float] = None,
     sweep: Optional[dict] = None,
+    model: Optional[dict] = None,
     extra: Optional[dict] = None,
 ) -> dict:
     """Assemble the versioned manifest for one command/driver run."""
@@ -113,6 +114,11 @@ def build_report(
         report["wall_time_s"] = wall_time_s
     if sweep is not None:
         report["sweep"] = _jsonable(sweep)
+    if model is not None:
+        # Bound-vs-measured margins (repro.model).  Deterministic — a
+        # pure function of (results, config) — so deliberately NOT in
+        # VOLATILE_KEYS: margins must replay byte-identically too.
+        report["model"] = _jsonable(model)
     if extra:
         report.update(_jsonable(extra))
     return report

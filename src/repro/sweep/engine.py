@@ -87,6 +87,7 @@ class SweepEngine:
     cache: Optional[ResultCache] = None
     fresh: bool = False
     preflight: bool = True
+    oracle: bool = True
     stats: SweepStats = field(init=False)
 
     def __post_init__(self):
@@ -145,6 +146,13 @@ class SweepEngine:
                 })
             results[i] = runner_for(cells[i].kind).decode(payload)
             self.stats.misses += 1
+        if self.oracle and cells:
+            # Differential oracle: every simulated (or cache-replayed)
+            # result must sit inside the CPI interval the analytic
+            # model proves for its cell — raises ModelViolation if not.
+            from repro.model.oracle import oracle_cells
+
+            oracle_cells(cells, results)
         return results
 
     def _execute(self, cells: List[SweepCell]) -> List[str]:

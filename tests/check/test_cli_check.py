@@ -88,6 +88,38 @@ class TestCleanRuns:
         assert "files linted" in out
 
 
+class TestFailOn:
+    """--fail-on tightens which severities fail the run (CI contract)."""
+
+    def test_clean_experiment_survives_warn_threshold(self, capsys):
+        rc = main(["check", "--experiment", str(FIXTURES / "clean.py"),
+                   "--fail-on", "warn"])
+        capsys.readouterr()
+        assert rc == 0
+
+    def test_info_threshold_fails_on_model_advisories(self, capsys):
+        # The clean fixture's stream targets carry INFO bound findings
+        # from the model pass, so the strictest threshold must fail.
+        rc = main(["check", "--experiment", str(FIXTURES / "clean.py"),
+                   "--fail-on", "info"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "repro check: OK" in out  # reporting is unchanged
+
+    def test_errors_fail_at_every_threshold(self, capsys):
+        for level in ("error", "warn", "info"):
+            rc = main(["check", "--experiment",
+                       str(FIXTURES / "broken_ilp.py"),
+                       "--fail-on", level])
+            capsys.readouterr()
+            assert rc == 1, level
+
+    def test_invalid_threshold_rejected(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["check", "--fail-on", "pedantic"])
+        assert exc.value.code == 2
+
+
 class TestErrorPaths:
     def test_missing_experiment_file(self, capsys):
         rc = main(["check", "--experiment", "no/such/file.py"])

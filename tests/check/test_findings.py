@@ -1,0 +1,64 @@
+"""CheckReport aggregation: duplicate folding and severity thresholds."""
+
+from repro.check import StreamTarget, run_targets
+from repro.check.findings import CheckReport, Finding, Severity
+from repro.isa.streams import ILP, StreamSpec
+
+
+def _finding(message="boom", site="here", severity=Severity.ERROR,
+             hint=""):
+    return Finding(check="units", severity=severity, site=site,
+                   message=message, hint=hint)
+
+
+class TestDeduplication:
+    def test_identical_findings_collapse(self):
+        report = CheckReport()
+        report.extend([_finding()])
+        report.extend([_finding()])
+        assert len(report.findings) == 1
+
+    def test_distinct_messages_are_kept(self):
+        report = CheckReport()
+        report.extend([_finding("a"), _finding("b")])
+        assert len(report.findings) == 2
+
+    def test_severity_is_part_of_identity(self):
+        report = CheckReport()
+        report.extend([_finding(severity=Severity.ERROR),
+                       _finding(severity=Severity.WARNING)])
+        assert len(report.findings) == 2
+
+    def test_duplicate_target_not_double_counted(self):
+        """The regression: one stream reachable both via the default
+        target list and an --experiment file must not double every one
+        of its findings (the model pass INFO lines made this visible).
+        """
+        target = StreamTarget(StreamSpec("fdiv", ilp=ILP.MAX))
+        once = run_targets([target])
+        twice = run_targets([target,
+                             StreamTarget(StreamSpec("fdiv", ilp=ILP.MAX))])
+        assert len(once.findings) > 0
+        assert len(twice.findings) == len(once.findings)
+        assert twice.targets_checked == 2
+
+
+class TestExitCodeThresholds:
+    def test_default_fails_on_error_only(self):
+        report = CheckReport()
+        report.extend([_finding(severity=Severity.WARNING)])
+        assert report.exit_code == 0
+        assert report.exit_code_at(Severity.ERROR) == 0
+        assert report.exit_code_at(Severity.WARNING) == 1
+        assert report.exit_code_at(Severity.INFO) == 1
+
+    def test_info_threshold_fails_on_anything(self):
+        report = CheckReport()
+        report.extend([_finding(severity=Severity.INFO)])
+        assert report.exit_code_at(Severity.INFO) == 1
+        assert report.exit_code_at(Severity.WARNING) == 0
+
+    def test_clean_report_passes_every_threshold(self):
+        report = CheckReport()
+        for s in Severity:
+            assert report.exit_code_at(s) == 0

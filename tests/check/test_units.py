@@ -35,6 +35,9 @@ class TestVerifyOps:
 
 class TestPairContention:
     def test_fdiv_pair_serializes_on_the_divider(self):
+        """Figure 2: the fdiv x fdiv cell is the worst slowdown in the
+        paper, and the only mechanism is the single non-pipelined
+        divider — exactly one advisory, on fpdiv."""
         findings = pair_contention("fdiv", STREAM_OPS["fdiv"],
                                    "fdiv", STREAM_OPS["fdiv"])
         assert len(findings) == 1
@@ -43,9 +46,32 @@ class TestPairContention:
         assert "non-pipelined" in findings[0].message
 
     def test_logical_pair_hits_alu0(self):
+        """The §5.3 bottleneck: logicals execute only on ALU0, so the
+        pair serializes there and nowhere else."""
         findings = pair_contention("ilogic", STREAM_OPS["ilogic"],
                                    "ilogic", STREAM_OPS["ilogic"])
-        assert any(f.data.get("unit") == "alu0" for f in findings)
+        assert len(findings) == 1
+        assert findings[0].severity is Severity.INFO
+        assert findings[0].data["unit"] == "alu0"
+        assert "§5.3" in findings[0].message
+
+    def test_mixed_fadd_mul_pairs_share_fpexec(self):
+        """Figure 2(a): every FP add/mul combination (including the
+        blended fadd-mul stream) contends for the one FP execute unit —
+        exactly one advisory, on fpexec."""
+        for a, b in (("fadd", "fmul"), ("fadd-mul", "fadd"),
+                     ("fadd-mul", "fmul"), ("fadd-mul", "fadd-mul")):
+            findings = pair_contention(a, STREAM_OPS[a], b, STREAM_OPS[b])
+            assert len(findings) == 1, (a, b)
+            assert findings[0].severity is Severity.INFO
+            assert findings[0].data["unit"] == "fpexec"
+
+    def test_fp_pairs_on_different_units_are_silent(self):
+        """Figure 2(a) also shows the non-shared cells: the divider
+        stream and the adder stream use different units, so the model
+        predicts (and the paper measures) no serialization."""
+        assert pair_contention("fdiv", STREAM_OPS["fdiv"],
+                               "fadd", STREAM_OPS["fadd"]) == []
 
     def test_independent_streams_are_silent(self):
         assert pair_contention("iadd", STREAM_OPS["iadd"],

@@ -1,0 +1,139 @@
+"""Unit tests for the static CPI bound analyzer (repro.model.bounds)."""
+
+import dataclasses
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.cpu.config import CoreConfig, OpTiming
+from repro.isa.instr import Instr
+from repro.isa.opcodes import Op
+from repro.isa.streams import ILP, StreamSpec
+from repro.model import MODEL_STREAMS, stream_bounds, weighted_critical_path
+
+
+class TestIntervalShape:
+    @pytest.mark.parametrize("name", MODEL_STREAMS)
+    @pytest.mark.parametrize("ilp", list(ILP))
+    def test_solo_interval_is_well_formed(self, name, ilp):
+        b = stream_bounds(name, ilp=ilp)
+        assert 0.0 < b.lower <= b.upper
+        assert b.threads == 1 and b.sibling is None
+        assert b.binding.startswith("bound by")
+
+    @pytest.mark.parametrize("name", MODEL_STREAMS)
+    def test_dual_widens_only_the_upper_end(self, name):
+        solo = stream_bounds(name, ilp=ILP.MAX)
+        dual = stream_bounds(name, ilp=ILP.MAX, sibling=name)
+        assert dual.threads == 2 and dual.sibling == name
+        # Co-execution can never make the provable floor higher than
+        # the ceiling, and the ceiling can only grow.
+        assert dual.upper >= solo.upper
+        assert dual.lower <= dual.upper
+
+    def test_min_ilp_floor_dominated_by_chain(self):
+        b = stream_bounds("idiv", ilp=ILP.MIN)
+        assert "RAW dependence-chain" in b.binding
+        # IDIV latency 96t on a serial chain: 48 cycles, minus slack.
+        assert b.lower == pytest.approx(48.0 * 0.98)
+
+    def test_fdiv_binding_names_the_nonpipelined_divider(self):
+        b = stream_bounds("fdiv", ilp=ILP.MAX)
+        assert b.binding == "bound by non-pipelined divider interval 76t"
+        assert b.lower == pytest.approx(38.0 * 0.98)
+
+    def test_iadd_binding_is_frontend_bandwidth(self):
+        b = stream_bounds("iadd", ilp=ILP.MAX)
+        assert "fetch bandwidth" in b.binding
+        # 3 uops per 2 ticks -> 1/3 cycle per instruction.
+        assert b.lower == pytest.approx((2.0 / 3.0) / 2.0 * 0.98)
+
+    def test_fmul_max_floor_is_fpexec_interval(self):
+        b = stream_bounds("fmul", ilp=ILP.MAX)
+        assert "fpexec" in b.binding
+        assert b.lower == pytest.approx(2.0 * 0.98)
+
+
+class TestMeasuredAnchors:
+    """Spot anchors from the calibrated simulator (production horizon)."""
+
+    @pytest.mark.parametrize("name,ilp,measured", [
+        ("fadd", ILP.MIN, 4.000),
+        ("fadd", ILP.MAX, 0.980),
+        ("fmul", ILP.MAX, 2.000),
+        ("fdiv", ILP.MIN, 37.992),
+        ("idiv", ILP.MIN, 47.981),
+        ("iadd", ILP.MAX, 0.333),
+        ("fadd-mul", ILP.MED, 1.750),
+    ])
+    def test_known_solo_cpis_are_contained(self, name, ilp, measured):
+        b = stream_bounds(name, ilp=ilp)
+        assert b.contains(measured)
+
+
+class TestCriticalPath:
+    def test_serial_chain_prices_out_latencies(self):
+        cfg = CoreConfig()
+        instrs = [Instr.arith(Op.FADD, dst=1, src=1, site=0)
+                  for _ in range(8)]
+        # 8 chained FADDs at 8t latency each -> 8t per instruction.
+        assert weighted_critical_path(instrs, cfg) == pytest.approx(8.0)
+
+    def test_independent_ops_have_no_chain(self):
+        cfg = CoreConfig()
+        instrs = [Instr.arith(Op.FADD, dst=i + 1, src=100 + i, site=0)
+                  for i in range(8)]
+        assert weighted_critical_path(instrs, cfg) == pytest.approx(1.0)
+
+    def test_empty_window(self):
+        assert weighted_critical_path([], CoreConfig()) == 0.0
+
+
+class TestErrors:
+    def test_unknown_stream_rejected(self):
+        with pytest.raises(ConfigError, match="unknown stream"):
+            stream_bounds("warp-drive")
+
+    def test_unknown_sibling_rejected(self):
+        with pytest.raises(ConfigError, match="unknown sibling"):
+            stream_bounds("fadd", sibling="warp-drive")
+
+    def test_unboundable_target_reports_as_error_finding(self):
+        # CoreConfig itself refuses to drop a timing, so the model's
+        # cannot-bound guard surfaces through the check pass: a
+        # spec that cannot be unrolled cannot be bounded.
+        from repro.model import stream_model_findings
+
+        good = stream_model_findings(StreamSpec("fadd", ilp=ILP.MAX))
+        assert len(good) == 1 and good[0].severity.name == "INFO"
+        fake = type("FakeSpec", (), {"name": "warp-drive", "ilp": ILP.MAX})()
+        bad = stream_model_findings(fake)
+        assert bad[0].severity.name == "ERROR"
+        assert "cannot bound" in bad[0].message
+
+
+class TestSerialization:
+    def test_to_dict_round_trips_the_interval(self):
+        b = stream_bounds("fdiv", ilp=ILP.MED, sibling="fdiv")
+        d = b.to_dict()
+        assert d["stream"] == "fdiv" and d["ilp"] == "MED"
+        assert d["threads"] == 2 and d["sibling"] == "fdiv"
+        assert d["lower_cpi"] == pytest.approx(b.lower, abs=1e-6)
+        assert d["upper_cpi"] == pytest.approx(b.upper, abs=1e-6)
+        assert "raw-chain" in d["lower_terms_ticks"]
+
+    def test_contains_respects_atol(self):
+        b = stream_bounds("fadd", ilp=ILP.MIN)
+        assert not b.contains(b.lower - 0.05)
+        assert b.contains(b.lower - 0.05, atol=0.1)
+
+    def test_custom_timing_moves_the_bound(self):
+        cfg = CoreConfig()
+        slowed = dict(cfg.timings)
+        slowed[Op.FADD] = OpTiming(80, 40)
+        slow_cfg = dataclasses.replace(cfg, timings=slowed)
+        fast = stream_bounds("fadd", ilp=ILP.MIN)
+        slow = stream_bounds(StreamSpec("fadd", ilp=ILP.MIN),
+                             core_config=slow_cfg)
+        assert slow.lower == pytest.approx(40.0 * 0.98)
+        assert slow.lower > fast.upper

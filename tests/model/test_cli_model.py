@@ -1,0 +1,65 @@
+"""The ``repro model`` CLI verb."""
+
+import json
+
+from repro.cli import main
+from repro.model import MODEL_SCHEMA_VERSION
+
+
+class TestModelJson:
+    def test_emits_all_fig1_and_fig2_cells(self, capsys):
+        rc = main(["model", "--json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert doc["schema_version"] == MODEL_SCHEMA_VERSION
+        assert doc["kind"] == "model"
+        assert doc["generator"] == "repro.model"
+        # 11 paper streams x 3 ILP levels, solo + self-pair dual each.
+        assert len(doc["streams"]) == 33
+        for entry in doc["streams"]:
+            for mode in ("solo", "dual"):
+                b = entry[mode]
+                assert b["lower_cpi"] <= b["upper_cpi"]
+                assert b["binding"].startswith("bound by")
+        # fig.-2 panels a (15) + b (15) + c (9) at each ILP level.
+        per_ilp = {}
+        for p in doc["pairs"]:
+            per_ilp[p["ilp"]] = per_ilp.get(p["ilp"], 0) + 1
+        assert per_ilp == {"MIN": 39, "MED": 39, "MAX": 39}
+
+    def test_single_ilp_restriction(self, capsys):
+        rc = main(["model", "--ilp", "max", "--json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert len(doc["streams"]) == 11
+        assert len(doc["pairs"]) == 39
+        assert {p["ilp"] for p in doc["pairs"]} == {"MAX"}
+
+    def test_slowdown_envelopes_are_ordered(self, capsys):
+        main(["model", "--ilp", "max", "--json"])
+        doc = json.loads(capsys.readouterr().out)
+        for p in doc["pairs"]:
+            lo, hi = p["slowdown_a"]
+            assert lo <= hi
+            lo, hi = p["slowdown_b"]
+            assert lo <= hi
+
+
+class TestModelHuman:
+    def test_tables_name_binding_constraints(self, capsys):
+        rc = main(["model", "--ilp", "max"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "provable CPI intervals" in out
+        assert "bound by non-pipelined divider interval 76t" in out
+        assert "slowdown envelopes" in out
+        assert "serializes on shared fpdiv (non-pipelined divider)" in out
+
+    def test_report_file(self, tmp_path, capsys):
+        path = tmp_path / "model.json"
+        rc = main(["model", "--ilp", "min", "--report", str(path)])
+        capsys.readouterr()
+        assert rc == 0
+        doc = json.loads(path.read_text())
+        assert doc["kind"] == "model"
+        assert len(doc["streams"]) == 11

@@ -1,0 +1,65 @@
+"""Pair slowdown envelopes and the exclusive-demand table."""
+
+import pytest
+
+from repro.isa.streams import ILP
+from repro.model import exclusive_demand, pair_bounds
+
+
+class TestExclusiveDemand:
+    def test_fdiv_demands_the_divider(self):
+        demand = exclusive_demand("fdiv", ILP.MAX)
+        assert demand["fpdiv"] == pytest.approx(76.0)
+
+    def test_fadd_demands_fpexec(self):
+        demand = exclusive_demand("fadd", ILP.MAX)
+        assert demand["fpexec"] == pytest.approx(2.0)
+
+    def test_dual_route_ops_have_no_provable_demand(self):
+        # IADD can fall back between ALU1 and ALU0, so no single unit
+        # is provably occupied.
+        assert exclusive_demand("iadd", ILP.MAX) == {}
+
+    def test_blended_stream_scales_by_share(self):
+        demand = exclusive_demand("fadd-mul", ILP.MAX)
+        # Half FADD (interval 2) + half FMUL (interval 4) on fpexec.
+        assert demand["fpexec"] == pytest.approx(3.0)
+
+
+class TestPairBounds:
+    def test_fdiv_pair_names_the_divider(self):
+        pb = pair_bounds("fdiv", "fdiv", ilp=ILP.MAX)
+        assert pb.shared_units == ("fpdiv",)
+        assert "non-pipelined divider" in pb.binding
+
+    def test_unshared_pair_binding(self):
+        pb = pair_bounds("iadd", "fadd", ilp=ILP.MAX)
+        assert pb.shared_units == ()
+        assert "no mandatory shared unit" in pb.binding
+
+    def test_envelopes_are_ordered_and_positive(self):
+        for a, b in (("fadd", "fmul"), ("fdiv", "fdiv"),
+                     ("iadd", "istore"), ("iload", "iload")):
+            pb = pair_bounds(a, b, ilp=ILP.MED)
+            for lo, hi in (pb.slowdown_a(), pb.slowdown_b()):
+                assert 0.0 <= lo <= hi
+
+    def test_measured_fig2_anchor_is_contained(self):
+        # Production-horizon measurement: fdiv x fdiv at min ILP runs
+        # both sides at ~90.18 cycles (solo 37.99) — slowdown ~2.37.
+        pb = pair_bounds("fdiv", "fdiv", ilp=ILP.MIN)
+        assert pb.dual_a.contains(90.176)
+        lo, hi = pb.slowdown_a()
+        assert lo <= 2.374 <= hi
+
+    def test_symmetric_pair_is_symmetric(self):
+        pb = pair_bounds("fmul", "fmul", ilp=ILP.MAX)
+        assert pb.slowdown_a() == pb.slowdown_b()
+        assert pb.dual_a.lower == pb.dual_b.lower
+
+    def test_to_dict_carries_both_sides(self):
+        d = pair_bounds("fadd", "fmul", ilp=ILP.MAX).to_dict()
+        assert d["stream_a"] == "fadd" and d["stream_b"] == "fmul"
+        assert d["a"]["threads"] == 2 and d["b"]["threads"] == 2
+        assert d["shared_units"] == ["fpexec"]
+        assert len(d["slowdown_a"]) == 2
