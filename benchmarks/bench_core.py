@@ -1,0 +1,157 @@
+"""Time the SMT core's steady-state fast-forward; emit BENCH_core.json.
+
+Standalone (``python benchmarks/bench_core.py``): runs the figure-1
+stream sweep and a figure-2 co-execution subset twice — fast-forward
+off (every tick stepped) and on — and records wall seconds, cells/sec,
+simulated ticks/sec and the speedup next to this file.  Both arms'
+results are asserted equal before any number is written (the
+fast-forward's exactness contract), so the timings always describe
+equivalent work.  Sweeps run through a serial engine with preflight,
+oracle and cache off, so the A/B times measure the simulator itself.
+
+``--smoke`` reruns only the small ``quick`` section and fails (exit 1)
+if its speedup regressed more than 25% against the committed
+BENCH_core.json — the CI perf gate.  ``REPRO_BENCH_FULL=1`` widens the
+figure-2 subset to the paper's full fp x fp and int x int matrices.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).parents[1] / "src"))
+
+from _util import full_sweep                                       # noqa: E402
+from repro.core.coexec import PAIR_HORIZON_TICKS, run_pair_cpis    # noqa: E402
+from repro.core.streams import fig1_sweep, measure_stream_cpi      # noqa: E402
+from repro.cpu.fastpath import set_default_enabled                 # noqa: E402
+from repro.isa.streams import ILP                                  # noqa: E402
+from repro.sweep.engine import SweepEngine                         # noqa: E402
+from repro.sweep.keys import FASTPATH_SCHEMA_VERSION               # noqa: E402
+
+OUT = pathlib.Path(__file__).parent / "BENCH_core.json"
+
+#: The CI smoke cells: one arithmetic and one mixed stream, solo and
+#: dual.  Small enough for every CI run, fast-forward-friendly enough
+#: that a broken detector shows up as an order-of-magnitude slowdown.
+QUICK_CELLS = (("iadd", 1), ("iadd", 2), ("fadd-mul", 1), ("fadd-mul", 2))
+
+#: Default figure-2 subset: representative arith, divide and memory
+#: pairs (the full matrices run under REPRO_BENCH_FULL=1).
+PAIR_SUBSET = (("fadd", "fmul"), ("iadd", "imul"),
+               ("idiv", "fdiv"), ("fadd-mul", "iload"))
+
+_FIG2A = ("fadd", "fmul", "fdiv", "fload", "fstore")
+_FIG2B = ("iadd", "imul", "idiv", "iload", "istore")
+
+
+def _pairs():
+    if not full_sweep():
+        return PAIR_SUBSET
+    full = []
+    for fam in (_FIG2A, _FIG2B):
+        for i, a in enumerate(fam):
+            full.extend((a, b) for b in fam[i:])
+    return tuple(full)
+
+
+def _ab(run):
+    """Time one section fast-forward off then on; check equivalence.
+
+    ``run(enabled)`` returns ``(simulated_ticks, results)``; the results
+    of both arms must compare equal or the benchmark aborts — a timing
+    for inequivalent work would be meaningless.
+    """
+    t0 = time.perf_counter()        # check: allow(wall-clock)
+    ticks, r_off = run(False)
+    sec_off = time.perf_counter() - t0  # check: allow(wall-clock)
+    t0 = time.perf_counter()        # check: allow(wall-clock)
+    _, r_on = run(True)
+    sec_on = time.perf_counter() - t0   # check: allow(wall-clock)
+    if r_off != r_on:
+        raise AssertionError("fast-forward changed results; refusing "
+                             "to record timings for inequivalent work")
+    cells = len(r_off)
+    return {
+        "cells": cells,
+        "sim_ticks": ticks,
+        "seconds_off": round(sec_off, 3),
+        "seconds_on": round(sec_on, 3),
+        "cells_per_sec_off": round(cells / sec_off, 2),
+        "cells_per_sec_on": round(cells / sec_on, 2),
+        "ticks_per_sec_off": round(ticks / sec_off),
+        "ticks_per_sec_on": round(ticks / sec_on),
+        "speedup": round(sec_off / sec_on, 2),
+    }
+
+
+def _quick(enabled):
+    results = [measure_stream_cpi(name, ILP.MAX, threads,
+                                  fastpath=enabled)
+               for name, threads in QUICK_CELLS]
+    return int(sum(r.cycles * 2 for r in results)), results
+
+
+def _fig1(enabled):
+    set_default_enabled(enabled)
+    try:
+        results = fig1_sweep(
+            engine=SweepEngine(preflight=False, oracle=False))
+    finally:
+        set_default_enabled(True)
+    return int(sum(r.cycles * 2 for r in results)), results
+
+
+def _fig2(enabled):
+    pairs = _pairs()
+    set_default_enabled(enabled)
+    try:
+        results = [run_pair_cpis(a, b, ilp=ILP.MAX) for a, b in pairs]
+    finally:
+        set_default_enabled(True)
+    return len(pairs) * PAIR_HORIZON_TICKS, results
+
+
+def smoke() -> int:
+    """CI perf gate: quick-section speedup within 25% of committed."""
+    committed = json.loads(OUT.read_text())["quick"]["speedup"]
+    fresh = _ab(_quick)
+    floor = 0.75 * committed
+    verdict = "ok" if fresh["speedup"] >= floor else "REGRESSION"
+    print(json.dumps({
+        "bench": "core-smoke",
+        "quick": fresh,
+        "committed_speedup": committed,
+        "floor": round(floor, 2),
+        "verdict": verdict,
+    }, indent=2))
+    return 0 if verdict == "ok" else 1
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--smoke", action="store_true",
+                    help="rerun only the quick section and fail on a "
+                         ">25%% speedup regression vs BENCH_core.json")
+    args = ap.parse_args(argv)
+    if args.smoke:
+        return smoke()
+    report = {
+        "bench": "core",
+        "fastpath_schema_version": FASTPATH_SCHEMA_VERSION,
+        "quick": _ab(_quick),
+        "fig1_sweep": _ab(_fig1),
+        "fig2_pairs": _ab(_fig2),
+    }
+    total = sum(v["seconds_off"] + v["seconds_on"]
+                for v in report.values() if isinstance(v, dict))
+    report["total_seconds"] = round(total, 3)
+    OUT.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -159,6 +159,10 @@ def _add_sweep_flags(sp: argparse.ArgumentParser) -> None:
                     help="skip the static pre-flight checks "
                     "(hazards/units/races/spans) before simulating and "
                     "the model-bound oracle after")
+    sp.add_argument("--no-fastpath", action="store_true",
+                    help="disable the steady-state fast-forward and "
+                    "step every tick (results are byte-identical either "
+                    "way; for A/B timing and paranoia)")
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -198,6 +202,10 @@ def _parser() -> argparse.ArgumentParser:
     st.add_argument("name")
     st.add_argument("--ilp", choices=sorted(_ILP), default="max")
     st.add_argument("--threads", type=int, choices=[1, 2], default=1)
+    st.add_argument("--no-fastpath", action="store_true",
+                    help="disable the steady-state fast-forward and "
+                    "step every tick (results are byte-identical either "
+                    "way; for A/B timing and paranoia)")
     _add_output_flags(st, traceable=True)
 
     ck = sub.add_parser(
@@ -254,6 +262,10 @@ def _make_engine(args: argparse.Namespace) -> SweepEngine:
     if not isinstance(args.jobs, int) or args.jobs < 1:
         raise UsageError(f"--jobs must be a positive integer, "
                          f"got {args.jobs!r}")
+    if getattr(args, "no_fastpath", False):
+        from repro.cpu.fastpath import set_default_enabled
+
+        set_default_enabled(False)
     cache = None
     if not args.no_cache:
         try:
@@ -410,7 +422,8 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     accountant = CycleAccountant() if observe else None
     r = measure_stream_cpi(args.name, ilp=_ILP[args.ilp],
                            threads=args.threads, tracer=tracer,
-                           accountant=accountant)
+                           accountant=accountant,
+                           fastpath=False if args.no_fastpath else None)
     if tracer is not None:
         _write_trace(tracer, args.trace)
     report = build_report("stream", r, core_config=CoreConfig(),

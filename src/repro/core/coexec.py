@@ -70,6 +70,7 @@ def run_pair_cpis(
     core_config: Optional[CoreConfig] = None,
     mem_config: Optional[MemConfig] = None,
     horizon_ticks: Optional[int] = None,
+    fastpath: Optional[bool] = None,
 ) -> tuple[float, float]:
     """Co-execute the two streams; returns per-thread steady-state CPIs.
 
@@ -81,7 +82,7 @@ def run_pair_cpis(
     cannot pollute the measurement.
     """
     horizon = horizon_ticks or PAIR_HORIZON_TICKS
-    prog = Program(core_config, mem_config)
+    prog = Program(core_config, mem_config, fastpath=fastpath)
     marks: dict[int, tuple[int, int]] = {}
     for t, name in enumerate((name_a, name_b)):
         spec = StreamSpec(name, ilp=ilp, count=_ENDLESS)

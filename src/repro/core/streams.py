@@ -17,7 +17,8 @@ from repro.common.errors import ConfigError
 from repro.cpu.config import CoreConfig
 from repro.isa.instr import Instr
 from repro.isa.opcodes import Op
-from repro.isa.streams import ILP, StreamSpec, STREAM_OPS, make_stream
+from repro.isa.streams import ILP, StreamSpec, STREAM_OPS
+from repro.isa.trace import ChainedSource, OneShot, compile_stream
 from repro.mem.config import MemConfig
 from repro.runtime.program import Program
 
@@ -70,20 +71,27 @@ def measured_stream_factory(spec: StreamSpec, region, prog: Program,
     retired-µop count when it completes, so CPI can be computed over the
     steady-state portion only (the paper's 10-second runs amortize the
     cold start the same way).
+
+    The warm-up and measured streams are lowered to compiled traces
+    (:func:`repro.isa.trace.compile_stream`) spliced around the marker,
+    which enables the core's batched fetch path and the steady-state
+    fast-forward; the emitted instruction sequence is identical to the
+    former generator chain.
     """
     warm_spec = StreamSpec(spec.name, ilp=spec.ilp,
                            count=_warmup_count(spec), stride=spec.stride,
                            site=spec.site)
 
     def factory(api):
-        yield from make_stream(warm_spec, region)
-
         def mark():
             marks[tid] = (prog.core.tick,
                           prog.core.threads[tid].uops_retired)
 
-        yield Instr(Op.NOP, effect=mark)
-        yield from make_stream(spec, region)
+        return ChainedSource([
+            compile_stream(warm_spec, region),
+            OneShot(Instr(Op.NOP, effect=mark)),
+            compile_stream(spec, region),
+        ])
 
     return factory
 
@@ -97,6 +105,7 @@ def measure_stream_cpi(
     mem_config: Optional[MemConfig] = None,
     tracer=None,
     accountant=None,
+    fastpath: Optional[bool] = None,
 ) -> StreamCPIResult:
     """Run ``threads`` identical endless copies of a stream to a fixed
     tick horizon and measure each thread's steady-state CPI (from its
@@ -105,6 +114,9 @@ def measure_stream_cpi(
     Using the same horizon method for single- and dual-threaded runs
     keeps slowdown ratios free of warm-up and measurement-window bias.
     ``tracer``/``accountant`` attach the :mod:`repro.observe` hooks.
+    ``fastpath`` overrides the steady-state fast-forward default
+    (``None`` keeps the module-wide setting; results are byte-identical
+    either way).
     """
     if name not in STREAM_OPS:
         raise ConfigError(f"unknown stream {name!r}")
@@ -112,7 +124,7 @@ def measure_stream_cpi(
         raise ConfigError("the HT machine supports 1 or 2 threads")
     horizon = horizon_ticks or MEASURE_HORIZON_TICKS
     prog = Program(core_config, mem_config, tracer=tracer,
-                   accountant=accountant)
+                   accountant=accountant, fastpath=fastpath)
     spec = StreamSpec(name, ilp=ilp, count=_ENDLESS)
     marks: dict[int, tuple[int, int]] = {}
     for t in range(threads):

@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
 from repro.common.errors import ConfigError, DeadlockError
+from repro.cpu import fastpath as _fastpath
 from repro.cpu.config import CoreConfig
 from repro.cpu.thread import ThreadContext, ThreadState, _FAR_FUTURE
 from repro.cpu.units import UnitPool
@@ -87,6 +88,7 @@ class SMTCore:
         *,
         tracer: Optional[Tracer] = None,
         accountant=None,
+        fastpath: Optional[bool] = None,
     ):
         self.config = config or CoreConfig()
         # Observability hooks.  With the NullTracer default the hot loop
@@ -120,6 +122,25 @@ class SMTCore:
         self._rr = 0  # round-robin pointer shared by fetch/alloc/retire
         self._issue_rr = 0  # issue priority; flips after a burst of issues
         self._issue_burst = 0
+        # Reused round-robin orderings (rebuilt in add_thread): avoids a
+        # fresh tuple per stage per tick on the hot path.
+        self._order_single: Optional[tuple[ThreadContext, ...]] = None
+        self._rr_pairs: Optional[tuple[tuple[ThreadContext, ...], ...]] = None
+        # Store-queue entries awaiting release across all threads; gates
+        # the per-tick _sq_release scans.
+        self._sq_pending = 0
+        self._advance_horizon = self.config.max_ticks + 1
+        # Steady-state fast-forward (repro.cpu.fastpath).  Tracing needs
+        # every tick observed, so an enabled tracer wins over fastpath;
+        # further eligibility (profiler, instruction sources) is checked
+        # at run() time.
+        if fastpath is None:
+            fastpath = _fastpath.default_enabled()
+        self._fp = (
+            _fastpath.FastPath(self)
+            if fastpath and self._tr is None
+            else None
+        )
 
     # ------------------------------------------------------------------
     # Setup
@@ -134,6 +155,14 @@ class SMTCore:
         tid = len(self.threads)
         self.threads.append(ThreadContext(tid, gen))
         self._sq_release.append(deque())
+        threads = self.threads
+        if len(threads) == 2:
+            self._order_single = None
+            self._rr_pairs = ((threads[0], threads[1]),
+                              (threads[1], threads[0]))
+        else:
+            self._order_single = (threads[0],)
+            self._rr_pairs = None
         return tid
 
     # ------------------------------------------------------------------
@@ -185,6 +214,13 @@ class SMTCore:
             raise ConfigError("no threads bound to the core")
         limit = max_ticks if max_ticks is not None else self.config.max_ticks
         threads = self.threads
+        # _advance may only target events inside the run's own stopping
+        # horizon; anything later can never be observed by this run.
+        eff_limit = limit if stop_at_tick is None else min(limit, stop_at_tick)
+        self._advance_horizon = eff_limit + 1
+        fp = self._fp
+        if fp is not None and not fp.prepare():
+            fp = None
         t = self.tick
         while True:
             if stop_at_tick is not None and t >= stop_at_tick:
@@ -200,10 +236,15 @@ class SMTCore:
                     f"simulation exceeded {limit} ticks",
                     "\n".join(th.describe() for th in threads),
                 )
+            boundary = not (t & 1)
+            if boundary and fp is not None:
+                nt = fp.on_boundary(t, eff_limit)
+                if nt != t:
+                    t = nt
+                    continue
             # Keep the public clock current: effects fired mid-cycle
             # (sync sampling, measurement markers) read core.tick.
             self.tick = t
-            boundary = not (t & 1)
             if boundary:
                 self._process_wakes(t)
                 self._retire(t)
@@ -239,6 +280,7 @@ class SMTCore:
         for tid, rel in enumerate(self._sq_release):
             self.threads[tid].sq_used -= len(rel)
             rel.clear()
+        self._sq_pending = 0
 
     def _result(self) -> CoreResult:
         return CoreResult(
@@ -269,13 +311,12 @@ class SMTCore:
 
     def _rr_order(self) -> tuple[ThreadContext, ...]:
         """Threads in round-robin order; advances the shared pointer."""
-        threads = self.threads
-        n = len(threads)
-        if n == 1:
-            return (threads[0],)
+        pairs = self._rr_pairs
+        if pairs is None:
+            return self._order_single  # type: ignore[return-value]
         first = self._rr
-        self._rr = (first + 1) % n
-        return (threads[first], threads[1 - first])
+        self._rr = 1 - first
+        return pairs[first]
 
     def _retire(self, t: int) -> None:
         budget = self.config.retire_width
@@ -340,13 +381,15 @@ class SMTCore:
                 uop.effect()
 
     def _drain_stores(self, t: int) -> None:
-        for tid, rel in enumerate(self._sq_release):
-            released = 0
-            while rel and rel[0] <= t:
-                rel.popleft()
-                released += 1
-            if released:
-                self.threads[tid].sq_used -= released
+        if self._sq_pending:
+            for tid, rel in enumerate(self._sq_release):
+                released = 0
+                while rel and rel[0] <= t:
+                    rel.popleft()
+                    released += 1
+                if released:
+                    self.threads[tid].sq_used -= released
+                    self._sq_pending -= released
         q = self._drain_q
         tr = self._tr
         while q and t >= self._store_commit_free:
@@ -361,6 +404,7 @@ class SMTCore:
             if rel and rel[-1] > done:
                 done = rel[-1]
             rel.append(done)
+            self._sq_pending += 1
 
     def _issue(self, t: int) -> None:
         budget = self.config.issue_width
@@ -374,14 +418,14 @@ class SMTCore:
         if used is not None:
             for i in range(len(used)):
                 used[i] = 0
-        if len(threads) == 1:
-            order = threads
+        pairs = self._rr_pairs
+        if pairs is None:
+            order: tuple[ThreadContext, ...] = self._order_single or ()
         else:
             # Priority alternates on *use*, not on tick parity: unit
             # free slots recur with even periods, so parity-based
             # priority would starve one thread systematically.
-            first = self._issue_rr
-            order = (threads[first], threads[1 - first])
+            order = pairs[self._issue_rr]
         for th in order:
             if budget <= 0:
                 break
@@ -432,7 +476,14 @@ class SMTCore:
                     self._gseq += 1
                     heapq.heappush(heap, (comp, self._gseq, uop))
             if issued_any:
-                th.waiting = [u for u in waiting if not u.issued]
+                # Compact in place: the waiting list object is reused for
+                # the thread's whole lifetime (no per-tick list churn).
+                write = 0
+                for u in waiting:
+                    if not u.issued:
+                        waiting[write] = u
+                        write += 1
+                del waiting[write:]
                 if len(threads) == 2 and th is order[0]:
                     self._issue_burst += 1
                     if self._issue_burst >= self.config.issue_burst:
@@ -549,6 +600,37 @@ class SMTCore:
             peer = self._peer(th)
             cap = self._cap(th, cfg.uopq_total, len(peer.uopq) if peer else 0)
             uopq = th.uopq
+            if tr is None and th.batched:
+                # Compiled-trace sources: pull whole fetch batches.  Gate
+                # ops only ever arrive in length-1 batches (compiled
+                # traces exclude them; one-shot parts are singletons), so
+                # checking gates per instruction inside the batch is
+                # exactly equivalent to the one-at-a-time loop.
+                while budget > 0:
+                    room = cap - len(uopq)
+                    if room <= 0:
+                        break
+                    n = budget if budget < room else room
+                    batch = th.pull_batch(n)
+                    if not batch:
+                        break
+                    fetched_counts[th.tid] += len(batch)
+                    th.uops_fetched += len(batch)
+                    budget -= len(batch)
+                    gated = False
+                    for instr in batch:
+                        uopq.append(instr)
+                        op = instr.op
+                        if op is Op.PAUSE:
+                            th.fetch_gate_until = t + cfg.pause_fetch_gate
+                            gated = True
+                        elif op is Op.HALT:
+                            th.halt_inflight = True
+                            th.fetch_gate_until = _FAR_FUTURE
+                            gated = True
+                    if gated:
+                        break
+                continue
             while budget > 0 and len(uopq) < cap:
                 instr = th.pull()
                 if instr is None:
@@ -592,19 +674,30 @@ class SMTCore:
                     return t + 1  # retirement due at the next boundary
                 if not th.gen_done and t + 1 >= th.fetch_gate_until:
                     return t + 1
+                if th.gen_done and not th.rob:
+                    # Exhausted source, drained pipeline: the DONE
+                    # transition itself is due at the next boundary's
+                    # retire pass.
+                    return t + 1
         if all_done:
             # Programs end at the last retirement; in-flight store
             # drains must not stretch the reported runtime.
             return t + 1
-        horizon = t + 1_000_000
+        # The horizon derives from the run's own stopping conditions
+        # (min(max_ticks, stop_at_tick) + 1, set by run()): an event at
+        # or past it can never be observed, and a missed event inside it
+        # can no longer hide behind an arbitrary fixed-size window on
+        # short-limit runs.
+        horizon = self._advance_horizon
         nxt = horizon
         if self._comp_heap:
             nxt = min(nxt, self._comp_heap[0][0])
         if self._drain_q:
             nxt = min(nxt, self._store_commit_free)
-        for rel in self._sq_release:
-            if rel:
-                nxt = min(nxt, rel[0])
+        if self._sq_pending:
+            for rel in self._sq_release:
+                if rel:
+                    nxt = min(nxt, rel[0])
         for th in self.threads:
             if th.state is ThreadState.HALTED and th.wake_at < _FAR_FUTURE:
                 nxt = min(nxt, th.wake_at)
@@ -612,18 +705,24 @@ class SMTCore:
                 nxt = min(nxt, th.fetch_gate_until)
         if nxt <= t:
             return t + 1
-        if nxt == horizon:
-            # No future event at all: either we are done (loop exits) or
-            # the machine is deadlocked (halted threads, no wake in
-            # flight).  Step once; run()'s max_ticks guard produces the
-            # diagnostic if this persists.
+        if nxt >= horizon:
+            # No event inside the run's horizon.  A machine whose every
+            # surviving thread is halted with no wake-up scheduled is
+            # deadlocked; otherwise jump straight to the horizon, where
+            # run()'s stop/limit checks take over.
             alive = [th for th in self.threads if th.state is not ThreadState.DONE]
-            if alive and all(th.state is ThreadState.HALTED for th in alive):
+            if (
+                alive
+                and all(th.state is ThreadState.HALTED for th in alive)
+                and all(th.wake_at >= _FAR_FUTURE for th in alive)
+            ):
                 raise DeadlockError(
                     "all remaining logical CPUs are halted with no IPI in flight",
                     "\n".join(th.describe() for th in self.threads),
                 )
-            return t + 1
+            if horizon - 1 <= t:
+                return t + 1
+            nxt = horizon - 1
         # Land on the event tick, preserving boundary alignment semantics
         # (boundaries are even ticks; an odd event tick is still handled).
         if self._acct is not None and nxt > t + 1:

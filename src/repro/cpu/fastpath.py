@@ -1,0 +1,899 @@
+"""Steady-state cycle detection with exact fast-forward.
+
+The §4 synthetic streams drive the SMT core into an *exactly periodic*
+microarchitectural orbit within a few hundred ticks: the instruction
+pattern repeats (register rotation has period ``lcm(|T|, 6, |ops|)``,
+the memory walk is a fixed-stride sawtooth), the machine is
+deterministic, and every latency in it is a constant.  Once the
+tick-relative state at one retirement boundary equals the tick-relative
+state at an earlier boundary, the entire future is a replay of that
+period — so ``k`` whole periods can be applied in O(state) instead of
+O(k · period).
+
+Exactness, not approximation
+----------------------------
+A jump is taken only when the machine state at two boundaries ``t1 <
+t2`` is equal up to the two symmetries of the dynamics:
+
+* **time translation** — every tick-valued field is compared relative
+  to "now", with fields proven inert (older than any predicate that
+  reads them can reach) clamped to a sentinel;
+* **memory translation** — a memory stream ``Δ`` bytes further into its
+  region sees cache sets, prefetch tags and stream heads shifted by
+  ``ΔL`` lines *circularly within the region* (the walk is a cycle, so
+  the shift acts modulo the region's line count — a capture window
+  straddling the wrap slides as well as any other); equality of the
+  *offset phase modulo line size × lcm of L1/L2 set counts* plus the
+  region spanning a whole number of sets guarantees the circular shift
+  lands every line in the same cache set, so per-set LRU evolution is
+  translation-invariant.
+
+The fingerprint *is* the canonical state (a nested tuple), and the
+``dict`` lookup that finds a repeat performs a full equality check —
+a match is a proof, not a hash heuristic.  Raw cache/prefetch contents
+are then verified element-by-element under the line translation.
+Inert residue from an earlier phase — an orphaned prefetch tag whose
+line left L2, a dead stream head the LRU table never displaced, a
+stale cache line outside the walk — may instead verify *stationary*
+(equal untranslated); such lines are readable only when the walk comes
+within prefetch reach of them, so the jump's period count is capped to
+keep every moving walk short of every stationary line.  On a
+verified repeat with period ``P = t2 - t1``, the true state at
+``t2 + k·P`` is obtained in closed form: shift every live tick field by
+``k·P``, translate memory by ``k·ΔL``, advance each compiled trace
+cursor by ``k·Δpos``, and extrapolate every monotone counter by
+``k × (its delta over the period)``.  The run then resumes exact
+stepping for the residue, which is why ``CoreResult``s, run reports,
+stall accounting and golden fixtures are byte-identical with the
+fast-forward on or off (the equivalence suite and golden/determinism
+suites enforce this).
+
+When it stands down
+-------------------
+The detector arms only when every thread's instruction source is a
+compiled trace (:mod:`repro.isa.trace`); tracers and profilers need
+every tick observed, so an enabled ``Tracer`` or an attached
+delinquency profiler disables it.  Captures abort conservatively on
+anything the canonical form cannot prove periodic: effect-bearing µops
+(sync vars, markers), live generator parts, or in-flight addresses a
+translation cannot follow.  ``--no-fastpath`` on the CLI forces the
+slow path for A/B comparison.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Optional
+
+from repro.cpu.thread import ThreadState, _FAR_FUTURE
+from repro.cpu.units import UNIT_NAMES
+from repro.isa.trace import ChainedSource, CompiledTrace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cpu.core import SMTCore
+
+# -- module-wide default ----------------------------------------------
+
+_default_enabled = True
+
+
+def set_default_enabled(on: bool) -> None:
+    """Set the process-wide fast-forward default (CLI --no-fastpath).
+
+    A runtime toggle rather than a ``CoreConfig`` field on purpose: the
+    fast-forward provably does not change results, so it must not
+    perturb config fingerprints embedded in reports and cache keys.
+    """
+    global _default_enabled
+    _default_enabled = bool(on)
+
+
+def default_enabled() -> bool:
+    return _default_enabled
+
+
+_STATE_CODE = {
+    ThreadState.ACTIVE: 0,
+    ThreadState.HALTED: 1,
+    ThreadState.DONE: 2,
+}
+
+#: Captures per stride level before the capture cadence doubles.  The
+#: stride-1 era covers any period up to this many boundaries outright;
+#: longer periods are caught by later eras (every era's captures are a
+#: superset of coarser ones within its span) and, once a single key
+#: match reveals the period, by the period-targeted captures below.
+_GROWTH_THRESHOLD = 256
+#: Cadence back-off cap.  Beyond this the gaps between captures could
+#: exceed the stride-1 era, losing the guarantee that some capture
+#: lands one whole period after a stored one.
+_MAX_STRIDE = 256
+#: Fingerprint table bound; cleared wholesale if ever exceeded.
+_MAX_ENTRIES = 4096
+#: Failed verifications tolerated within one trace part before the
+#: detector stands down for the run.  Streams whose memory state never
+#: becomes translation-periodic inside the horizon (a load stream's
+#: prefetch-tag transient decays over whole passes of its vector) would
+#: otherwise pay capture + verification costs forever for nothing.
+_FUTILITY_LIMIT = 64
+#: Captures allowed per trace part (refunded by a successful jump).
+#: Caps the detector's total overhead on workloads it cannot help: once
+#: spent without a jump, the run proceeds at full exact stepping speed.
+#: Sized so that slow-issue streams (divides retire ~an order of
+#: magnitude slower than adds, stretching the pipeline transient before
+#: the orbit closes) still reach their first match: the stride-era sum
+#: 4·256 + tail covers ≳8k boundaries within this budget.
+_CAPTURE_BUDGET = 4096
+
+
+class _Capture:
+    """One boundary's canonical state plus the raw data a jump needs."""
+
+    __slots__ = ("tick", "key", "src", "mem_refs", "counters",
+                 "unit_counts", "thread_counters", "gseq", "acct",
+                 "mem_raw")
+
+    def __init__(self, tick, key, src, mem_refs, counters, unit_counts,
+                 thread_counters, gseq, acct, mem_raw):
+        self.tick = tick
+        self.key = key
+        self.src = src                      # per thread: None | (part, pos, trace)
+        self.mem_refs = mem_refs            # per thread: None | head address
+        self.counters = counters
+        self.unit_counts = unit_counts
+        self.thread_counters = thread_counters
+        self.gseq = gseq
+        self.acct = acct
+        self.mem_raw = mem_raw
+
+
+class FastPath:
+    """Per-core steady-state detector and fast-forward engine."""
+
+    def __init__(self, core: "SMTCore"):
+        self.core = core
+        self.jumps = 0
+        self.ticks_skipped = 0
+        self._armed = False
+        self._seen: dict = {}
+        self._stride = 1
+        self._since_growth = 0
+        self._boundaries = 0
+        self._sleep_until = -1
+        # Active trace part per thread at the last capture.  A part
+        # transition (warm-up ending, a marker retiring) changes the
+        # dynamics, so detection restarts with a fresh dense era.
+        self._last_parts: Optional[tuple] = None
+        # Once any key match reveals a period, capture exactly every
+        # period at the matching phase regardless of stride: repeats
+        # land on the right boundary even when the period is not a
+        # multiple of the current cadence, and a match whose memory
+        # verification fails (a decaying transient, e.g. orphaned
+        # prefetch tags from the previous part) is retried each period
+        # until the transient clears.
+        self._hint_period = 0
+        self._hint_next = -1
+        self._hint_proven = False
+        self._hint_misses = 0
+        self._futile = 0
+        self._retry_at = 0
+        self._capts = 0
+        cfg = core.config
+        # Unit busy/penalty predicates look back at most one interval:
+        # next_free older than that is inert and clamps to a sentinel.
+        self._max_interval = max(tm.interval for tm in cfg.timings.values())
+        hier = core.hierarchy
+        ls = hier.config.line_size
+        self._line_size = ls
+        # Offset phase modulus: equal phases mod this guarantee the line
+        # shift between two captures is whole and set-preserving in both
+        # caches (ΔL ≡ 0 mod each num_sets).
+        self._phase_mod = ls * math.lcm(hier.l1.num_sets, hier.l2.num_sets)
+        # Forward head-room (bytes) a monotone jump must leave before
+        # the region end: the prefetcher reads up to `degree` lines
+        # ahead, plus slack.
+        self._guard_bytes = (hier.config.prefetch_degree + 2) * ls
+
+    # ------------------------------------------------------------------
+    # Arm / gate
+    # ------------------------------------------------------------------
+
+    def prepare(self) -> bool:
+        """Decide eligibility at run() start; False removes all hot-loop
+        cost (the core drops its reference for the whole run)."""
+        core = self.core
+        if getattr(core.hierarchy, "profiler", None) is not None:
+            return False
+        if not core.threads:
+            return False
+        for th in core.threads:
+            if not isinstance(th.gen, (ChainedSource, CompiledTrace)):
+                return False
+        self._armed = True
+        return True
+
+    def on_boundary(self, t: int, eff_limit: int) -> int:
+        """Called by run() at each boundary tick before any stage.
+
+        Returns ``t`` to continue exact stepping, or the landing tick
+        after a verified fast-forward of whole periods.
+        """
+        if not self._armed or t < self._sleep_until:
+            return t
+        self._boundaries += 1
+        on_hint = False
+        if self._hint_period and t >= self._hint_next:
+            self._hint_next = t + self._hint_period
+            on_hint = True
+        elif ((self._hint_period and self._hint_misses == 0)
+              or self._boundaries % self._stride):
+            # While the hint cadence keeps landing on key repeats it
+            # alone carries detection (one capture per period) and the
+            # exploratory stride captures would only add overhead.  The
+            # first miss (phase drift during a transient, or a key
+            # collision that latched a non-period distance) resumes the
+            # stride eras alongside the hint until it recovers.
+            return t
+        self._capts += 1
+        if self._capts > _CAPTURE_BUDGET:
+            self._armed = False
+            return t
+        cap = self._capture(t)
+        if cap is None:
+            return t
+        parts = tuple(-1 if s is None else s[0] for s in cap.src)
+        if parts != self._last_parts:
+            self._last_parts = parts
+            self._seen.clear()
+            self._seen[cap.key] = cap
+            self._stride = 1
+            self._since_growth = 0
+            self._boundaries = 0
+            self._hint_period = 0
+            self._hint_next = -1
+            self._hint_proven = False
+            self._hint_misses = 0
+            self._futile = 0
+            self._retry_at = 0
+            self._capts = 1
+            return t
+        prev = self._seen.get(cap.key)
+        if prev is None:
+            if on_hint:
+                # Watchdog: a hint whose cadence stops landing on key
+                # repeats latched a coincidental collision (the
+                # canonical key omits raw memory) or lost its phase for
+                # good; drop it so the stride eras take over fully.
+                self._hint_misses += 1
+                if self._hint_misses >= 8:
+                    self._hint_period = 0
+                    self._hint_next = -1
+                    self._hint_proven = False
+                    self._hint_misses = 0
+            seen = self._seen
+            if len(seen) >= _MAX_ENTRIES:
+                seen.clear()
+            seen[cap.key] = cap
+            self._since_growth += 1
+            if self._since_growth >= _GROWTH_THRESHOLD:
+                # No repeat at this cadence: halve the capture rate so
+                # detector overhead decays geometrically on workloads
+                # with long (or no) super-periods.
+                if self._stride < _MAX_STRIDE:
+                    self._stride <<= 1
+                self._since_growth = 0
+            return t
+        self._hint_misses = 0
+        if t < self._retry_at:
+            # A verification failed less than one period ago; the whole
+            # current period shares whatever transient caused it, so
+            # keep the table fresh but do not spend another attempt.
+            self._seen[cap.key] = cap
+            return t
+        return self._try_jump(prev, cap, t, eff_limit)
+
+    # ------------------------------------------------------------------
+    # Canonical capture
+    # ------------------------------------------------------------------
+
+    def _capture(self, t: int) -> Optional[_Capture]:
+        core = self.core
+        threads = core.threads
+        src = []
+        mem_refs = []
+        rob_index = []
+        thr_keys = []
+        thread_counters = []
+        phase_mod = self._phase_mod
+        for th in threads:
+            mem_ref = None
+            if th.gen_done:
+                src.append(None)
+                src_key: object = -1
+            else:
+                gen = th.gen
+                if type(gen) is ChainedSource:
+                    at = gen.active_trace()
+                    if at is None:
+                        return None
+                    part_idx, trace = at
+                elif type(gen) is CompiledTrace:
+                    if gen.pos >= gen.count:
+                        return None
+                    part_idx, trace = 0, gen
+                else:
+                    return None
+                if trace.is_memory:
+                    off = trace.offset
+                    mem_ref = trace.base + off
+                    src_key = (part_idx, trace.pos % trace.pattern_len,
+                               off % phase_mod)
+                else:
+                    src_key = (part_idx, trace.pos % trace.pattern_len)
+                src.append((part_idx, trace.pos, trace))
+            mem_refs.append(mem_ref)
+
+            rob = th.rob
+            index_of: dict = {}
+            for j, u in enumerate(rob):
+                index_of[id(u)] = j
+            rob_index.append(index_of)
+            rob_c = []
+            abort = False
+            for u in rob:
+                if u.effect is not None:
+                    abort = True
+                    break
+                a = u.addr
+                if a is None:
+                    rel = None
+                elif mem_ref is None:
+                    abort = True
+                    break
+                else:
+                    rel = a - mem_ref
+                deps = u.deps
+                if deps:
+                    dl = []
+                    for d in deps:
+                        if d.completed:
+                            dl.append(-1)
+                        else:
+                            dj = index_of.get(id(d))
+                            if dj is None:
+                                abort = True
+                                break
+                            dl.append(dj)
+                    if abort:
+                        break
+                    deps_c: tuple = tuple(dl)
+                else:
+                    deps_c = ()
+                rob_c.append((int(u.op), u.dst, u.srcs, rel, u.site,
+                              u.issued, u.completed, deps_c))
+            if abort:
+                return None
+            uopq_c = []
+            for u in th.uopq:
+                if u.effect is not None:
+                    return None
+                a = u.addr
+                if a is None:
+                    rel = None
+                elif mem_ref is None:
+                    return None
+                else:
+                    rel = a - mem_ref
+                uopq_c.append((int(u.op), u.dst, u.srcs, rel, u.site))
+            waiting_c = []
+            for u in th.waiting:
+                j2 = index_of.get(id(u))
+                if j2 is None:
+                    return None
+                waiting_c.append(j2)
+            regmap_c = []
+            for reg in sorted(th.regmap):
+                p = th.regmap[reg]
+                if not p.completed:
+                    j2 = index_of.get(id(p))
+                    if j2 is None:
+                        return None
+                    regmap_c.append((reg, j2))
+            gate = th.fetch_gate_until
+            if gate >= _FAR_FUTURE:
+                rel_gate = -1          # halt gate sentinel
+            else:
+                rel_gate = gate - t
+                if rel_gate < 0:
+                    rel_gate = 0       # expired gates are all equivalent
+            wake = th.wake_at
+            if wake >= _FAR_FUTURE:
+                rel_wake = -1
+            else:
+                rel_wake = wake - t
+                if rel_wake < 0:
+                    rel_wake = 0
+            thr_keys.append((
+                _STATE_CODE[th.state], th.gen_done, th.halt_inflight,
+                th.wake_pending, th.lq_used, th.sq_used, rel_gate,
+                rel_wake, src_key, tuple(uopq_c), tuple(rob_c),
+                tuple(waiting_c), tuple(regmap_c),
+            ))
+            thread_counters.append((th.seq_next, th.uops_fetched,
+                                    th.uops_retired, th.instrs_emitted))
+
+        heap_c = []
+        for c, _g, u in sorted(core._comp_heap):
+            tid = u.thread
+            j = rob_index[tid].get(id(u)) if 0 <= tid < len(rob_index) else None
+            if j is None:
+                return None
+            heap_c.append((c - t, tid, j))
+        drain_c = []
+        for u in core._drain_q:
+            ref = mem_refs[u.thread]
+            if u.addr is None or ref is None:
+                return None
+            drain_c.append((u.thread, int(u.op), u.addr - ref, u.site))
+        sqrel_c = tuple(tuple(x - t for x in rel)
+                        for rel in core._sq_release)
+        scf = core._store_commit_free - t
+        if scf < 0:
+            scf = 0
+        maxi = self._max_interval
+        unit_map = core.units.units
+        units_c = []
+        for name in UNIT_NAMES:
+            un = unit_map[name]
+            rel_free = un.next_free - t
+            if rel_free <= -maxi:
+                rel_free = -maxi       # inert: older than any predicate
+            units_c.append((un.last_tid, rel_free))
+        hier = core.hierarchy
+        bus = hier._bus_free - t
+        if bus < 0:
+            bus = 0
+        l2f = hier._l2_free - t
+        if l2f < 0:
+            l2f = 0
+
+        key = (
+            tuple(thr_keys), tuple(heap_c), tuple(drain_c), sqrel_c,
+            scf, tuple(units_c), bus, l2f,
+            core._rr, core._issue_rr, core._issue_burst,
+        )
+        mem_raw = (
+            tuple(tuple(s.items()) for s in hier.l1._sets),
+            tuple(tuple(s.items()) for s in hier.l2._sets),
+            tuple(sorted((line, r - t)
+                         for line, r in hier._pf_pending.items() if r > t)),
+            tuple(sorted(hier._pf_tag)),
+            tuple(tuple(od) for od in hier.prefetcher._streams),
+        )
+        counters = tuple(tuple(row) for row in core.monitor.raw)
+        unit_counts = tuple(core.units.issue_counts[n] for n in UNIT_NAMES)
+        acct = core._acct.period_snapshot() if core._acct is not None else None
+        return _Capture(t, key, tuple(src), tuple(mem_refs), counters,
+                        unit_counts, thread_counters, core._gseq, acct,
+                        mem_raw)
+
+    # ------------------------------------------------------------------
+    # Match → plan → jump
+    # ------------------------------------------------------------------
+
+    def _replace(self, cap: _Capture, t: int, period: int) -> int:
+        """Key matched but the pair could not be used: remember the
+        newer capture under this key (its future has at least as much
+        room) and hold further attempts for one period — every phase of
+        the current period shares the same transient."""
+        self._seen[cap.key] = cap
+        self._retry_at = t + period
+        self._futile += 1
+        if self._futile > _FUTILITY_LIMIT:
+            self._armed = False
+        return t
+
+    def _try_jump(self, prev: _Capture, cap: _Capture, t: int,
+                  eff_limit: int) -> int:
+        core = self.core
+        threads = core.threads
+        n = len(threads)
+        period = cap.tick - prev.tick
+
+        dps = [0] * n
+        dls = [0] * n
+        dbs = [0] * n
+        for i in range(n):
+            s1, s2 = prev.src[i], cap.src[i]
+            if s1 is None or s2 is None:
+                if s1 is not s2:
+                    return self._replace(cap, t, period)
+                continue
+            trace = s2[2]
+            if s1[2] is not trace:
+                return self._replace(cap, t, period)
+            dp = s2[1] - s1[1]
+            if dp < 0:
+                return self._replace(cap, t, period)
+            dps[i] = dp
+            if trace.is_memory:
+                span = trace.span
+                off1 = prev.mem_refs[i] - trace.base
+                off2 = cap.mem_refs[i] - trace.base
+                db_raw = dp * trace.stride
+                if db_raw % span == 0:
+                    # Whole passes: identity translation.  Sound for any
+                    # residue (it is plain state recurrence, no symmetry
+                    # argument needed).
+                    if off2 != off1:
+                        return self._replace(cap, t, period)
+                elif (db_raw < span and (off2 - off1) % span == db_raw
+                      and span % self._phase_mod == 0):
+                    # Circular translation: the walk is a cycle over the
+                    # region, so the line shift acts modulo the region —
+                    # a capture window straddling the wrap slides as
+                    # well as any other.  Requires the region to span a
+                    # whole number of sets in both caches (span divides
+                    # by the phase modulus) so the circular shift is
+                    # set-preserving.  A period advancing a whole span
+                    # or more (db_raw >= span, not a multiple) would
+                    # cross the region's top edge inside every
+                    # extrapolated period, where absolute-line prefetch
+                    # overshoot breaks the symmetry: rejected above.
+                    dls[i] = db_raw // self._line_size
+                    dbs[i] = db_raw
+                else:
+                    return self._replace(cap, t, period)
+
+        # Adopt the period hint only from translation-consistent pairs
+        # (the canonical key omits raw memory, so distinct phases of a
+        # longer orbit can collide at a non-period distance), and only
+        # until a jump has *proven* a period — the candidate cadence is
+        # a guess worth re-probing every period (a decaying transient
+        # clears while the phase holds), but a proven one is exact and
+        # must not be stolen by a later coincidental collision.
+        if not self._hint_proven and (not self._hint_period
+                                      or period < self._hint_period):
+            self._hint_period = period
+            self._hint_next = t + period
+
+        windows = self._windows(cap, dls, 1)
+        if windows:
+            plan = self._mem_equal(prev, cap, windows)
+            if plan is None:
+                return self._replace(cap, t, period)
+        else:
+            if prev.mem_raw != cap.mem_raw:
+                return self._replace(cap, t, period)
+            plan = (set(), set(), set(), set(), set())
+
+        # -- how many whole periods fit ---------------------------------
+        k = (eff_limit - t) // period
+        if k < 1:
+            self._armed = False        # time bound only shrinks: done
+            return t
+        limit_sleep = 0
+        for i in range(n):
+            s = cap.src[i]
+            dp = dps[i]
+            if s is None or dp == 0:
+                continue
+            trace = s[2]
+            kt = (trace.count - s[1]) // dp
+            if kt < k:
+                # A finite trace part (warm-up) is nearly exhausted:
+                # sleep until it ends; the part transition then restarts
+                # detection on the next part's dynamics.
+                k = kt
+                limit_sleep = ((trace.count - s[1]) // dp + 2) * period
+            if dbs[i] > 0:
+                off = cap.mem_refs[i] - trace.base
+                room = trace.span - self._guard_bytes - off
+                km = room // dbs[i] if room > 0 else 0
+                if km < k:
+                    # The walk is about to reach the region's top edge,
+                    # where absolute-line prefetch overshoot breaks the
+                    # translation symmetry.  Sleep past the edge zone,
+                    # then re-listen — the hint cadence picks the orbit
+                    # back up just after the wrap, and circular
+                    # translation verifies across it.
+                    k = km
+                    limit_sleep = ((trace.span - off) // dbs[i] + 2) * period
+        if k < 1:
+            self._sleep_until = t + limit_sleep
+            return t
+
+        # Stationary residue is inert only while the walk stays clear of
+        # it: its one read site needs the walk to come within reach (an
+        # L2 demand hit for a tag, a miss within two lines for a stream
+        # head, an access for a cache line).  Cap k so no moving walk
+        # crosses a stationary line during the jump; residue behind a
+        # head never gets revisited before the wrap, which bounds k
+        # already.
+        stat_lines = []
+        for ss in plan[:4]:
+            stat_lines.extend(sorted(ss))
+        stat_lines.extend(sorted(line for _cpu, line in plan[4]))
+        if stat_lines:
+            guard_l = self._guard_bytes // self._line_size
+            for x in stat_lines:
+                for lo, hi, dl, head in windows:
+                    if dl > 0 and lo <= x <= hi:
+                        if x >= head - 2:
+                            kx = (x - head - guard_l) // dl
+                            if kx < k:
+                                k = kx
+                        break
+            if k < 1:
+                return self._replace(cap, t, period)
+
+        windows_k = self._windows(cap, dls, k) if any(dls) else []
+
+        self._apply(prev, cap, k, period, dps, dls, windows_k, plan)
+        self._futile = 0
+        self._capts = 0
+        # Start fresh at the landing boundary: stale pre-jump entries
+        # would otherwise match the landing state at an inflated period
+        # (k times the true one), wrecking the wrap-sleep arithmetic.
+        # The landing capture re-seeds the table, and the jump promotes
+        # its period to *proven*: the hint cadence alone now carries
+        # detection, so follow-up jumps chain until the horizon or a
+        # part transition intervenes — across a wrap, the same cadence
+        # picks the orbit back up once the next pass reaches steady
+        # state.
+        self._seen.clear()
+        self._hint_proven = True
+        self._hint_period = period
+        self._hint_next = t + k * period
+        return t + k * period
+
+    def _windows(self, cap: _Capture, dls, k: int):
+        """Per-region line windows: k-period line shift + walk head."""
+        ls = self._line_size
+        windows = []
+        for i, s in enumerate(cap.src):
+            if s is not None and s[2].is_memory:
+                trace = s[2]
+                lo = trace.base // ls
+                hi = (trace.base + trace.span - 1) // ls
+                windows.append((lo, hi, dls[i] * k, cap.mem_refs[i] // ls))
+        return windows
+
+    @staticmethod
+    def _xl(line: int, windows) -> int:
+        """Circular line translation: in-region lines shift modulo the
+        region's line count (images cannot escape the window); lines
+        outside every window are identity."""
+        for lo, hi, dl, _head in windows:
+            if lo <= line <= hi:
+                return lo + (line - lo + dl) % (hi - lo + 1)
+        return line
+
+    def _mem_equal(self, prev: _Capture, cap: _Capture, windows):
+        """Element-wise raw verification under the line translation.
+
+        Cache sets compare in insertion (= LRU) order and prefetch
+        stream heads in recency order — both orders are semantic and
+        translation-invariant, so the pairing is positional.
+        Prefetch-pending entries and tags are unordered collections:
+        the circular shift (or a mixed stationary/sliding shift)
+        reorders their sorted snapshots, so they are matched as
+        multisets.  Each element either *slides* (its translated image
+        matches) or is *stationary* (it matches untranslated — inert
+        residue such as an orphaned prefetch tag whose line left L2, or
+        a dead stream head the LRU table never displaced).  Anything
+        else fails.
+
+        Returns ``None`` on mismatch, else the stationary plan — one
+        line set per structure (streams keyed by (cpu, line)).  The
+        caller must keep the jump's walk span clear of every stationary
+        line (they are inert only while untouched) and apply/identity-
+        translate them accordingly."""
+        xl = self._xl
+        p_l1, p_l2, p_pend, p_tag, p_streams = prev.mem_raw
+        c_l1, c_l2, c_pend, c_tag, c_streams = cap.mem_raw
+        stat_l1: set = set()
+        stat_l2: set = set()
+        for p_sets, c_sets, stat in ((p_l1, c_l1, stat_l1),
+                                     (p_l2, c_l2, stat_l2)):
+            for pset, cset in zip(p_sets, c_sets):
+                if len(pset) != len(cset):
+                    return None
+                for (pl, pd), (cl, cd) in zip(pset, cset):
+                    if pd != cd:
+                        return None
+                    if xl(pl, windows) == cl:
+                        continue
+                    if pl == cl:
+                        stat.add(pl)
+                        continue
+                    return None
+        if len(p_pend) != len(c_pend):
+            return None
+        stat_pend: set = set()
+        c_map = dict(c_pend)
+        for pl, prel in p_pend:
+            nl = xl(pl, windows)
+            if c_map.get(nl) == prel:
+                del c_map[nl]
+                continue
+            if c_map.get(pl) == prel:
+                del c_map[pl]
+                stat_pend.add(pl)
+                continue
+            return None
+        if len(p_tag) != len(c_tag):
+            return None
+        stat_tag: set = set()
+        c_left = set(c_tag)
+        for pl in p_tag:
+            nl = xl(pl, windows)
+            if nl in c_left:
+                c_left.discard(nl)
+                continue
+            if pl in c_left:
+                c_left.discard(pl)
+                stat_tag.add(pl)
+                continue
+            return None
+        stat_streams: set = set()
+        for cpu, (p_heads, c_heads) in enumerate(zip(p_streams, c_streams)):
+            if len(p_heads) != len(c_heads):
+                return None
+            for pl, cl in zip(p_heads, c_heads):
+                if xl(pl, windows) == cl:
+                    continue
+                if pl == cl:
+                    stat_streams.add((cpu, pl))
+                    continue
+                return None
+        return stat_l1, stat_l2, stat_pend, stat_tag, stat_streams
+
+    # ------------------------------------------------------------------
+    # The jump itself
+    # ------------------------------------------------------------------
+
+    def _apply(self, prev: _Capture, cap: _Capture, k: int, period: int,
+               dps, dls, windows_k, plan) -> None:
+        core = self.core
+        t = cap.tick
+        dt = k * period
+        threads = core.threads
+        maxi = self._max_interval
+
+        # Instruction sources: O(1) cursor skip per thread.
+        for i, s in enumerate(cap.src):
+            if s is not None and dps[i]:
+                s[2].skip(k * dps[i])
+
+        # Per-thread tick fields, monotone counters, in-flight µops.
+        for i, th in enumerate(threads):
+            gate = th.fetch_gate_until
+            if gate > t and gate < _FAR_FUTURE:
+                th.fetch_gate_until = gate + dt
+            if th.wake_at < _FAR_FUTURE:
+                th.wake_at += dt
+            tc1 = prev.thread_counters[i]
+            tc2 = cap.thread_counters[i]
+            dseq = (tc2[0] - tc1[0]) * k
+            th.seq_next += dseq
+            th.uops_fetched += (tc2[1] - tc1[1]) * k
+            th.uops_retired += (tc2[2] - tc1[2]) * k
+            th.instrs_emitted += (tc2[3] - tc1[3]) * k
+            shift = dls[i] != 0
+            if shift or dseq:
+                if shift:
+                    # In-flight addresses advance in trace-position
+                    # space: off = (pos % wrap_len)·stride, so the
+                    # k-period image wraps exactly where the walk does.
+                    trace = cap.src[i][2]
+                    base = trace.base
+                    stride = trace.stride
+                    wrap = trace.wrap_len
+                    dpos = dps[i] * k
+                for u in th.uopq:
+                    if shift and u.addr is not None:
+                        u.addr = base + ((u.addr - base) // stride
+                                         + dpos) % wrap * stride
+                    u.seq += dseq
+                for u in th.rob:
+                    if shift and u.addr is not None:
+                        u.addr = base + ((u.addr - base) // stride
+                                         + dpos) % wrap * stride
+                    u.seq += dseq
+        for u in core._drain_q:
+            if dls[u.thread]:
+                trace = cap.src[u.thread][2]
+                u.addr = (trace.base
+                          + ((u.addr - trace.base) // trace.stride
+                             + dps[u.thread] * k) % trace.wrap_len
+                          * trace.stride)
+
+        # Core-global tick fields.  A uniform +dt keeps every relation
+        # to "now" intact; provably inert (stale) values stay put, which
+        # is exactly what the true run holds at the landing tick.
+        core._gseq += (cap.gseq - prev.gseq) * k
+        heap = core._comp_heap
+        for j in range(len(heap)):
+            c, g, u = heap[j]
+            heap[j] = (c + dt, g, u)
+        if core._store_commit_free > t:
+            core._store_commit_free += dt
+        for rel in core._sq_release:
+            if rel:
+                shifted = [x + dt for x in rel]
+                rel.clear()
+                rel.extend(shifted)
+        unit_map = core.units.units
+        for name in UNIT_NAMES:
+            un = unit_map[name]
+            if un.next_free - t > -maxi:
+                un.next_free += dt
+        hier = core.hierarchy
+        if hier._bus_free > t:
+            hier._bus_free += dt
+        if hier._l2_free > t:
+            hier._l2_free += dt
+
+        # Memory translation by k·ΔL per region (set-preserving; the
+        # shift is circular within each window, so no image can escape
+        # it; stationary residue keeps its lines).
+        if windows_k:
+            xl = self._xl
+            stat_l1, stat_l2, stat_pend, stat_tag, stat_streams = plan
+            for cache, stat in ((hier.l1, stat_l1), (hier.l2, stat_l2)):
+                for s in cache._sets:
+                    if s:
+                        items = [(line if line in stat
+                                  else xl(line, windows_k), d)
+                                 for line, d in s.items()]
+                        s.clear()
+                        for line, d in items:
+                            s[line] = d
+            if hier._pf_pending:
+                items = [(line, r) for line, r in hier._pf_pending.items()
+                         if r > t]
+                hier._pf_pending.clear()
+                for line, r in items:
+                    nl = line if line in stat_pend else xl(line, windows_k)
+                    hier._pf_pending[nl] = r + dt
+            if hier._pf_tag:
+                tags = [line if line in stat_tag else xl(line, windows_k)
+                        for line in sorted(hier._pf_tag)]
+                hier._pf_tag.clear()
+                hier._pf_tag.update(tags)
+            for cpu, od in enumerate(hier.prefetcher._streams):
+                if od:
+                    heads = [line if (cpu, line) in stat_streams
+                             else xl(line, windows_k) for line in od]
+                    od.clear()
+                    for line in heads:
+                        od[line] = None
+        elif hier._pf_pending:
+            # No translation, but pending prefetch timestamps still move.
+            items = [(line, r) for line, r in hier._pf_pending.items()
+                     if r > t]
+            hier._pf_pending.clear()
+            for line, r in items:
+                hier._pf_pending[line] = r + dt
+
+        # Monotone counters: extrapolate the period's exact deltas.
+        raw = core.monitor.raw
+        for e in range(len(raw)):
+            row = raw[e]
+            p_row = prev.counters[e]
+            c_row = cap.counters[e]
+            for cpu in range(len(row)):
+                d = c_row[cpu] - p_row[cpu]
+                if d:
+                    row[cpu] += d * k
+        issue_counts = core.units.issue_counts
+        for idx, name in enumerate(UNIT_NAMES):
+            d = cap.unit_counts[idx] - prev.unit_counts[idx]
+            if d:
+                issue_counts[name] += d * k
+        if core._acct is not None:
+            core._acct.on_period(core, prev.acct, k)
+
+        self.jumps += 1
+        self.ticks_skipped += dt

@@ -27,6 +27,7 @@ class ThreadContext:
     __slots__ = (
         "tid",
         "gen",
+        "batched",
         "state",
         "uopq",
         "rob",
@@ -49,6 +50,10 @@ class ThreadContext:
     def __init__(self, tid: int, gen: Iterator[Instr]):
         self.tid = tid
         self.gen = gen
+        # Sources exposing take(n) (compiled traces / chained sources)
+        # let the core fetch whole batches without per-µop generator
+        # resumption.
+        self.batched = callable(getattr(gen, "take", None))
         self.state = ThreadState.ACTIVE
         self.uopq: deque[Instr] = deque()
         self.rob: deque[Instr] = deque()
@@ -104,6 +109,30 @@ class ThreadContext:
         self.seq_next += 1
         self.instrs_emitted += 1
         return instr
+
+    def pull_batch(self, n: int) -> list[Instr]:
+        """Fetch up to ``n`` instructions from a batched source.
+
+        Returns the same instructions, with the same thread/seq stamps,
+        as ``n`` consecutive :meth:`pull` calls; an empty list marks the
+        source exhausted (``gen_done``).  Batched sources guarantee that
+        fetch-gating ops (PAUSE/HALT) only ever arrive in length-1
+        batches, which is what keeps the core's batched fetch loop exact.
+        """
+        batch = self.gen.take(n)
+        if not batch:
+            self.gen_done = True
+            return batch
+        tid = self.tid
+        seq = self.seq_next
+        for instr in batch:
+            instr.thread = tid
+            instr.seq = seq
+            seq += 1
+        count = len(batch)
+        self.seq_next = seq
+        self.instrs_emitted += count
+        return batch
 
     def describe(self) -> str:
         """One-line diagnostic used by deadlock reports."""

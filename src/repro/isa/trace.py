@@ -1,0 +1,336 @@
+"""Compiled instruction traces for the §4 synthetic streams.
+
+The stream generators in :mod:`repro.isa.streams` are tiny Python
+generators: every µop costs a generator resumption plus a validating
+``Instr`` constructor call.  For the homogeneous / fadd-mul streams the
+emitted sequence is strictly periodic — register rotation repeats every
+``lcm(|T|, |S|, |ops|)`` instructions and the memory walk is a sawtooth
+of the byte offset — so the whole stream can be *compiled once* into a
+small pattern table and replayed from a flat cursor:
+
+* :class:`CompiledTrace` replays the pattern with a preallocated
+  template per pattern slot, building each ``Instr`` without the
+  constructor's validation (the pattern was validated at compile time);
+* ``take(n)`` hands the core a whole fetch-batch in one call (no
+  per-instruction generator resumption);
+* ``skip(n)`` advances the cursor in O(1) — the hook the steady-state
+  fast-forward (:mod:`repro.cpu.fastpath`) uses to teleport a thread's
+  instruction source across k whole periods.
+
+:class:`ChainedSource` splices traces and one-shot instructions (the
+measurement marker) into a single iterator with the same protocol, and
+exposes which compiled trace is currently feeding the core — the
+fast-forward only engages when every thread is inside a compiled trace.
+
+Exactness contract: for any :class:`~repro.isa.streams.StreamSpec`,
+``compile_stream(spec, region)`` emits the byte-for-byte identical
+instruction sequence as ``make_stream(spec, region)`` (property-tested
+in ``tests/isa/test_trace.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, List, Optional, Tuple
+
+from repro.common.addrspace import Region
+from repro.common.errors import ConfigError
+from repro.isa.instr import EMPTY, Instr
+from repro.isa.opcodes import Op, is_fp, is_store
+from repro.isa.registers import F, R
+from repro.isa.streams import StreamSpec
+
+#: Opcodes that gate fetch when they enter the µop queue.  A compiled
+#: trace must never contain one: the core's batched fetch path relies on
+#: gate ops only ever arriving in single-instruction batches.
+_GATE_OPS = frozenset({Op.PAUSE, Op.HALT})
+
+
+class CompiledTrace:
+    """A periodic instruction stream lowered to a flat pattern table.
+
+    ``pattern`` holds one ``(op, dst, srcs)`` template per slot of the
+    register-rotation period; instruction ``i`` of the stream uses
+    template ``i % pattern_len``.  Memory traces additionally carry the
+    sawtooth address walk: instruction ``i`` accesses
+    ``base + (i % wrap_len) * stride``.
+    """
+
+    __slots__ = ("count", "pos", "pattern", "pattern_len", "site",
+                 "is_memory", "base", "span", "stride", "wrap_len")
+
+    def __init__(
+        self,
+        pattern: List[Tuple[Op, Optional[int], tuple]],
+        count: int,
+        site: int = 0,
+        *,
+        base: int = 0,
+        span: int = 0,
+        stride: int = 0,
+    ):
+        if not pattern:
+            raise ConfigError("compiled trace needs a non-empty pattern")
+        if count <= 0:
+            raise ConfigError("compiled trace count must be positive")
+        for op, _dst, _srcs in pattern:
+            if op in _GATE_OPS:
+                raise ConfigError(
+                    f"{op.name} cannot appear in a compiled trace "
+                    "(fetch-gating ops must arrive one at a time)"
+                )
+        self.pattern = tuple(pattern)
+        self.pattern_len = len(self.pattern)
+        self.count = count
+        self.pos = 0
+        self.site = site
+        self.is_memory = span > 0
+        self.base = base
+        self.span = span
+        self.stride = stride
+        # Instructions per traversal of the region before the offset
+        # wraps back to 0 (the generator's sawtooth period).
+        self.wrap_len = -(-span // stride) if self.is_memory else 0
+
+    # -- iterator protocol ---------------------------------------------
+
+    def __iter__(self) -> Iterator[Instr]:
+        return self
+
+    def __next__(self) -> Instr:
+        pos = self.pos
+        if pos >= self.count:
+            raise StopIteration
+        self.pos = pos + 1
+        op, dst, srcs = self.pattern[pos % self.pattern_len]
+        ins = Instr.__new__(Instr)
+        ins.op = op
+        ins.dst = dst
+        ins.srcs = srcs
+        ins.addr = (self.base + (pos % self.wrap_len) * self.stride
+                    if self.is_memory else None)
+        ins.site = self.site
+        ins.effect = None
+        ins.thread = -1
+        ins.seq = -1
+        ins.deps = EMPTY
+        ins.completed = False
+        ins.comp_tick = -1
+        ins.issued = False
+        return ins
+
+    # -- batched / fast-forward protocol -------------------------------
+
+    def take(self, n: int) -> List[Instr]:
+        """Up to ``n`` next instructions as a list (empty = exhausted)."""
+        pos = self.pos
+        end = pos + n
+        if end > self.count:
+            end = self.count
+        if end <= pos:
+            return []
+        pattern = self.pattern
+        plen = self.pattern_len
+        site = self.site
+        new = Instr.__new__
+        out = []
+        append = out.append
+        if self.is_memory:
+            base, stride, wrap = self.base, self.stride, self.wrap_len
+            for i in range(pos, end):
+                op, dst, srcs = pattern[i % plen]
+                ins = new(Instr)
+                ins.op = op
+                ins.dst = dst
+                ins.srcs = srcs
+                ins.addr = base + (i % wrap) * stride
+                ins.site = site
+                ins.effect = None
+                ins.thread = -1
+                ins.seq = -1
+                ins.deps = EMPTY
+                ins.completed = False
+                ins.comp_tick = -1
+                ins.issued = False
+                append(ins)
+        else:
+            for i in range(pos, end):
+                op, dst, srcs = pattern[i % plen]
+                ins = new(Instr)
+                ins.op = op
+                ins.dst = dst
+                ins.srcs = srcs
+                ins.addr = None
+                ins.site = site
+                ins.effect = None
+                ins.thread = -1
+                ins.seq = -1
+                ins.deps = EMPTY
+                ins.completed = False
+                ins.comp_tick = -1
+                ins.issued = False
+                append(ins)
+        self.pos = end
+        return out
+
+    def skip(self, n: int) -> None:
+        """Advance the cursor ``n`` instructions in O(1) (fast-forward)."""
+        if n < 0 or self.pos + n > self.count:
+            raise ConfigError(
+                f"cannot skip {n} instructions at pos {self.pos} "
+                f"of {self.count}"
+            )
+        self.pos += n
+
+    @property
+    def remaining(self) -> int:
+        return self.count - self.pos
+
+    @property
+    def offset(self) -> int:
+        """Current byte offset of the sawtooth walk (memory traces)."""
+        return (self.pos % self.wrap_len) * self.stride if self.is_memory else 0
+
+
+class OneShot:
+    """A single instruction spliced between traces (e.g. the steady-state
+    measurement marker).  Exposes ``done`` so :class:`ChainedSource` can
+    look past it once consumed without touching a live generator."""
+
+    __slots__ = ("instr", "done")
+
+    def __init__(self, instr: Instr):
+        self.instr = instr
+        self.done = False
+
+    def __iter__(self) -> Iterator[Instr]:
+        return self
+
+    def __next__(self) -> Instr:
+        if self.done:
+            raise StopIteration
+        self.done = True
+        return self.instr
+
+
+class ChainedSource:
+    """Concatenation of instruction sources behind one iterator.
+
+    Parts may be :class:`CompiledTrace`, :class:`OneShot`, or any
+    iterator of :class:`Instr`.  ``take(n)`` batches only while the
+    current part is a compiled trace; anything else is handed over one
+    instruction at a time, which is what keeps fetch-gating ops exact
+    on the core's batched path.
+    """
+
+    __slots__ = ("parts", "idx")
+
+    def __init__(self, parts):
+        self.parts = list(parts)
+        self.idx = 0
+
+    def __iter__(self) -> Iterator[Instr]:
+        return self
+
+    def __next__(self) -> Instr:
+        parts = self.parts
+        while self.idx < len(parts):
+            try:
+                return next(parts[self.idx])
+            except StopIteration:
+                self.idx += 1
+        raise StopIteration
+
+    def take(self, n: int) -> List[Instr]:
+        parts = self.parts
+        while self.idx < len(parts):
+            part = parts[self.idx]
+            if type(part) is CompiledTrace:
+                batch = part.take(n)
+                if batch:
+                    return batch
+                self.idx += 1
+                continue
+            try:
+                return [next(part)]
+            except StopIteration:
+                self.idx += 1
+        return []
+
+    def active_trace(self) -> Optional[Tuple[int, CompiledTrace]]:
+        """The compiled trace currently feeding the core, if any.
+
+        Returns ``(part_index, trace)`` when the next instruction will
+        come from a compiled trace; ``None`` when a non-trace part is
+        pending (marker not yet consumed, or a live generator) or the
+        chain is exhausted.  Read-only: never consumes from a part.
+        """
+        parts = self.parts
+        i = self.idx
+        while i < len(parts):
+            part = parts[i]
+            if type(part) is CompiledTrace:
+                if part.pos < part.count:
+                    return (i, part)
+                i += 1
+            elif type(part) is OneShot:
+                if part.done:
+                    i += 1
+                else:
+                    return None
+            else:
+                return None
+        return None
+
+
+# ---------------------------------------------------------------------------
+# The stream compiler
+# ---------------------------------------------------------------------------
+
+def compile_stream(spec: StreamSpec,
+                   region: Optional[Region] = None) -> CompiledTrace:
+    """Lower one synthetic stream to a :class:`CompiledTrace`.
+
+    Produces the byte-for-byte identical instruction sequence as
+    ``make_stream(spec, region)`` — same opcode rotation, same
+    two-operand source lists, same sawtooth address walk.
+    """
+    if spec.is_memory:
+        if region is None:
+            raise ConfigError(f"stream {spec.name!r} needs a memory region")
+        return _compile_memory(spec, region)
+    return _compile_arith(spec)
+
+
+def _compile_arith(spec: StreamSpec) -> CompiledTrace:
+    n_targets = spec.ilp.num_targets
+    fp = is_fp(spec.ops[0])
+    regs = F if fp else R
+    targets = [regs(i) for i in range(n_targets)]
+    sources = [regs(i) for i in range(8, 8 + 6)]
+    ops = spec.ops
+    plen = math.lcm(n_targets, len(sources), len(ops))
+    pattern = []
+    for i in range(plen):
+        dst = targets[i % n_targets]
+        src = sources[i % len(sources)]
+        # Two-operand x86 semantics: dst is read and written
+        # (Instr.arith lists it among the sources).
+        pattern.append((ops[i % len(ops)], dst, (dst, src)))
+    return CompiledTrace(pattern, spec.count, site=spec.site)
+
+
+def _compile_memory(spec: StreamSpec, region: Region) -> CompiledTrace:
+    op = spec.ops[0]
+    n_targets = spec.ilp.num_targets
+    fp = is_fp(op)
+    regs = F if fp else R
+    if is_store(op):
+        data_reg = regs(15)
+        pattern = [(op, None, (data_reg,))]
+    else:
+        pattern = [(op, regs(i % n_targets), EMPTY)
+                   for i in range(n_targets)]
+    return CompiledTrace(pattern, spec.count, site=spec.site,
+                         base=region.base, span=region.nbytes,
+                         stride=spec.stride)

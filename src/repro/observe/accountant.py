@@ -202,6 +202,40 @@ class CycleAccountant:
                 acounts[acat] = acounts.get(acat, 0) + n_boundaries * alloc_width
                 self.alloc.slots[tid] += n_boundaries * alloc_width
 
+    def period_snapshot(self) -> tuple:
+        """Freeze the current breakdown; pair with :meth:`on_period`."""
+        return (
+            [dict(c) for c in self.alloc.counts], list(self.alloc.slots),
+            [dict(c) for c in self.issue.counts], list(self.issue.slots),
+        )
+
+    def on_period(self, core: "SMTCore", before: tuple, k: int) -> None:
+        """Bulk-account ``k`` extra repeats of a steady-state period.
+
+        ``before`` is the :meth:`period_snapshot` taken at the start of
+        the just-completed period.  The steady-state fast-forward
+        (:mod:`repro.cpu.fastpath`) proved the machine repeats that
+        period exactly, so every category accumulated since the snapshot
+        scales by ``k`` — identical, by construction, to stepping the
+        period ``k`` more times.  Conservation is preserved: slots and
+        counts scale by the same factor.
+        """
+        a_counts, a_slots, i_counts, i_slots = before
+        for bd, b_counts, b_slots in (
+            (self.alloc, a_counts, a_slots),
+            (self.issue, i_counts, i_slots),
+        ):
+            for tid in range(len(bd.counts)):
+                counts = bd.counts[tid]
+                base = b_counts[tid]
+                # A period never removes categories, so base keys are a
+                # subset of current keys: iterating current covers all.
+                for cat, cur in counts.items():
+                    d = cur - base.get(cat, 0)
+                    if d:
+                        counts[cat] = cur + d * k
+                bd.slots[tid] += (bd.slots[tid] - b_slots[tid]) * k
+
     # -- classification ------------------------------------------------
 
     def _alloc_reason(self, core: "SMTCore", th, t: int) -> str:

@@ -63,6 +63,7 @@ class Program:
         tracer=None,
         accountant=None,
         profiler=None,
+        fastpath: Optional[bool] = None,
     ):
         self.core_config = core_config or CoreConfig()
         self.mem_config = mem_config or MemConfig()
@@ -73,7 +74,8 @@ class Program:
         if profiler is not None:
             self.hierarchy.profiler = profiler
         self.core = SMTCore(self.core_config, self.hierarchy, self.monitor,
-                            tracer=tracer, accountant=accountant)
+                            tracer=tracer, accountant=accountant,
+                            fastpath=fastpath)
         self.aspace = aspace or AddressSpace()
         self._factories: list[ThreadFactory] = []
         self._ran = False

@@ -31,7 +31,8 @@ from functools import lru_cache
 from typing import Any, Dict, Optional
 
 from repro.common.errors import ConfigError
-from repro.sweep.keys import CACHE_SCHEMA_VERSION, cache_key
+from repro.sweep.keys import (CACHE_SCHEMA_VERSION, FASTPATH_SCHEMA_VERSION,
+                              cache_key)
 
 
 @dataclass(frozen=True)
@@ -57,6 +58,7 @@ class SweepCell:
             "core_config": core.to_dict(),
             "mem_config": mem.to_dict(),
             "cache_schema_version": CACHE_SCHEMA_VERSION,
+            "fastpath_schema_version": FASTPATH_SCHEMA_VERSION,
             "repro_version": __version__,
         }
 

@@ -31,6 +31,18 @@ from repro.sweep.cells import SweepCell, runner_for
 from repro.sweep.keys import CACHE_SCHEMA_VERSION
 
 
+def _pool_init(fastpath_default: bool) -> None:
+    """Carry the parent's fast-forward default into pool workers.
+
+    The default lives in :mod:`repro.cpu.fastpath` module state, which a
+    ``spawn``-start worker would re-import fresh; forwarding it through
+    the initializer makes ``--no-fastpath`` govern every execution path.
+    """
+    from repro.cpu.fastpath import set_default_enabled
+
+    set_default_enabled(fastpath_default)
+
+
 def _execute_cell(cell: SweepCell) -> str:
     """Run one cell; return its encoded result as JSON text.
 
@@ -163,5 +175,9 @@ class SweepEngine:
         methods = multiprocessing.get_all_start_methods()
         ctx = multiprocessing.get_context(
             "fork" if "fork" in methods else None)
-        with ctx.Pool(processes=min(self.jobs, len(cells))) as pool:
+        from repro.cpu.fastpath import default_enabled
+
+        with ctx.Pool(processes=min(self.jobs, len(cells)),
+                      initializer=_pool_init,
+                      initargs=(default_enabled(),)) as pool:
             return pool.map(_execute_cell, cells)

@@ -32,6 +32,14 @@ from typing import Any
 #: of cached entries; old entries then miss and are recomputed.
 CACHE_SCHEMA_VERSION = 1
 
+#: Version of the steady-state fast-forward machinery
+#: (:mod:`repro.cpu.fastpath`).  The fast-forward is results-neutral by
+#: construction, so this is *not* part of any config fingerprint — but
+#: it is part of every cell cache key: if a fast-forward defect were
+#: ever found and fixed, bumping this invalidates every cached entry
+#: that could have been computed through the defective jump engine.
+FASTPATH_SCHEMA_VERSION = 1
+
 
 def canonicalize(obj: Any) -> Any:
     """Reduce ``obj`` to canonical JSON-compatible types (keys only)."""

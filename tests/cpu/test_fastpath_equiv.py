@@ -1,0 +1,175 @@
+"""The steady-state fast-forward must be invisible in every result.
+
+The contract (module docstring of :mod:`repro.cpu.fastpath`): with the
+fast-forward on, every ``CoreResult`` field, every performance-monitor
+counter, every unit issue count and every stall-accountant ledger is
+byte-identical to the fully stepped run — the jumps are provably exact,
+not approximate.  These tests enforce the contract over randomized
+streams, ILP levels, horizons, and co-execution pairs, plus each of the
+core's stopping modes.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.streams import measure_stream_cpi
+from repro.cpu.config import CoreConfig
+from repro.isa.streams import STREAM_OPS, ILP, StreamSpec
+from repro.isa.trace import compile_stream
+from repro.observe import CycleAccountant, PipelineTracer
+from repro.runtime.program import Program
+
+_ENDLESS = 1 << 30
+
+
+def _run(names, ilp, fastpath, counts=None, accountant=None,
+         profiler=None, tracer=None, **run_kw):
+    prog = Program(tracer=tracer, accountant=accountant, profiler=profiler,
+                   fastpath=fastpath)
+    for i, name in enumerate(names):
+        count = counts[i] if counts is not None else _ENDLESS
+        spec = StreamSpec(name, ilp=ilp, count=count)
+        region = None
+        if spec.is_memory:
+            region = prog.aspace.alloc(f"v{i}", 4096, elem_size=1)
+        trace = compile_stream(spec, region)
+        prog.add_thread(lambda api, tr=trace: tr)
+    result = prog.run(**run_kw)
+    return prog, result
+
+
+def _snapshot(result, accountant=None):
+    return {
+        "ticks": result.ticks,
+        "instrs": result.instrs,
+        "retired": result.retired,
+        "done_ticks": result.done_ticks,
+        "units": dict(result.unit_issue_counts),
+        "monitor": [list(row) for row in result.monitor.raw],
+        "acct": accountant.to_dict() if accountant is not None else None,
+    }
+
+
+def _assert_equivalent(names, ilp, counts=None, **run_kw):
+    acct_off = CycleAccountant()
+    _, r_off = _run(names, ilp, False, counts=counts,
+                    accountant=acct_off, **run_kw)
+    acct_on = CycleAccountant()
+    prog_on, r_on = _run(names, ilp, True, counts=counts,
+                         accountant=acct_on, **run_kw)
+    assert _snapshot(r_off, acct_off) == _snapshot(r_on, acct_on)
+    assert acct_on.check_conservation()
+    return prog_on, r_on
+
+
+# -- randomized equivalence -------------------------------------------------
+
+@settings(max_examples=15, deadline=None)
+@given(
+    name=st.sampled_from(sorted(STREAM_OPS)),
+    ilp=st.sampled_from(list(ILP)),
+    horizon=st.integers(2_000, 16_000).map(lambda t: t * 2),
+)
+def test_solo_streams_identical(name, ilp, horizon):
+    _assert_equivalent([name], ilp, stop_at_tick=horizon)
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    pair=st.tuples(st.sampled_from(sorted(STREAM_OPS)),
+                   st.sampled_from(sorted(STREAM_OPS))),
+    ilp=st.sampled_from(list(ILP)),
+    horizon=st.integers(2_000, 12_000).map(lambda t: t * 2),
+)
+def test_coexec_pairs_identical(pair, ilp, horizon):
+    _assert_equivalent(list(pair), ilp, stop_at_tick=horizon)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    name=st.sampled_from(["iadd", "imul", "fadd", "fmul", "idiv"]),
+    counts=st.tuples(st.integers(500, 6_000), st.integers(500, 6_000)),
+)
+def test_run_to_completion_identical(name, counts):
+    """Finite traces, default drain-everything stop condition."""
+    _assert_equivalent([name, name], ILP.MAX, counts=list(counts))
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    counts=st.tuples(st.integers(500, 4_000), st.integers(6_000, 12_000)),
+    ilp=st.sampled_from(list(ILP)),
+)
+def test_stop_on_first_done_identical(counts, ilp):
+    _assert_equivalent(["fadd", "iadd"], ilp, counts=list(counts),
+                       stop_on_first_done=True)
+
+
+# -- the fast path must actually engage -------------------------------------
+
+def test_jumps_occur_and_cover_most_of_the_run():
+    prog, result = _run(["iadd"], ILP.MAX, True, stop_at_tick=100_000)
+    fp = prog.core._fp
+    assert fp is not None and fp.jumps >= 1
+    assert fp.ticks_skipped > result.ticks // 2
+
+
+def test_full_measured_stream_identical_with_marker_parts():
+    """The real §4 measurement harness: warm-up trace + one-shot marker
+    + endless measure trace, chained — byte-identical CPIs across part
+    transitions."""
+    for name in ("iadd", "fmul", "iload"):
+        r_off = measure_stream_cpi(name, ILP.MAX, 2, horizon_ticks=60_000,
+                                   fastpath=False)
+        r_on = measure_stream_cpi(name, ILP.MAX, 2, horizon_ticks=60_000,
+                                  fastpath=True)
+        assert r_off == r_on
+
+
+# -- stand-down conditions --------------------------------------------------
+
+def test_tracer_disables_fastpath():
+    prog = Program(tracer=PipelineTracer(limit=10), fastpath=True)
+    assert prog.core._fp is None
+
+
+def test_profiler_disables_fastpath():
+    class Profiler:
+        def on_l2_miss(self, *a, **kw):
+            pass
+
+    prog, result = _run(["iadd"], ILP.MAX, True, profiler=Profiler(),
+                        stop_at_tick=20_000)
+    fp = prog.core._fp
+    assert fp is not None
+    assert fp.jumps == 0 and fp.ticks_skipped == 0
+
+
+def test_plain_generator_disables_fastpath():
+    from repro.isa.streams import make_stream
+
+    prog = Program(fastpath=True)
+    spec = StreamSpec("iadd", ilp=ILP.MAX, count=4_000)
+    prog.add_thread(lambda api: make_stream(spec))
+    result = prog.run()
+    fp = prog.core._fp
+    assert fp is not None
+    assert fp.jumps == 0 and fp.ticks_skipped == 0
+    assert result.retired == (4_000,)
+
+
+def test_explicit_off_overrides_default():
+    prog, _ = _run(["iadd"], ILP.MAX, False, stop_at_tick=20_000)
+    assert prog.core._fp is None
+
+
+# -- satellite regression: _advance horizon derives from the run bound ------
+
+def test_advance_horizon_tracks_config_and_run_bounds():
+    cfg = CoreConfig(max_ticks=5_000_000)
+    prog = Program(cfg)
+    assert prog.core._advance_horizon == cfg.max_ticks + 1
+    spec = StreamSpec("iadd", ilp=ILP.MAX, count=100)
+    prog.add_thread(lambda api: compile_stream(spec))
+    prog.run(stop_at_tick=40_000)
+    assert prog.core._advance_horizon == 40_000 + 1

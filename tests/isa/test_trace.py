@@ -1,0 +1,157 @@
+"""Compiled traces must be indistinguishable from the stream generators.
+
+``compile_stream`` exists purely as a faster encoding of
+``make_stream``: the exactness contract is byte-for-byte equality of
+the emitted instruction sequence — opcode, destination, source list,
+address and site, in order, for every stream, ILP level and count.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.addrspace import AddressSpace
+from repro.common.errors import ConfigError
+from repro.isa.instr import Instr
+from repro.isa.opcodes import Op
+from repro.isa.streams import STREAM_OPS, ILP, StreamSpec, make_stream
+from repro.isa.trace import (ChainedSource, CompiledTrace, OneShot,
+                             compile_stream)
+
+
+def _fields(ins):
+    return (ins.op, ins.dst, ins.srcs, ins.addr, ins.site)
+
+
+def _spec_region(name, ilp, count, stride=1, site=0):
+    spec = StreamSpec(name, ilp=ilp, count=count, stride=stride, site=site)
+    region = None
+    if spec.is_memory:
+        region = AddressSpace().alloc("vec", 4096, elem_size=1)
+    return spec, region
+
+
+@pytest.mark.parametrize("name", sorted(STREAM_OPS))
+@pytest.mark.parametrize("ilp", list(ILP))
+def test_compiled_equals_generator_all_streams(name, ilp):
+    spec, region = _spec_region(name, ilp, count=300)
+    compiled = [_fields(i) for i in compile_stream(spec, region)]
+    generated = [_fields(i) for i in make_stream(spec, region)]
+    assert compiled == generated
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    name=st.sampled_from(sorted(STREAM_OPS)),
+    ilp=st.sampled_from(list(ILP)),
+    count=st.integers(1, 700),
+    stride=st.integers(1, 96),
+    site=st.integers(0, 5),
+)
+def test_compiled_equals_generator_property(name, ilp, count, stride, site):
+    spec, region = _spec_region(name, ilp, count, stride=stride, site=site)
+    compiled = [_fields(i) for i in compile_stream(spec, region)]
+    generated = [_fields(i) for i in make_stream(spec, region)]
+    assert compiled == generated
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    name=st.sampled_from(sorted(STREAM_OPS)),
+    count=st.integers(1, 400),
+    sizes=st.lists(st.integers(1, 64), min_size=1, max_size=12),
+)
+def test_take_batches_concatenate_to_the_full_stream(name, count, sizes):
+    """Any batching of take() yields the same sequence as iteration,
+    and an empty batch marks exhaustion exactly at ``count``."""
+    spec, region = _spec_region(name, ILP.MAX, count)
+    whole = [_fields(i) for i in compile_stream(spec, region)]
+    trace = compile_stream(spec, region)
+    got = []
+    idx = 0
+    while True:
+        n = sizes[idx % len(sizes)]
+        idx += 1
+        batch = trace.take(n)
+        if not batch:
+            break
+        assert len(batch) <= n
+        got.extend(_fields(i) for i in batch)
+    assert got == whole
+    assert trace.take(5) == []
+
+
+def test_skip_is_equivalent_to_consuming():
+    spec, region = _spec_region("iload", ILP.MAX, 500)
+    a = compile_stream(spec, region)
+    b = compile_stream(spec, region)
+    for _ in range(123):
+        next(b)
+    a.skip(123)
+    assert a.pos == b.pos and a.offset == b.offset
+    assert [_fields(i) for i in a] == [_fields(i) for i in b]
+
+
+def test_skip_past_end_rejected():
+    spec, _ = _spec_region("iadd", ILP.MAX, 10)
+    trace = compile_stream(spec)
+    trace.skip(10)
+    with pytest.raises(ConfigError):
+        trace.skip(1)
+    with pytest.raises(ConfigError):
+        compile_stream(spec).skip(-1)
+
+
+def test_gate_ops_rejected_in_patterns():
+    with pytest.raises(ConfigError):
+        CompiledTrace([(Op.PAUSE, None, ())], count=1)
+    with pytest.raises(ConfigError):
+        CompiledTrace([(Op.HALT, None, ())], count=1)
+
+
+def test_chained_source_splices_parts_in_order():
+    spec_a, _ = _spec_region("iadd", ILP.MAX, 7)
+    spec_b, _ = _spec_region("fadd", ILP.MAX, 5)
+    marker = Instr(Op.NOP, site=99)
+    chain = ChainedSource([compile_stream(spec_a), OneShot(marker),
+                           compile_stream(spec_b)])
+    seq = [_fields(i) for i in chain]
+    expect = ([_fields(i) for i in compile_stream(spec_a)]
+              + [_fields(marker)]
+              + [_fields(i) for i in compile_stream(spec_b)])
+    assert seq == expect
+
+
+def test_chained_take_isolates_non_trace_parts():
+    """take() batches inside compiled traces but hands a OneShot over
+    alone — the length-1 batch rule the core's fetch loop relies on."""
+    spec_a, _ = _spec_region("iadd", ILP.MAX, 6)
+    marker = Instr(Op.NOP, site=7)
+    spec_b, _ = _spec_region("imul", ILP.MAX, 4)
+    chain = ChainedSource([compile_stream(spec_a), OneShot(marker),
+                           compile_stream(spec_b)])
+    batches = []
+    while True:
+        batch = chain.take(4)
+        if not batch:
+            break
+        batches.append([_fields(i) for i in batch])
+    assert [len(b) for b in batches] == [4, 2, 1, 4]
+    assert batches[2] == [_fields(marker)]
+
+
+def test_active_trace_tracks_the_feeding_part():
+    spec_a, _ = _spec_region("iadd", ILP.MAX, 3)
+    marker = Instr(Op.NOP)
+    spec_b, _ = _spec_region("imul", ILP.MAX, 2)
+    chain = ChainedSource([compile_stream(spec_a), OneShot(marker),
+                           compile_stream(spec_b)])
+    idx, trace = chain.active_trace()
+    assert idx == 0 and trace.pattern[0][0] is Op.IADD
+    for _ in range(3):
+        next(chain)
+    assert chain.active_trace() is None      # marker pending
+    next(chain)                              # consume the marker
+    idx, trace = chain.active_trace()
+    assert idx == 2 and trace.pattern[0][0] is Op.IMUL
+    list(chain)
+    assert chain.active_trace() is None      # exhausted
