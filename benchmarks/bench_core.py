@@ -150,6 +150,11 @@ def main(argv=None) -> int:
     report["total_seconds"] = round(total, 3)
     OUT.write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))
+    # Full runs also extend the perf-regression trajectory (the smoke
+    # path above gates against the committed snapshot instead).
+    import ledger
+
+    ledger.append("bench_core", report)
     return 0
 
 

@@ -68,6 +68,9 @@ def main() -> int:
     report["total_seconds"] = round(total, 4)
     OUT.write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))
+    import ledger
+
+    ledger.append("bench_model", report)
     return 0
 
 

@@ -1,0 +1,125 @@
+"""Time the sweep engine with telemetry on vs off; emit BENCH_sweep.json.
+
+Standalone (``python benchmarks/bench_sweep.py``): runs the figure-1
+stream sweep twice through a serial engine — telemetry off, then
+telemetry on (event log to a scratch directory) — and records wall
+seconds for both arms plus the telemetry overhead percentage; the
+tentpole's acceptance band is ≤3% on this sweep.  Both arms' results
+are asserted equal before any number is written.  A third, cache-warm
+replay of the same cells records the hit rate and warm wall time (the
+per-sweep cache aggregate the ledger tracks).
+
+Every run appends a ``bench_sweep`` entry to ``benchmarks/LEDGER.jsonl``
+(see :mod:`ledger`), which CI's ledger-check step gates.
+
+``--quick`` shrinks the sweep to two streams at a reduced horizon for
+CI-speed smoke use; quick runs are written/appended with
+``"quick": true`` so trajectory comparisons stay like-for-like.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).parents[1] / "src"))
+
+import ledger                                             # noqa: E402
+from repro.core.streams import fig1_sweep                 # noqa: E402
+from repro.sweep import ResultCache, SweepEngine          # noqa: E402
+from repro.telemetry import TelemetryBus, read_events     # noqa: E402
+
+OUT = pathlib.Path(__file__).parent / "BENCH_sweep.json"
+
+QUICK_STREAMS = ("iadd", "fadd")
+QUICK_HORIZON = 40_000
+
+
+def _timed(fn):
+    t0 = time.perf_counter()        # check: allow(wall-clock)
+    out = fn()
+    return time.perf_counter() - t0, out  # check: allow(wall-clock)
+
+
+def run_bench(quick: bool = False, log_dir=None) -> dict:
+    kwargs = ({"streams": QUICK_STREAMS, "horizon_ticks": QUICK_HORIZON}
+              if quick else {})
+
+    def sweep(engine):
+        return fig1_sweep(engine=engine, **kwargs)
+
+    # Arm A: telemetry off (the --no-telemetry path).
+    sec_off, r_off = _timed(
+        lambda: sweep(SweepEngine(preflight=False, oracle=False)))
+
+    # Arm B: telemetry on, events to a scratch log.
+    scratch = pathlib.Path(log_dir if log_dir is not None
+                           else tempfile.mkdtemp(prefix="bench-sweep-"))
+    log = scratch / "bench_sweep.jsonl"
+    bus = TelemetryBus(str(log))
+    eng_on = SweepEngine(preflight=False, oracle=False, telemetry=bus)
+    sec_on, r_on = _timed(lambda: sweep(eng_on))
+    bus.close()
+
+    if r_off != r_on:
+        raise AssertionError("telemetry changed results; refusing to "
+                             "record timings for inequivalent work")
+    events = list(read_events(str(log)))
+
+    # Warm replay: cold populate then 100%-hit rerun, both telemetry-off
+    # (the cache aggregate, not another telemetry measurement).
+    cache_dir = scratch / "cache"
+    _timed(lambda: sweep(SweepEngine(cache=ResultCache(cache_dir),
+                                     preflight=False, oracle=False)))
+    warm_eng = SweepEngine(cache=ResultCache(cache_dir),
+                           preflight=False, oracle=False)
+    sec_warm, _ = _timed(lambda: sweep(warm_eng))
+
+    cells = len(r_off)
+    overhead = 100.0 * (sec_on - sec_off) / sec_off
+    return {
+        "bench": "sweep",
+        "quick": quick,
+        "cells": cells,
+        "seconds_off": round(sec_off, 3),
+        "seconds_on": round(sec_on, 3),
+        "overhead_pct": round(overhead, 2),
+        "telemetry_events": len(events),
+        "warm_replay": {
+            "seconds": round(sec_warm, 3),
+            "cache_hits": warm_eng.stats.hits,
+            "cache_misses": warm_eng.stats.misses,
+            "hit_rate": warm_eng.stats.hit_rate,
+        },
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--quick", action="store_true",
+                    help="two streams at a reduced horizon (CI smoke)")
+    ap.add_argument("--max-overhead", type=float, default=None,
+                    metavar="PCT",
+                    help="exit 1 if telemetry overhead exceeds PCT "
+                    "(the acceptance band is 3)")
+    ap.add_argument("--no-ledger", action="store_true",
+                    help="do not append this run to LEDGER.jsonl")
+    args = ap.parse_args(argv)
+
+    report = run_bench(quick=args.quick)
+    OUT.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    if not args.no_ledger:
+        ledger.append("bench_sweep", report)
+    if (args.max_overhead is not None
+            and report["overhead_pct"] > args.max_overhead):
+        print(f"overhead {report['overhead_pct']}% exceeds "
+              f"--max-overhead {args.max_overhead}%", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""One-time migration: seed LEDGER.jsonl from the committed snapshots.
+
+Moves the two pre-ledger ``BENCH_*.json`` snapshots into the
+trajectory format as its first entries, carrying the git SHA and commit
+date of the commit that last touched each snapshot (the run they were
+recorded by).  Idempotent: an entry whose (kind, git_sha) pair is
+already in the ledger is skipped, so re-running is safe.
+
+::
+
+    python benchmarks/migrate_ledger.py
+"""
+
+import json
+import pathlib
+import sys
+
+import ledger
+
+HERE = pathlib.Path(__file__).parent
+
+#: (snapshot file, ledger kind).  The migrated entries predate the
+#: telemetry schema, but make_entry stamps the current version — the
+#: fingerprint rule only inspects the newest entry, so back-filled
+#: history never trips it.
+SNAPSHOTS = (
+    (HERE / "BENCH_core.json", "bench_core"),
+    (HERE / "BENCH_model.json", "bench_model"),
+)
+
+
+def _commit_date(path: pathlib.Path) -> str:
+    date = ledger._git("log", "-n1", "--format=%cI", "--", str(path))
+    return date if date != "unknown" else "1970-01-01T00:00:00+00:00"
+
+
+def main() -> int:
+    existing = {(e["kind"], e["git_sha"]) for e in ledger.read()}
+    migrated = 0
+    for path, kind in SNAPSHOTS:
+        if not path.exists():
+            print(f"skip {path.name}: missing")
+            continue
+        sha = ledger.file_sha(path)
+        if (kind, sha) in existing:
+            print(f"skip {path.name}: already in ledger at {sha[:10]}")
+            continue
+        data = json.loads(path.read_text())
+        entry = ledger.append(kind, data, git_sha=sha,
+                              recorded_at=_commit_date(path),
+                              source="migration")
+        print(f"migrated {path.name} -> {kind} @ {entry['git_sha'][:10]} "
+              f"({entry['recorded_at']})")
+        migrated += 1
+    print(f"{migrated} entries migrated; ledger now has "
+          f"{len(ledger.read())}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

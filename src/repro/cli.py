@@ -60,6 +60,14 @@ Observability flags (the :mod:`repro.observe` stack):
 Single runs with any observability flag also attach the per-cycle
 stall accountant (and, for apps, the delinquent-site profiler), so the
 report explains *where the machine slots went*.
+
+Telemetry (the :mod:`repro.telemetry` bus): sweep commands record a
+JSONL event log of the full cell lifecycle by default (enqueue, cache
+probe, per-worker simulate spans with fastpath counters, oracle,
+store).  ``repro top`` follows the newest log live; ``repro
+telemetry`` summarizes a recorded one.  ``--no-telemetry`` (or
+``REPRO_TELEMETRY=0``) turns recording off — reports are byte-
+identical either way, which the equivalence suite asserts.
 """
 
 from __future__ import annotations
@@ -163,6 +171,13 @@ def _add_sweep_flags(sp: argparse.ArgumentParser) -> None:
                     help="disable the steady-state fast-forward and "
                     "step every tick (results are byte-identical either "
                     "way; for A/B timing and paranoia)")
+    sp.add_argument("--no-telemetry", action="store_true",
+                    help="do not record a telemetry event log for this "
+                    "sweep (reports are byte-identical either way; "
+                    "REPRO_TELEMETRY=0 disables it globally)")
+    sp.add_argument("--telemetry-dir", default=None, metavar="PATH",
+                    help="directory for telemetry event logs (default: "
+                    "$REPRO_TELEMETRY_DIR or .repro-telemetry)")
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -239,6 +254,33 @@ def _parser() -> argparse.ArgumentParser:
     md.add_argument("--ilp", choices=sorted(_ILP), default=None,
                     help="restrict to one ILP level (default: all)")
     _add_output_flags(md)
+
+    tp = sub.add_parser(
+        "top",
+        help="live progress view of a running sweep (follows the "
+        "newest telemetry log)",
+    )
+    tp.add_argument("path", nargs="?", default=None,
+                    help="telemetry JSONL log to follow (default: the "
+                    "newest log in the telemetry directory)")
+    tp.add_argument("--interval", type=float, default=0.5, metavar="S",
+                    help="poll/redraw interval in seconds "
+                    "(default %(default)s)")
+    tp.add_argument("--once", action="store_true",
+                    help="render a single frame and exit (no follow)")
+    tp.add_argument("--duration", type=float, default=None, metavar="S",
+                    help="exit after S seconds even if the sweep is "
+                    "still running")
+
+    tl = sub.add_parser(
+        "telemetry",
+        help="summarize a recorded telemetry event log",
+    )
+    tl.add_argument("path", nargs="?", default=None,
+                    help="telemetry JSONL log (default: the newest log "
+                    "in the telemetry directory)")
+    tl.add_argument("--json", action="store_true",
+                    help="print the summary as JSON")
     return p
 
 
@@ -274,13 +316,37 @@ def _make_engine(args: argparse.Namespace) -> SweepEngine:
             raise UsageError(
                 f"--cache-dir {args.cache_dir!r} is unusable: {e} "
                 f"(pick a writable directory or pass --no-cache)")
+    bus = None
+    if not args.no_telemetry:
+        from repro import telemetry as _telemetry
+
+        if _telemetry.enabled_by_env():
+            path = _telemetry.new_log_path(args.telemetry_dir,
+                                           prefix=args.command)
+            bus = _telemetry.TelemetryBus(path)
     return SweepEngine(jobs=args.jobs, cache=cache, fresh=args.fresh,
                        preflight=not args.no_check,
-                       oracle=not args.no_check)
+                       oracle=not args.no_check,
+                       telemetry=bus)
 
 
 def _sweep_note(engine: SweepEngine) -> None:
     print(engine.stats.describe(), file=sys.stderr)
+    if engine.telemetry is not None:
+        print(f"telemetry: {engine.telemetry.path} "
+              f"(view with `repro top` / `repro telemetry`)",
+              file=sys.stderr)
+
+
+def _telemetry_section(engine: SweepEngine) -> Optional[dict]:
+    """The report's volatile pointer to this run's event log."""
+    bus = engine.telemetry
+    if bus is None:
+        return None
+    from repro.telemetry import TELEMETRY_SCHEMA_VERSION
+
+    return {"schema_version": TELEMETRY_SCHEMA_VERSION,
+            "log": bus.path, "run": bus.run_id}
 
 
 def _observing(args: argparse.Namespace) -> bool:
@@ -322,7 +388,8 @@ def _cmd_fig1(args: argparse.Namespace) -> int:
     report = build_report("fig1", results, core_config=CoreConfig(),
                           mem_config=MemConfig(),
                           sweep=engine.stats.to_dict(),
-                          model=fig1_model_section(results))
+                          model=fig1_model_section(results),
+                          telemetry=_telemetry_section(engine))
     _sweep_note(engine)
     _emit(args, report, render_fig1(results))
     return 0
@@ -349,6 +416,7 @@ def _cmd_fig2(args: argparse.Namespace) -> int:
                           mem_config=MemConfig(),
                           sweep=engine.stats.to_dict(),
                           model=fig2_model_section(results),
+                          telemetry=_telemetry_section(engine),
                           extra={"panel": panel, "ilp": ilp.name.lower()})
     _sweep_note(engine)
     _emit(args, report, render_fig2(results, f"Figure 2({panel}) — {title}"))
@@ -367,6 +435,7 @@ def _cmd_app(args: argparse.Namespace) -> int:
                               core_config=CoreConfig(),
                               mem_config=MemConfig(),
                               sweep=engine.stats.to_dict(),
+                              telemetry=_telemetry_section(engine),
                               extra={"size": size_d})
         _sweep_note(engine)
         _emit(args, report, render_app_figure(results))
@@ -386,6 +455,9 @@ def _cmd_app(args: argparse.Namespace) -> int:
     tracer = PipelineTracer(limit=args.trace_limit) if args.trace else None
     accountant = CycleAccountant() if observe else None
     profiler = SiteMissProfile() if observe else None
+    from repro.cpu import fastpath as _fastpath
+
+    fp_stats = _fastpath.reset_stats()
     result = run_app_experiment(name, Variant(args.variant), size_d,
                                 tracer=tracer, accountant=accountant,
                                 profiler=profiler)
@@ -395,6 +467,7 @@ def _cmd_app(args: argparse.Namespace) -> int:
                           mem_config=MemConfig(), counters=result.counters,
                           accountant=accountant, heatmap=profiler,
                           wall_time_s=result.wall_time_s,
+                          fastpath=fp_stats.to_dict(),
                           extra={"size": size_d, "variant": args.variant})
     extras = []
     if accountant is not None:
@@ -410,7 +483,8 @@ def _cmd_table1(args: argparse.Namespace) -> int:
     rows = table1_rows(engine=engine)
     report = build_report("table1", rows, core_config=CoreConfig(),
                           mem_config=MemConfig(),
-                          sweep=engine.stats.to_dict())
+                          sweep=engine.stats.to_dict(),
+                          telemetry=_telemetry_section(engine))
     _sweep_note(engine)
     _emit(args, report, render_table1(rows))
     return 0
@@ -420,6 +494,9 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     observe = _observing(args)
     tracer = PipelineTracer(limit=args.trace_limit) if args.trace else None
     accountant = CycleAccountant() if observe else None
+    from repro.cpu import fastpath as _fastpath
+
+    fp_stats = _fastpath.reset_stats()
     r = measure_stream_cpi(args.name, ilp=_ILP[args.ilp],
                            threads=args.threads, tracer=tracer,
                            accountant=accountant,
@@ -427,7 +504,8 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     if tracer is not None:
         _write_trace(tracer, args.trace)
     report = build_report("stream", r, core_config=CoreConfig(),
-                          mem_config=MemConfig(), accountant=accountant)
+                          mem_config=MemConfig(), accountant=accountant,
+                          fastpath=fp_stats.to_dict())
     rendering = (f"{args.name} [{r.mode}]: CPI {r.cpi:.3f}, "
                  f"cumulative IPC {r.cumulative_ipc:.3f} "
                  f"({r.instrs_per_thread} instrs/thread measured)")
@@ -515,6 +593,37 @@ def _cmd_model(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.telemetry.top import run_top
+
+    return run_top(args.path, interval=args.interval, once=args.once,
+                   duration=args.duration)
+
+
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    from repro.telemetry import latest_log, read_events
+    from repro.telemetry import render_summary as render_telemetry
+    from repro.telemetry import summarize
+    from repro.telemetry.bus import default_dir
+
+    path = args.path if args.path is not None else latest_log()
+    if path is None:
+        raise UsageError(f"no telemetry log found under "
+                         f"{default_dir()!r}; run a sweep first or "
+                         f"pass a log path")
+    try:
+        events = list(read_events(path))
+    except OSError as e:
+        raise UsageError(f"cannot read telemetry log {path!r}: {e}")
+    summary = summarize(events)
+    if args.json:
+        print(json.dumps(summary, indent=2))
+    else:
+        print(f"log: {path}")
+        print(render_telemetry(summary))
+    return 0
+
+
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "fig1":
         return _cmd_fig1(args)
@@ -530,6 +639,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_check(args)
     if args.command == "model":
         return _cmd_model(args)
+    if args.command == "top":
+        return _cmd_top(args)
+    if args.command == "telemetry":
+        return _cmd_telemetry(args)
     raise AssertionError("unreachable")
 
 

@@ -141,6 +141,15 @@ class SMTCore:
             if fastpath and self._tr is None
             else None
         )
+        # Why the fast-forward is off for this core (telemetry only):
+        # construction-time gates are recorded here, run()-time gates
+        # (profiler, instruction sources) are recorded by prepare().
+        if self._fp is not None:
+            self._fp_reason = None
+        elif not fastpath:
+            self._fp_reason = "disabled"
+        else:
+            self._fp_reason = "tracer-active"
 
     # ------------------------------------------------------------------
     # Setup
@@ -218,8 +227,13 @@ class SMTCore:
         # horizon; anything later can never be observed by this run.
         eff_limit = limit if stop_at_tick is None else min(limit, stop_at_tick)
         self._advance_horizon = eff_limit + 1
+        fst = _fastpath.stats()
+        fst.runs += 1
+        start_tick = self.tick
         fp = self._fp
-        if fp is not None and not fp.prepare():
+        if fp is None:
+            fst.bump(fst.stand_downs, self._fp_reason or "disabled")
+        elif not fp.prepare():
             fp = None
         t = self.tick
         while True:
@@ -265,6 +279,7 @@ class SMTCore:
             t = self._advance(t)
         self.tick = t
         self._flush_drains(t)
+        fst.ticks_total += t - start_tick
         return self._result()
 
     def _flush_drains(self, t: int) -> None:

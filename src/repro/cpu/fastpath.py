@@ -77,6 +77,105 @@ if TYPE_CHECKING:  # pragma: no cover
 _default_enabled = True
 
 
+class FastpathStats:
+    """Process-wide fast-forward accounting (``repro.telemetry``).
+
+    Why the fast-forward engaged — or declined to — used to be
+    invisible: a sweep that silently stood down just ran 50x slower.
+    Every :class:`~repro.cpu.core.SMTCore` run records here what the
+    detector did, keyed by *reason*:
+
+    * ``stand_downs`` — runs (or mid-run transitions) where detection
+      was off entirely: ``disabled`` (``--no-fastpath``/default off),
+      ``tracer-active``, ``profiler-active``, ``plain-generator``
+      (an instruction source that is not a compiled trace),
+      ``no-threads``, ``capture-budget``, ``futility``, ``horizon``;
+    * ``capture_aborts`` — boundary captures the canonical form
+      rejected: ``effectful-op`` (sync vars/markers in flight),
+      ``unmapped-addr``, ``off-rob-dep``, ``inactive-trace``;
+    * acceptance counters — ``jumps``, ``ticks_skipped`` (vs
+      ``ticks_total`` stepped+skipped), ``captures``,
+      ``verify_failures`` (key matched, memory verification failed),
+      ``wrap_sleeps`` (memory-stream wrap episodes slept through).
+
+    The counters are *observers only*: they never influence detection,
+    so results stay byte-identical whether anyone reads them.  Workers
+    report per-cell deltas by ``reset()`` before / ``to_dict()`` after
+    each cell; the module-level singleton (:func:`stats`) makes that
+    cheap without threading a handle through every driver.
+    """
+
+    __slots__ = ("runs", "armed", "captures", "jumps", "ticks_skipped",
+                 "ticks_total", "verify_failures", "wrap_sleeps",
+                 "stand_downs", "capture_aborts")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.runs = 0
+        self.armed = 0
+        self.captures = 0
+        self.jumps = 0
+        self.ticks_skipped = 0
+        self.ticks_total = 0
+        self.verify_failures = 0
+        self.wrap_sleeps = 0
+        self.stand_downs: dict = {}
+        self.capture_aborts: dict = {}
+
+    def bump(self, table: dict, reason: str) -> None:
+        table[reason] = table.get(reason, 0) + 1
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of simulated ticks crossed by fast-forward jumps."""
+        return (self.ticks_skipped / self.ticks_total
+                if self.ticks_total else 0.0)
+
+    def to_dict(self) -> dict:
+        return {
+            "runs": self.runs,
+            "armed": self.armed,
+            "captures": self.captures,
+            "jumps": self.jumps,
+            "ticks_skipped": self.ticks_skipped,
+            "ticks_total": self.ticks_total,
+            "verify_failures": self.verify_failures,
+            "wrap_sleeps": self.wrap_sleeps,
+            "stand_downs": {k: self.stand_downs[k]
+                            for k in sorted(self.stand_downs)},
+            "capture_aborts": {k: self.capture_aborts[k]
+                               for k in sorted(self.capture_aborts)},
+        }
+
+
+_stats = FastpathStats()
+
+
+def stats() -> FastpathStats:
+    """The process-wide accumulator (reset at each cell/run boundary
+    by whoever is measuring — the sweep workers and the CLI)."""
+    return _stats
+
+
+def reset_stats() -> FastpathStats:
+    _stats.reset()
+    return _stats
+
+
+def merge_stats(into: dict, snap: dict) -> dict:
+    """Sum one ``FastpathStats.to_dict()`` snapshot into ``into``."""
+    for k, v in snap.items():
+        if isinstance(v, dict):
+            sub = into.setdefault(k, {})
+            for r, n in v.items():
+                sub[r] = sub.get(r, 0) + n
+        else:
+            into[k] = into.get(k, 0) + v
+    return into
+
+
 def set_default_enabled(on: bool) -> None:
     """Set the process-wide fast-forward default (CLI --no-fastpath).
 
@@ -152,6 +251,7 @@ class FastPath:
 
     def __init__(self, core: "SMTCore"):
         self.core = core
+        self._st = _stats
         self.jumps = 0
         self.ticks_skipped = 0
         self._armed = False
@@ -202,14 +302,19 @@ class FastPath:
         """Decide eligibility at run() start; False removes all hot-loop
         cost (the core drops its reference for the whole run)."""
         core = self.core
+        st = self._st
         if getattr(core.hierarchy, "profiler", None) is not None:
+            st.bump(st.stand_downs, "profiler-active")
             return False
         if not core.threads:
+            st.bump(st.stand_downs, "no-threads")
             return False
         for th in core.threads:
             if not isinstance(th.gen, (ChainedSource, CompiledTrace)):
+                st.bump(st.stand_downs, "plain-generator")
                 return False
         self._armed = True
+        st.armed += 1
         return True
 
     def on_boundary(self, t: int, eff_limit: int) -> int:
@@ -235,8 +340,10 @@ class FastPath:
             # stride eras alongside the hint until it recovers.
             return t
         self._capts += 1
+        self._st.captures += 1
         if self._capts > _CAPTURE_BUDGET:
             self._armed = False
+            self._st.bump(self._st.stand_downs, "capture-budget")
             return t
         cap = self._capture(t)
         if cap is None:
@@ -296,6 +403,12 @@ class FastPath:
     # Canonical capture
     # ------------------------------------------------------------------
 
+    def _abort(self, reason: str) -> None:
+        """Count one rejected capture by reason; returns None so abort
+        sites read ``return self._abort("...")``."""
+        self._st.bump(self._st.capture_aborts, reason)
+        return None
+
     def _capture(self, t: int) -> Optional[_Capture]:
         core = self.core
         threads = core.threads
@@ -315,14 +428,14 @@ class FastPath:
                 if type(gen) is ChainedSource:
                     at = gen.active_trace()
                     if at is None:
-                        return None
+                        return self._abort("inactive-trace")
                     part_idx, trace = at
                 elif type(gen) is CompiledTrace:
                     if gen.pos >= gen.count:
-                        return None
+                        return self._abort("inactive-trace")
                     part_idx, trace = 0, gen
                 else:
-                    return None
+                    return self._abort("plain-generator")
                 if trace.is_memory:
                     off = trace.offset
                     mem_ref = trace.base + off
@@ -339,16 +452,16 @@ class FastPath:
                 index_of[id(u)] = j
             rob_index.append(index_of)
             rob_c = []
-            abort = False
+            abort = ""
             for u in rob:
                 if u.effect is not None:
-                    abort = True
+                    abort = "effectful-op"
                     break
                 a = u.addr
                 if a is None:
                     rel = None
                 elif mem_ref is None:
-                    abort = True
+                    abort = "unmapped-addr"
                     break
                 else:
                     rel = a - mem_ref
@@ -361,7 +474,7 @@ class FastPath:
                         else:
                             dj = index_of.get(id(d))
                             if dj is None:
-                                abort = True
+                                abort = "off-rob-dep"
                                 break
                             dl.append(dj)
                     if abort:
@@ -372,16 +485,16 @@ class FastPath:
                 rob_c.append((int(u.op), u.dst, u.srcs, rel, u.site,
                               u.issued, u.completed, deps_c))
             if abort:
-                return None
+                return self._abort(abort)
             uopq_c = []
             for u in th.uopq:
                 if u.effect is not None:
-                    return None
+                    return self._abort("effectful-op")
                 a = u.addr
                 if a is None:
                     rel = None
                 elif mem_ref is None:
-                    return None
+                    return self._abort("unmapped-addr")
                 else:
                     rel = a - mem_ref
                 uopq_c.append((int(u.op), u.dst, u.srcs, rel, u.site))
@@ -389,7 +502,7 @@ class FastPath:
             for u in th.waiting:
                 j2 = index_of.get(id(u))
                 if j2 is None:
-                    return None
+                    return self._abort("off-rob-dep")
                 waiting_c.append(j2)
             regmap_c = []
             for reg in sorted(th.regmap):
@@ -397,7 +510,7 @@ class FastPath:
                 if not p.completed:
                     j2 = index_of.get(id(p))
                     if j2 is None:
-                        return None
+                        return self._abort("off-rob-dep")
                     regmap_c.append((reg, j2))
             gate = th.fetch_gate_until
             if gate >= _FAR_FUTURE:
@@ -427,13 +540,13 @@ class FastPath:
             tid = u.thread
             j = rob_index[tid].get(id(u)) if 0 <= tid < len(rob_index) else None
             if j is None:
-                return None
+                return self._abort("off-rob-dep")
             heap_c.append((c - t, tid, j))
         drain_c = []
         for u in core._drain_q:
             ref = mem_refs[u.thread]
             if u.addr is None or ref is None:
-                return None
+                return self._abort("unmapped-addr")
             drain_c.append((u.thread, int(u.op), u.addr - ref, u.site))
         sqrel_c = tuple(tuple(x - t for x in rel)
                         for rel in core._sq_release)
@@ -488,9 +601,11 @@ class FastPath:
         the current period shares the same transient."""
         self._seen[cap.key] = cap
         self._retry_at = t + period
+        self._st.verify_failures += 1
         self._futile += 1
         if self._futile > _FUTILITY_LIMIT:
             self._armed = False
+            self._st.bump(self._st.stand_downs, "futility")
         return t
 
     def _try_jump(self, prev: _Capture, cap: _Capture, t: int,
@@ -571,6 +686,7 @@ class FastPath:
         k = (eff_limit - t) // period
         if k < 1:
             self._armed = False        # time bound only shrinks: done
+            self._st.bump(self._st.stand_downs, "horizon")
             return t
         limit_sleep = 0
         for i in range(n):
@@ -601,6 +717,7 @@ class FastPath:
                     limit_sleep = ((trace.span - off) // dbs[i] + 2) * period
         if k < 1:
             self._sleep_until = t + limit_sleep
+            self._st.wrap_sleeps += 1
             return t
 
         # Stationary residue is inert only while the walk stays clear of
@@ -897,3 +1014,5 @@ class FastPath:
 
         self.jumps += 1
         self.ticks_skipped += dt
+        self._st.jumps += 1
+        self._st.ticks_skipped += dt

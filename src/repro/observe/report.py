@@ -17,10 +17,12 @@ from typing import IO, Any, Optional, Union
 SCHEMA_VERSION = 1
 
 #: Report keys that legitimately differ between byte-identical runs:
-#: host wall time and sweep-execution metadata (cache hit/miss counts,
-#: job counts).  The determinism suite strips these before comparing
-#: reports across ``--jobs`` levels and cache temperatures.
-VOLATILE_KEYS = frozenset({"wall_time_s", "sweep"})
+#: host wall time, sweep-execution metadata (cache hit/miss counts, job
+#: counts, per-phase wall times), and the telemetry section (event-log
+#: path and run id).  The determinism suite strips these before
+#: comparing reports across ``--jobs`` levels, cache temperatures, and
+#: telemetry on/off.
+VOLATILE_KEYS = frozenset({"wall_time_s", "sweep", "telemetry"})
 
 
 def strip_volatile(report: Any) -> Any:
@@ -79,6 +81,8 @@ def build_report(
     wall_time_s: Optional[float] = None,
     sweep: Optional[dict] = None,
     model: Optional[dict] = None,
+    fastpath: Optional[dict] = None,
+    telemetry: Optional[dict] = None,
     extra: Optional[dict] = None,
 ) -> dict:
     """Assemble the versioned manifest for one command/driver run."""
@@ -114,6 +118,16 @@ def build_report(
         report["wall_time_s"] = wall_time_s
     if sweep is not None:
         report["sweep"] = _jsonable(sweep)
+    if fastpath is not None:
+        # Fast-forward engagement counters (jumps, coverage, stand-down
+        # reasons).  Pure simulation state — no wall time, no pids — so
+        # deliberately NOT volatile: the same run must report the same
+        # counters whether telemetry is on or off.
+        report["fastpath"] = _jsonable(fastpath)
+    if telemetry is not None:
+        # Where this run's event log went (path, run id).  Volatile by
+        # construction; strip_volatile removes it.
+        report["telemetry"] = _jsonable(telemetry)
     if model is not None:
         # Bound-vs-measured margins (repro.model).  Deterministic — a
         # pure function of (results, config) — so deliberately NOT in

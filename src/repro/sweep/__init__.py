@@ -26,6 +26,7 @@ from repro.sweep.cells import (
     CellRunner,
     SweepCell,
     app_cell,
+    cell_label,
     pair_cell,
     register,
     runner_for,
@@ -51,6 +52,7 @@ __all__ = [
     "SweepStats",
     "app_cell",
     "cache_key",
+    "cell_label",
     "canonical_json",
     "canonicalize",
     "pair_cell",

@@ -66,6 +66,24 @@ class SweepCell:
         return cache_key(self.key_material())
 
 
+def cell_label(cell: SweepCell) -> str:
+    """Short human-readable label for telemetry events and progress
+    views — stable across runs (pure function of the cell config), and
+    never part of any cache key."""
+    c = cell.config
+    if cell.kind == "stream-cpi":
+        return (f"stream:{c['stream']}/{c['ilp'].lower()}"
+                f"/t{c['threads']}")
+    if cell.kind == "coexec-pair":
+        return (f"pair:{c['stream_a']}+{c['stream_b']}"
+                f"/{c['ilp'].lower()}")
+    if cell.kind == "app-run":
+        return f"app:{c['app']}/{c['variant']}"
+    if cell.kind == "table1-row":
+        return f"table1:{c['app']}/{c['column']}"
+    return cell.kind
+
+
 class CellRunner:
     """Executes one cell kind and moves its result through JSON."""
 

@@ -15,32 +15,59 @@ The engine is the single execution path for every figure/table sweep:
 
 Workers execute :func:`_execute_cell`, a module-level function, so the
 only thing pickled per task is the (small, self-contained) cell.
+
+Telemetry (:mod:`repro.telemetry`) rides along as a pure observer:
+when the engine carries a bus, the parent emits sweep/phase/cache
+events and every worker emits per-cell begin/end spans (with the
+cell's fastpath counter deltas) to the same JSONL log.  Workers also
+return a small metadata record next to each result text; the parent
+folds those into :class:`SweepStats` regardless of whether a bus is
+attached.  Nothing telemetry-derived may influence results, cache
+entries, or non-volatile report bytes — the equivalence suite holds
+reports byte-identical with telemetry on vs off.
 """
 
 from __future__ import annotations
 
 import json
 import multiprocessing
+import os
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro import __version__
-from repro.common.errors import ConfigError
+from repro.common.errors import CheckError, ConfigError
+from repro.cpu import fastpath as _fastpath
 from repro.sweep.cache import ResultCache
-from repro.sweep.cells import SweepCell, runner_for
+from repro.sweep.cells import SweepCell, cell_label, runner_for
 from repro.sweep.keys import CACHE_SCHEMA_VERSION
+from repro.telemetry.bus import TelemetryBus
+from repro.telemetry.bus import now as _now
+
+#: The executing side's bus — the parent's during serial execution,
+#: a per-process reconstruction in pool workers (set by _pool_init).
+_worker_bus: Optional[TelemetryBus] = None
 
 
-def _pool_init(fastpath_default: bool) -> None:
-    """Carry the parent's fast-forward default into pool workers.
+def _pool_init(fastpath_default: bool,
+               telemetry_path: Optional[str] = None,
+               run_id: Optional[str] = None) -> None:
+    """Carry the parent's fast-forward default and telemetry target
+    into pool workers.
 
-    The default lives in :mod:`repro.cpu.fastpath` module state, which a
-    ``spawn``-start worker would re-import fresh; forwarding it through
-    the initializer makes ``--no-fastpath`` govern every execution path.
+    Both live in module state, which a ``spawn``-start worker would
+    re-import fresh; forwarding them through the initializer makes
+    ``--no-fastpath`` and ``--no-telemetry`` govern every execution
+    path.  Each worker opens its own ``O_APPEND`` descriptor on the
+    shared log — appends are atomic per record, so streams interleave
+    without locks.
     """
     from repro.cpu.fastpath import set_default_enabled
 
     set_default_enabled(fastpath_default)
+    global _worker_bus
+    _worker_bus = (TelemetryBus(telemetry_path, run_id=run_id)
+                   if telemetry_path is not None else None)
 
 
 def _execute_cell(cell: SweepCell) -> str:
@@ -54,9 +81,43 @@ def _execute_cell(cell: SweepCell) -> str:
     return json.dumps(runner.encode(runner.run(cell)))
 
 
+def _execute_task(task: Tuple[int, SweepCell, str, float]) -> Tuple[str, dict]:
+    """Instrumented wrapper around :func:`_execute_cell`.
+
+    Returns ``(text, meta)``: the result text is byte-identical to what
+    the uninstrumented path produces (the cache entry and the decoded
+    result are built from it alone), and ``meta`` carries the wall
+    span, queue wait, and the cell's fastpath counter delta back to the
+    parent — the file-backed collector of the telemetry design.
+    """
+    idx, cell, label, enqueue_ts = task
+    bus = _worker_bus
+    t0 = _now()
+    queue_wait = max(t0 - enqueue_ts, 0.0)
+    if bus is not None:
+        bus.emit("cell-begin", idx=idx, cell=label, queue_wait_s=queue_wait)
+    fp_stats = _fastpath.reset_stats()
+    text = _execute_cell(cell)
+    wall = _now() - t0
+    fastpath = fp_stats.to_dict()
+    if bus is not None:
+        bus.emit("cell-end", idx=idx, cell=label, wall_s=wall,
+                 fastpath=fastpath)
+    meta = {"idx": idx, "cell": label, "pid": os.getpid(), "wall_s": wall,
+            "queue_wait_s": queue_wait, "fastpath": fastpath}
+    return text, meta
+
+
 @dataclass
 class SweepStats:
-    """Cache/parallelism accounting for one engine's sweeps."""
+    """Cache/parallelism accounting for one engine's sweeps.
+
+    Hit/miss/cell totals count *measurements that stand*: a batch that
+    fails preflight or the model oracle is recorded under
+    ``preflight_rejected``/``oracle_failed`` instead — a rejected cell
+    is not a cache outcome, and an oracle-violating batch produced no
+    trustworthy results to account hits against.
+    """
 
     cells: int = 0
     hits: int = 0
@@ -64,6 +125,13 @@ class SweepStats:
     jobs: int = 1
     cache_enabled: bool = False
     cache_dir: Optional[str] = None
+    preflight_rejected: int = 0
+    oracle_failed: int = 0
+    #: Elapsed wall per engine phase (volatile; lives inside the
+    #: report's "sweep" block, which strip_volatile removes).
+    phase_wall_s: Dict[str, float] = field(default_factory=dict)
+    #: Merged fastpath counter deltas from every simulated cell.
+    fastpath: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def hit_rate(self) -> float:
@@ -77,6 +145,11 @@ class SweepStats:
             "jobs": self.jobs,
             "cache_enabled": self.cache_enabled,
             "cache_dir": self.cache_dir,
+            "preflight_rejected": self.preflight_rejected,
+            "oracle_failed": self.oracle_failed,
+            "phase_wall_s": {k: self.phase_wall_s[k]
+                             for k in sorted(self.phase_wall_s)},
+            "fastpath": self.fastpath,
         }
 
     def describe(self) -> str:
@@ -100,6 +173,7 @@ class SweepEngine:
     fresh: bool = False
     preflight: bool = True
     oracle: bool = True
+    telemetry: Optional[TelemetryBus] = None
     stats: SweepStats = field(init=False)
 
     def __post_init__(self):
@@ -112,6 +186,12 @@ class SweepEngine:
                        if self.cache is not None else None),
         )
 
+    def _phase(self, name: str, wall: float) -> None:
+        self.stats.phase_wall_s[name] = (
+            self.stats.phase_wall_s.get(name, 0.0) + wall)
+        if self.telemetry is not None:
+            self.telemetry.emit("phase", name=name, wall_s=wall)
+
     def run(self, cells: Sequence[SweepCell]) -> List[Any]:
         """Execute ``cells``; return their results in submission order.
 
@@ -122,16 +202,30 @@ class SweepEngine:
         :class:`~repro.common.errors.CheckError` before anything is
         simulated or cached.
         """
+        bus = self.telemetry
+        stats = self.stats
+        n = len(cells)
+        run_t0 = _now()
+        if bus is not None:
+            bus.emit("sweep-begin", cells=n, jobs=self.jobs,
+                     cache_enabled=self.cache is not None)
+        t0 = _now()
         if self.preflight and cells:
             from repro.check.preflight import preflight_cells
 
-            preflight_cells(cells)
-        n = len(cells)
-        self.stats.cells += n
+            try:
+                preflight_cells(cells)
+            except CheckError:
+                stats.preflight_rejected += n
+                raise
+        self._phase("preflight", _now() - t0)
         results: List[Any] = [None] * n
         keys = ([cell.key() for cell in cells]
                 if self.cache is not None else [""] * n)
+        labels = [cell_label(cell) for cell in cells]
 
+        t0 = _now()
+        hits = 0
         miss_idx: List[int] = []
         for i, cell in enumerate(cells):
             entry = None
@@ -141,12 +235,23 @@ class SweepEngine:
                     entry = None
             if entry is not None:
                 results[i] = runner_for(cell.kind).decode(entry["result"])
-                self.stats.hits += 1
+                hits += 1
+                if bus is not None:
+                    bus.emit("cache-hit", idx=i, cell=labels[i])
             else:
                 miss_idx.append(i)
+                if bus is not None:
+                    bus.emit("enqueue", idx=i, cell=labels[i])
+        self._phase("probe", _now() - t0)
 
-        texts = self._execute([cells[i] for i in miss_idx])
-        for i, text in zip(miss_idx, texts):
+        t0 = _now()
+        outcomes = self._execute([(i, cells[i], labels[i], t0)
+                                  for i in miss_idx])
+        self._phase("execute", _now() - t0)
+
+        t0 = _now()
+        misses = 0
+        for i, (text, meta) in zip(miss_idx, outcomes):
             payload = json.loads(text)
             if self.cache is not None:
                 self.cache.put(keys[i], {
@@ -157,19 +262,46 @@ class SweepEngine:
                     "result": payload,
                 })
             results[i] = runner_for(cells[i].kind).decode(payload)
-            self.stats.misses += 1
+            misses += 1
+            _fastpath.merge_stats(stats.fastpath, meta["fastpath"])
+        self._phase("store", _now() - t0)
+
+        t0 = _now()
         if self.oracle and cells:
             # Differential oracle: every simulated (or cache-replayed)
             # result must sit inside the CPI interval the analytic
             # model proves for its cell — raises ModelViolation if not.
             from repro.model.oracle import oracle_cells
 
-            oracle_cells(cells, results)
+            try:
+                oracle_cells(cells, results)
+            except CheckError:
+                stats.oracle_failed += n
+                raise
+        self._phase("oracle", _now() - t0)
+
+        # Commit the accounting only for batches whose results stand.
+        stats.cells += n
+        stats.hits += hits
+        stats.misses += misses
+        if bus is not None:
+            bus.emit("sweep-end", cells=n, hits=hits, misses=misses,
+                     wall_s=_now() - run_t0)
         return results
 
-    def _execute(self, cells: List[SweepCell]) -> List[str]:
-        if self.jobs == 1 or len(cells) < 2:
-            return [_execute_cell(cell) for cell in cells]
+    def _execute(
+        self, tasks: List[Tuple[int, SweepCell, str, float]],
+    ) -> List[Tuple[str, dict]]:
+        if self.jobs == 1 or len(tasks) < 2:
+            # Serial execution happens in-process: point the worker-side
+            # bus at the engine's own for the duration.
+            global _worker_bus
+            prev = _worker_bus
+            _worker_bus = self.telemetry
+            try:
+                return [_execute_task(t) for t in tasks]
+            finally:
+                _worker_bus = prev
         # Fork keeps the parent's hash seed and registry state in the
         # children; fall back to the platform default elsewhere.
         methods = multiprocessing.get_all_start_methods()
@@ -177,7 +309,9 @@ class SweepEngine:
             "fork" if "fork" in methods else None)
         from repro.cpu.fastpath import default_enabled
 
-        with ctx.Pool(processes=min(self.jobs, len(cells)),
+        tel_path = self.telemetry.path if self.telemetry is not None else None
+        run_id = self.telemetry.run_id if self.telemetry is not None else None
+        with ctx.Pool(processes=min(self.jobs, len(tasks)),
                       initializer=_pool_init,
-                      initargs=(default_enabled(),)) as pool:
-            return pool.map(_execute_cell, cells)
+                      initargs=(default_enabled(), tel_path, run_id)) as pool:
+            return pool.map(_execute_task, tasks)

@@ -1,0 +1,194 @@
+"""Turn a recorded telemetry stream into summaries people can read.
+
+:func:`summarize` folds a list of bus records (any mix of complete and
+in-progress sweeps) into one plain dict: cell progress, cache hit rate,
+per-phase wall time, per-worker utilization and queue-wait, the
+slowest-cells table, straggler detection, and merged fastpath counters
+with their coverage ratio.  ``repro telemetry`` prints it (or emits it
+as JSON); ``repro top`` re-renders it live as the log grows.
+
+Everything here is a pure function of the event list — the collector
+never touches the clock, so summaries are testable from synthetic
+events.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cpu.fastpath import merge_stats
+from repro.telemetry.bus import TELEMETRY_SCHEMA_VERSION, events_by_type
+
+#: A simulated cell is a straggler when its wall time exceeds this
+#: multiple of the batch median — the classic tail-latency flag for
+#: "one worker got the slow cell (or a slow core)".
+STRAGGLER_FACTOR = 2.0
+
+#: Rows kept in the slowest-cells table.
+SLOWEST_LIMIT = 5
+
+
+def _median(xs: List[float]) -> float:
+    if not xs:
+        return 0.0
+    s = sorted(xs)
+    n = len(s)
+    mid = n // 2
+    return s[mid] if n % 2 else (s[mid - 1] + s[mid]) / 2.0
+
+
+def summarize(events: List[dict]) -> dict:
+    """Fold bus records into one summary dict (see module docstring)."""
+    by = events_by_type(events)
+    begins = by.get("sweep-begin", [])
+    ends = by.get("sweep-end", [])
+    hits = len(by.get("cache-hit", []))
+    enqueued = len(by.get("enqueue", []))
+    cell_ends = by.get("cell-end", [])
+    cell_begins = by.get("cell-begin", [])
+    simulated = len(cell_ends)
+
+    total = sum(e["cells"] for e in begins)
+    done = hits + simulated
+    jobs = max((e.get("jobs", 1) for e in begins), default=1)
+
+    # Parent-side phase spans, aggregated by name across batches.
+    phases: Dict[str, float] = {}
+    for e in by.get("phase", []):
+        phases[e["name"]] = phases.get(e["name"], 0.0) + e["wall_s"]
+
+    # Wall: completed sweeps report it; a live one is still open-ended,
+    # so fall back to the observed event span.
+    if ends:
+        wall = sum(e["wall_s"] for e in ends)
+    elif events:
+        ts = [e["ts"] for e in events]
+        wall = max(ts) - min(ts)
+    else:
+        wall = 0.0
+
+    # Per-worker accounting.  The execute span shared by utilization
+    # figures runs from the first dispatch (begin minus its queue wait)
+    # to the last completion — the window in which the pool existed.
+    workers: Dict[int, dict] = {}
+    for e in cell_begins:
+        w = workers.setdefault(e["pid"], {
+            "cells": 0, "busy_s": 0.0, "queue_wait_s": 0.0})
+        w["queue_wait_s"] += e["queue_wait_s"]
+    for e in cell_ends:
+        w = workers.setdefault(e["pid"], {
+            "cells": 0, "busy_s": 0.0, "queue_wait_s": 0.0})
+        w["cells"] += 1
+        w["busy_s"] += e["wall_s"]
+    span = 0.0
+    if cell_ends and cell_begins:
+        first = min(e["ts"] - e["queue_wait_s"] for e in cell_begins)
+        last = max(e["ts"] for e in cell_ends)
+        span = max(last - first, 0.0)
+    for w in workers.values():
+        w["utilization"] = (w["busy_s"] / span) if span > 0 else 0.0
+
+    walls = [e["wall_s"] for e in cell_ends]
+    median = _median(walls)
+    slowest = [
+        {"cell": e["cell"], "wall_s": e["wall_s"], "pid": e["pid"]}
+        for e in sorted(cell_ends, key=lambda e: -e["wall_s"])
+    ][:SLOWEST_LIMIT]
+    stragglers = [
+        {"cell": e["cell"], "wall_s": e["wall_s"], "pid": e["pid"],
+         "median_s": median}
+        for e in cell_ends
+        if median > 0 and e["wall_s"] > STRAGGLER_FACTOR * median
+    ]
+
+    fastpath: dict = {}
+    for e in cell_ends:
+        if e.get("fastpath"):
+            merge_stats(fastpath, e["fastpath"])
+    ticks_total = fastpath.get("ticks_total", 0)
+    coverage = (fastpath.get("ticks_skipped", 0) / ticks_total
+                if ticks_total else 0.0)
+
+    # Live-view ETA: remaining simulated cells at the observed mean
+    # cell wall, spread over the worker pool.
+    eta: Optional[float] = None
+    if total > done and walls:
+        mean = sum(walls) / len(walls)
+        eta = (total - done) * mean / max(jobs, 1)
+
+    return {
+        "schema_version": TELEMETRY_SCHEMA_VERSION,
+        "runs": sorted({e.get("run", "?") for e in events}),
+        "cells": {
+            "total": total,
+            "done": done,
+            "hits": hits,
+            "simulated": simulated,
+            "in_flight": max(len(cell_begins) - simulated, 0),
+            "enqueued": enqueued,
+            "hit_rate": (hits / done) if done else 0.0,
+        },
+        "jobs": jobs,
+        "wall_s": wall,
+        "phases": {k: phases[k] for k in sorted(phases)},
+        "workers": {pid: workers[pid] for pid in sorted(workers)},
+        "slowest": slowest,
+        "stragglers": stragglers,
+        "fastpath": fastpath,
+        "fastpath_coverage": coverage,
+        "eta_s": eta,
+    }
+
+
+def _fmt_s(seconds: float) -> str:
+    if seconds >= 120:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds:.2f}s"
+
+
+def render_summary(summary: dict) -> str:
+    """ASCII rendering shared by ``repro telemetry`` and ``repro top``."""
+    c = summary["cells"]
+    lines = []
+    runs = summary["runs"]
+    lines.append("telemetry — run " + (", ".join(runs) if runs else "(empty)"))
+    pct = (100.0 * c["done"] / c["total"]) if c["total"] else 0.0
+    eta = summary["eta_s"]
+    eta_txt = f", ETA {_fmt_s(eta)}" if eta is not None else ""
+    lines.append(
+        f"cells    {c['done']}/{c['total']} done ({pct:.0f}%) — "
+        f"{c['hits']} cache hits, {c['simulated']} simulated "
+        f"({c['hit_rate']:.0%} hit rate){eta_txt}"
+    )
+    phases = summary["phases"]
+    phase_txt = " | ".join(f"{k} {_fmt_s(v)}" for k, v in phases.items())
+    lines.append(f"wall     {_fmt_s(summary['wall_s'])}"
+                 + (f"   [{phase_txt}]" if phase_txt else ""))
+    fp = summary["fastpath"]
+    if fp:
+        sd = fp.get("stand_downs", {})
+        sd_txt = (", stand-downs: "
+                  + " ".join(f"{k}={v}" for k, v in sorted(sd.items()))
+                  if sd else "")
+        lines.append(
+            f"fastpath {summary['fastpath_coverage']:.1%} ticks skipped — "
+            f"{fp.get('jumps', 0)} jumps, "
+            f"{fp.get('captures', 0)} captures{sd_txt}"
+        )
+    for pid, w in summary["workers"].items():
+        lines.append(
+            f"worker   pid {pid}: {w['cells']} cells, "
+            f"busy {_fmt_s(w['busy_s'])}, util {w['utilization']:.0%}, "
+            f"queue-wait {_fmt_s(w['queue_wait_s'])}"
+        )
+    if summary["slowest"]:
+        lines.append("slowest cells:")
+        for row in summary["slowest"]:
+            lines.append(f"  {_fmt_s(row['wall_s']):>8}  {row['cell']}"
+                         f"  (pid {row['pid']})")
+    if summary["stragglers"]:
+        lines.append("stragglers (> {:.0f}x median):".format(STRAGGLER_FACTOR))
+        for row in summary["stragglers"]:
+            lines.append(f"  {_fmt_s(row['wall_s']):>8}  {row['cell']}"
+                         f"  (median {_fmt_s(row['median_s'])})")
+    return "\n".join(lines)

@@ -1,0 +1,135 @@
+"""``repro top`` — live terminal progress for a running sweep.
+
+Follows a telemetry JSONL log as it grows (the newest log in the
+telemetry directory by default), folds the events through
+:func:`repro.telemetry.collect.summarize`, and redraws an ANSI frame
+every poll: cells done/total with ETA, cache hit rate, per-phase wall
+time, fastpath coverage, per-worker utilization, and the
+slowest-cells table.
+
+Start the sweep in one terminal and the viewer in another::
+
+    repro fig2 --panel a --jobs 4          # terminal 1
+    repro top                              # terminal 2
+
+The viewer exits on its own shortly after the sweep completes (a
+``sweep-end`` record followed by a quiet log), after ``--duration``
+seconds, or on Ctrl-C.  ``--once`` renders a single frame without
+following — used by scripts and the test suite.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from typing import IO, List, Optional
+
+from repro.telemetry import bus as _bus
+from repro.telemetry.collect import render_summary, summarize
+
+#: Polls with no new records (after a sweep-end) before the viewer
+#: concludes the sweep is over and exits.
+_QUIET_POLLS = 4
+
+_CLEAR = "\x1b[H\x1b[2J"
+
+
+class LogFollower:
+    """Incremental JSONL reader: returns only whole, parseable records.
+
+    A partial line (a record the writer is mid-append on) stays
+    buffered until its newline arrives — the reader-side half of the
+    no-torn-records guarantee.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self._fp: IO[bytes] = open(path, "rb")
+        self._buf = b""
+
+    def poll(self) -> List[dict]:
+        data = self._fp.read()
+        if data:
+            self._buf += data
+        events: List[dict] = []
+        while True:
+            nl = self._buf.find(b"\n")
+            if nl < 0:
+                break
+            line = self._buf[:nl]
+            self._buf = self._buf[nl + 1:]
+            if not line.strip():
+                continue
+            try:
+                events.append(json.loads(line))
+            except ValueError:
+                # A malformed line is droppable noise; whole-record
+                # appends mean it cannot be half of a good record.
+                continue
+        return events
+
+    def close(self) -> None:
+        self._fp.close()
+
+
+def _frame(events: List[dict], path: str, live: bool) -> str:
+    summary = summarize(events)
+    head = f"repro top — {path}" + ("" if live else " (final)")
+    return head + "\n" + render_summary(summary)
+
+
+def run_top(path: Optional[str] = None, interval: float = 0.5,
+            once: bool = False, duration: Optional[float] = None,
+            out: Optional[IO[str]] = None) -> int:
+    """Entry point behind ``repro top``; returns a process exit code."""
+    out = sys.stdout if out is None else out
+    deadline = None
+    if duration is not None:
+        deadline = time.monotonic() + duration  # check: allow(wall-clock)
+    # No log yet?  A sweep may be about to start: wait for one unless
+    # rendering a single frame.
+    while path is None:
+        path = _bus.latest_log()
+        if path is not None:
+            break
+        if once:
+            print("repro top: no telemetry log found "
+                  f"(dir: {_bus.default_dir()})", file=sys.stderr)
+            return 2
+        if deadline is not None \
+                and time.monotonic() >= deadline:  # check: allow(wall-clock)
+            print("repro top: no telemetry log appeared", file=sys.stderr)
+            return 2
+        time.sleep(interval)
+
+    follower = LogFollower(path)
+    events: List[dict] = []
+    try:
+        if once:
+            events.extend(follower.poll())
+            print(_frame(events, path, live=False), file=out)
+            return 0
+        quiet = 0
+        while True:
+            fresh = follower.poll()
+            events.extend(fresh)
+            done = any(e.get("ev") == "sweep-end" for e in events)
+            out.write(_CLEAR + _frame(events, path, live=not done) + "\n")
+            out.flush()
+            if done:
+                quiet = quiet + 1 if not fresh else 0
+                if quiet >= _QUIET_POLLS:
+                    return 0
+            if deadline is not None \
+                    and time.monotonic() >= deadline:  # check: allow(wall-clock)
+                return 0
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        return 0
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; that is a normal way
+        # to stop watching.
+        return 0
+    finally:
+        follower.close()

@@ -1,5 +1,13 @@
 """Shared pytest configuration for the repro test suite."""
 
+import os
+
+# Tests construct engines and CLI runs constantly; without this the
+# default-on telemetry would scatter .repro-telemetry logs from every
+# test process.  Tests that exercise telemetry itself re-enable it (or
+# pass an explicit bus/path), which setdefault leaves untouched.
+os.environ.setdefault("REPRO_TELEMETRY", "0")
+
 
 def pytest_addoption(parser):
     parser.addoption(

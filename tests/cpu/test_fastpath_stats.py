@@ -1,0 +1,135 @@
+"""The fast-forward's accounting: why it engaged — or declined to —
+must be visible as structured counters, without ever influencing what
+the simulator computes (that half of the contract lives in
+test_fastpath_equiv; this file pins the observer itself)."""
+
+import pytest
+
+from repro.core.streams import measure_stream_cpi
+from repro.cpu import fastpath as _fastpath
+from repro.cpu.fastpath import FastpathStats, merge_stats
+from repro.isa import Instr, Op, R
+from repro.isa.streams import ILP, StreamSpec
+from repro.isa.trace import compile_stream
+from repro.observe import PipelineTracer
+from repro.runtime.program import Program
+
+H = 20_000
+
+
+@pytest.fixture(autouse=True)
+def _fresh_counters():
+    _fastpath.reset_stats()
+    yield
+    _fastpath.reset_stats()
+
+
+def _run_stream(fastpath, tracer=None):
+    prog = Program(tracer=tracer, fastpath=fastpath)
+    trace = compile_stream(StreamSpec("iadd", ilp=ILP.MAX, count=1 << 30))
+    prog.add_thread(lambda api, tr=trace: tr)
+    return prog.run(stop_at_tick=H)
+
+
+class TestAcceptanceCounters:
+    def test_engaged_run_jumps_and_skips_ticks(self):
+        _run_stream(True)
+        st = _fastpath.stats()
+        assert st.runs == 1
+        assert st.armed == 1
+        assert st.captures >= 1
+        assert st.jumps >= 1
+        assert st.ticks_total == H
+        assert 0 < st.ticks_skipped <= st.ticks_total
+        assert st.coverage > 0.5       # steady iadd is the ideal case
+        assert st.stand_downs == {}
+
+    def test_ticks_total_counts_even_without_engagement(self):
+        _run_stream(False)
+        st = _fastpath.stats()
+        assert st.ticks_total == H and st.ticks_skipped == 0
+        assert st.coverage == 0.0
+
+
+class TestStandDownReasons:
+    def test_disabled(self):
+        _run_stream(False)
+        st = _fastpath.stats()
+        assert st.stand_downs == {"disabled": 1}
+        assert st.armed == 0 and st.jumps == 0
+
+    def test_tracer_active(self):
+        _run_stream(True, tracer=PipelineTracer())
+        st = _fastpath.stats()
+        assert st.stand_downs == {"tracer-active": 1}
+        assert st.jumps == 0
+
+    def test_plain_generator_source(self):
+        def endless_iadds():
+            while True:
+                yield Instr.arith(Op.IADD, dst=R(0), src=R(8))
+
+        prog = Program(fastpath=True)
+        prog.add_thread(lambda api: endless_iadds())
+        prog.run(stop_at_tick=2_000)
+        st = _fastpath.stats()
+        assert st.stand_downs.get("plain-generator", 0) >= 1
+        assert st.jumps == 0
+
+    def test_reasons_accumulate_across_runs(self):
+        _run_stream(False)
+        _run_stream(False)
+        _run_stream(True, tracer=PipelineTracer())
+        st = _fastpath.stats()
+        assert st.runs == 3
+        assert st.stand_downs == {"disabled": 2, "tracer-active": 1}
+
+
+class TestSnapshotAndMerge:
+    def test_to_dict_reasons_sorted(self):
+        st = FastpathStats()
+        st.bump(st.stand_downs, "horizon")
+        st.bump(st.stand_downs, "disabled")
+        st.bump(st.capture_aborts, "unmapped-addr")
+        snap = st.to_dict()
+        assert list(snap["stand_downs"]) == ["disabled", "horizon"]
+        assert snap["capture_aborts"] == {"unmapped-addr": 1}
+
+    def test_reset_returns_singleton_zeroed(self):
+        _run_stream(True)
+        st = _fastpath.reset_stats()
+        assert st is _fastpath.stats()
+        assert st.to_dict()["jumps"] == 0 and st.stand_downs == {}
+
+    def test_merge_sums_scalars_and_reason_tables(self):
+        into = {}
+        a = {"jumps": 2, "ticks_skipped": 50, "ticks_total": 100,
+             "stand_downs": {"horizon": 1}}
+        b = {"jumps": 3, "ticks_skipped": 25, "ticks_total": 100,
+             "stand_downs": {"horizon": 2, "disabled": 1},
+             "capture_aborts": {"effectful-op": 4}}
+        merge_stats(into, a)
+        merge_stats(into, b)
+        assert into == {"jumps": 5, "ticks_skipped": 75, "ticks_total": 200,
+                        "stand_downs": {"horizon": 3, "disabled": 1},
+                        "capture_aborts": {"effectful-op": 4}}
+
+    def test_per_cell_delta_idiom(self):
+        """reset() before / to_dict() after — what sweep workers do."""
+        _run_stream(True)                      # noise from a prior cell
+        _fastpath.reset_stats()
+        _run_stream(False)
+        delta = _fastpath.stats().to_dict()
+        assert delta["runs"] == 1
+        assert delta["stand_downs"] == {"disabled": 1}
+
+
+class TestCountersDoNotPerturbResults:
+    def test_counters_are_pure_observers(self):
+        r1 = measure_stream_cpi("iadd", ILP.MAX, 2, horizon_ticks=H)
+        _fastpath.reset_stats()
+        r2 = measure_stream_cpi("iadd", ILP.MAX, 2, horizon_ticks=H)
+        snap = _fastpath.stats().to_dict()
+        r3 = measure_stream_cpi("iadd", ILP.MAX, 2, horizon_ticks=H)
+        assert r1.cpi == r2.cpi == r3.cpi
+        assert snap["runs"] == 1

@@ -123,3 +123,63 @@ class TestCacheErrors:
     def test_unknown_cell_kind(self):
         with pytest.raises(ConfigError, match="unknown sweep-cell kind"):
             runner_for("bogus-kind")
+
+
+class TestStatsAccounting:
+    """Hit/miss totals count only measurements that stand; rejected
+    batches land in their own counters, and phase/fastpath accounting
+    rides along on every run."""
+
+    def test_phase_wall_covers_the_whole_lifecycle(self):
+        engine = SweepEngine(preflight=False, oracle=False)
+        engine.run(_cells()[:2])
+        assert set(engine.stats.phase_wall_s) == {
+            "preflight", "probe", "execute", "store", "oracle"}
+        assert all(w >= 0.0 for w in engine.stats.phase_wall_s.values())
+        # Phases accumulate across an engine's batches.
+        before = engine.stats.phase_wall_s["execute"]
+        engine.run(_cells()[2:4])
+        assert engine.stats.phase_wall_s["execute"] >= before
+
+    def test_fastpath_counters_merged_per_simulated_cell(self):
+        engine = SweepEngine(preflight=False, oracle=False)
+        engine.run(_cells()[:3])
+        fp = engine.stats.fastpath
+        assert fp["runs"] == 3
+        assert fp["ticks_total"] == 3 * H
+
+    def test_preflight_rejection_is_not_a_cache_outcome(self, monkeypatch):
+        from repro.common.errors import CheckError
+
+        def boom(cells):
+            raise CheckError("rejected by test")
+
+        monkeypatch.setattr("repro.check.preflight.preflight_cells", boom)
+        engine = SweepEngine()
+        with pytest.raises(CheckError):
+            engine.run(_cells())
+        assert engine.stats.preflight_rejected == len(_cells())
+        assert (engine.stats.cells, engine.stats.hits,
+                engine.stats.misses) == (0, 0, 0)
+
+    def test_oracle_failure_voids_the_batch_accounting(self, monkeypatch):
+        from repro.common.errors import CheckError
+
+        def boom(cells, results):
+            raise CheckError("violated by test")
+
+        monkeypatch.setattr("repro.model.oracle.oracle_cells", boom)
+        engine = SweepEngine(preflight=False)
+        with pytest.raises(CheckError):
+            engine.run(_cells()[:2])
+        assert engine.stats.oracle_failed == 2
+        assert engine.stats.cells == 0
+
+    def test_to_dict_carries_the_new_fields(self):
+        engine = SweepEngine(preflight=False, oracle=False)
+        engine.run(_cells()[:1])
+        snap = engine.stats.to_dict()
+        assert snap["preflight_rejected"] == 0
+        assert snap["oracle_failed"] == 0
+        assert list(snap["phase_wall_s"]) == sorted(snap["phase_wall_s"])
+        assert snap["fastpath"]["runs"] == 1

@@ -1,0 +1,124 @@
+"""Collector math over synthetic event lists (no clocks, no files)."""
+
+import pytest
+
+from repro.telemetry.bus import TELEMETRY_SCHEMA_VERSION
+from repro.telemetry.collect import render_summary, summarize
+
+
+def _ev(ev, ts, pid=1, run="r", **fields):
+    rec = {"v": TELEMETRY_SCHEMA_VERSION, "ev": ev, "ts": ts, "pid": pid,
+           "run": run}
+    rec.update(fields)
+    return rec
+
+
+def _batch():
+    """One 4-cell sweep: 1 cache hit, 3 simulated on 2 workers; the
+    cell on pid 200 is a straggler (9.5s against a 2.0s median)."""
+    fp_a = {"jumps": 2, "ticks_skipped": 80, "ticks_total": 100,
+            "stand_downs": {"horizon": 1}}
+    fp_b = {"jumps": 1, "ticks_skipped": 10, "ticks_total": 100}
+    return [
+        _ev("sweep-begin", 0.0, cells=4, jobs=2, cache_enabled=True),
+        _ev("cache-hit", 0.1, idx=0, cell="hit"),
+        _ev("enqueue", 0.1, idx=1, cell="c1"),
+        _ev("enqueue", 0.1, idx=2, cell="c2"),
+        _ev("enqueue", 0.1, idx=3, cell="c3"),
+        _ev("phase", 0.2, name="probe", wall_s=0.1),
+        _ev("cell-begin", 1.0, pid=100, idx=1, cell="c1", queue_wait_s=0.5),
+        _ev("cell-end", 2.0, pid=100, idx=1, cell="c1", wall_s=1.0,
+            fastpath=fp_a),
+        _ev("cell-begin", 2.0, pid=100, idx=2, cell="c2", queue_wait_s=0.0),
+        _ev("cell-end", 4.0, pid=100, idx=2, cell="c2", wall_s=2.0,
+            fastpath=fp_b),
+        _ev("cell-begin", 1.0, pid=200, idx=3, cell="c3", queue_wait_s=0.5),
+        _ev("cell-end", 10.5, pid=200, idx=3, cell="c3", wall_s=9.5,
+            fastpath={}),
+        _ev("phase", 10.6, name="execute", wall_s=10.0),
+        _ev("sweep-end", 10.6, cells=4, hits=1, misses=3, wall_s=10.6),
+    ]
+
+
+class TestSummarize:
+    def test_cell_accounting(self):
+        c = summarize(_batch())["cells"]
+        assert c == {"total": 4, "done": 4, "hits": 1, "simulated": 3,
+                     "in_flight": 0, "enqueued": 3, "hit_rate": 0.25}
+
+    def test_wall_and_phases(self):
+        s = summarize(_batch())
+        assert s["wall_s"] == 10.6          # from sweep-end
+        assert s["phases"] == {"execute": 10.0, "probe": 0.1}
+        assert s["jobs"] == 2
+        assert s["eta_s"] is None           # nothing left to do
+
+    def test_worker_utilization_over_execute_span(self):
+        w = summarize(_batch())["workers"]
+        # Span: first dispatch at ts 0.5 (begin 1.0 minus 0.5 wait) to
+        # last completion at ts 10.5 → 10.0 s.
+        assert w[100]["cells"] == 2
+        assert w[100]["busy_s"] == pytest.approx(3.0)
+        assert w[100]["utilization"] == pytest.approx(0.30)
+        assert w[100]["queue_wait_s"] == pytest.approx(0.5)
+        assert w[200]["utilization"] == pytest.approx(0.95)
+
+    def test_slowest_and_stragglers(self):
+        s = summarize(_batch())
+        assert [r["wall_s"] for r in s["slowest"]] == [9.5, 2.0, 1.0]
+        assert [r["cell"] for r in s["stragglers"]] == ["c3"]
+        assert s["stragglers"][0]["median_s"] == 2.0
+
+    def test_fastpath_merge_and_coverage(self):
+        s = summarize(_batch())
+        fp = s["fastpath"]
+        assert fp["jumps"] == 3
+        assert fp["ticks_skipped"] == 90 and fp["ticks_total"] == 200
+        assert fp["stand_downs"] == {"horizon": 1}
+        assert s["fastpath_coverage"] == pytest.approx(0.45)
+
+    def test_live_view_eta(self):
+        # Drop the sweep-end and two of the three completions: 2 cells
+        # remain at a 1.0 s observed mean over 2 workers → ETA 1.0 s.
+        live = [e for e in _batch()
+                if e["ev"] != "sweep-end" and not (
+                    e["ev"] in ("cell-begin", "cell-end") and e["idx"] != 1)]
+        s = summarize(live)
+        assert s["cells"]["done"] == 2 and s["cells"]["total"] == 4
+        assert s["eta_s"] == pytest.approx(1.0)
+        # Without a sweep-end the wall falls back to the event span.
+        assert s["wall_s"] == pytest.approx(10.6)
+
+    def test_in_flight(self):
+        live = [e for e in _batch() if not (
+            e["ev"] == "cell-end" and e["idx"] == 3)][:-2]
+        assert summarize(live)["cells"]["in_flight"] == 1
+
+    def test_empty_stream(self):
+        s = summarize([])
+        assert s["cells"]["total"] == 0 and s["cells"]["hit_rate"] == 0.0
+        assert s["wall_s"] == 0.0 and s["eta_s"] is None
+        assert s["workers"] == {} and s["fastpath"] == {}
+
+    def test_multiple_batches_accumulate(self):
+        twice = _batch() + _batch()
+        s = summarize(twice)
+        assert s["cells"]["total"] == 8 and s["cells"]["done"] == 8
+        assert s["wall_s"] == pytest.approx(21.2)
+        assert s["phases"]["execute"] == pytest.approx(20.0)
+
+
+class TestRender:
+    def test_render_mentions_the_load_bearing_numbers(self):
+        text = render_summary(summarize(_batch()))
+        assert "4/4 done" in text
+        assert "25% hit rate" in text
+        assert "fastpath 45.0% ticks skipped" in text
+        assert "stand-downs: horizon=1" in text
+        assert "worker   pid 100" in text and "util 30%" in text
+        assert "slowest cells:" in text
+        assert "stragglers" in text and "c3" in text
+
+    def test_render_empty(self):
+        text = render_summary(summarize([]))
+        assert "(empty)" in text and "0/0 done" in text

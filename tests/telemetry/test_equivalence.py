@@ -1,0 +1,138 @@
+"""Telemetry is a pure observer: reports are byte-identical with the
+bus on vs off, and the event stream the engine emits is a faithful,
+schema-valid account of what the sweep did."""
+
+import json
+
+import pytest
+
+from repro.core import coexec_sweep, fig1_sweep, table1_rows
+from repro.core.streams import measure_stream_cpi
+from repro.cpu import fastpath as _fastpath
+from repro.cpu.config import CoreConfig
+from repro.isa.streams import ILP
+from repro.mem.config import MemConfig
+from repro.observe import build_report, strip_volatile
+from repro.sweep import ResultCache, SweepEngine
+from repro.telemetry import TELEMETRY_SCHEMA_VERSION, TelemetryBus, read_events
+from repro.telemetry.bus import events_by_type
+
+H = 20_000
+
+
+def _bytes(report: dict) -> str:
+    return json.dumps(strip_volatile(report), indent=2)
+
+
+def _report(kind, results, engine):
+    # Mirrors the CLI: a "telemetry" section is attached only when a
+    # bus is live — and strip_volatile removes it, like wall times.
+    telemetry = None
+    if engine.telemetry is not None:
+        telemetry = {"schema_version": TELEMETRY_SCHEMA_VERSION,
+                     "log": engine.telemetry.path,
+                     "run": engine.telemetry.run_id}
+    return build_report(kind, results, core_config=CoreConfig(),
+                        mem_config=MemConfig(),
+                        sweep=engine.stats.to_dict(), telemetry=telemetry)
+
+
+def _fig1(engine):
+    return _report("fig1", fig1_sweep(streams=("iadd", "fadd"),
+                                      horizon_ticks=H, engine=engine),
+                   engine)
+
+
+def _fig2(engine):
+    return _report("fig2", coexec_sweep([("iadd", "imul")],
+                                        solo_horizon_ticks=H,
+                                        pair_horizon_ticks=H,
+                                        engine=engine), engine)
+
+
+def _table1(engine):
+    return _report("table1", table1_rows(("mm",), {"mm": {"n": 16}},
+                                         engine=engine), engine)
+
+
+@pytest.mark.parametrize("make_report", [_fig1, _fig2, _table1],
+                         ids=["fig1", "fig2", "table1"])
+@pytest.mark.parametrize("jobs", [1, 2], ids=["serial", "parallel"])
+def test_sweep_reports_identical_on_vs_off(tmp_path, make_report, jobs):
+    off = make_report(SweepEngine(jobs=jobs))
+    with TelemetryBus(str(tmp_path / "on.jsonl")) as bus:
+        on = make_report(SweepEngine(jobs=jobs, telemetry=bus))
+    assert _bytes(off) == _bytes(on)
+    # The raw reports differ only by the volatile telemetry section.
+    assert "telemetry" in on and "telemetry" not in off
+
+
+def test_stream_report_bytes_are_deterministic(tmp_path):
+    """Single-run reports carry a non-volatile fastpath section: the
+    counters are pure simulation state, so two runs — one with a bus
+    merely existing — must produce identical raw bytes."""
+
+    def run():
+        fp = _fastpath.reset_stats()
+        result = measure_stream_cpi("iadd", ILP.MAX, 2, horizon_ticks=H)
+        return build_report("stream", [result], core_config=CoreConfig(),
+                            mem_config=MemConfig(),
+                            fastpath=fp.to_dict())
+
+    first = run()
+    with TelemetryBus(str(tmp_path / "idle.jsonl")):
+        second = run()
+    assert json.dumps(first, indent=2) == json.dumps(second, indent=2)
+    assert first["fastpath"]["jumps"] > 0
+
+
+def test_cache_hits_do_not_change_stripped_bytes(tmp_path):
+    cache = ResultCache(tmp_path / "c")
+    cold = _fig1(SweepEngine(cache=cache))
+    with TelemetryBus(str(tmp_path / "warm.jsonl")) as bus:
+        warm_engine = SweepEngine(cache=ResultCache(tmp_path / "c"),
+                                  telemetry=bus)
+        warm = _fig1(warm_engine)
+    assert _bytes(cold) == _bytes(warm)
+    assert warm_engine.stats.hits == 12
+
+
+@pytest.mark.parametrize("jobs", [1, 2], ids=["serial", "parallel"])
+def test_event_stream_accounts_for_every_cell(tmp_path, jobs):
+    log = tmp_path / "ev.jsonl"
+    with TelemetryBus(str(log)) as bus:
+        engine = SweepEngine(jobs=jobs, telemetry=bus)
+        fig1_sweep(streams=("iadd",), horizon_ticks=H, engine=engine)
+    events = list(read_events(str(log), validate=True))
+    by = events_by_type(events)
+    n = engine.stats.cells
+    assert n == 6
+    assert len(by["sweep-begin"]) == len(by["sweep-end"]) == 1
+    assert len(by["enqueue"]) == len(by["cell-begin"]) == \
+        len(by["cell-end"]) == n
+    assert "cache-hit" not in by
+    end = by["sweep-end"][0]
+    assert (end["cells"], end["hits"], end["misses"]) == (n, 0, n)
+    assert {e["name"] for e in by["phase"]} == {
+        "preflight", "probe", "execute", "store", "oracle"}
+    # Per-cell spans carry the fastpath delta and a sane queue wait.
+    assert all(e["fastpath"]["runs"] >= 1 for e in by["cell-end"])
+    assert all(e["queue_wait_s"] >= 0.0 for e in by["cell-begin"])
+    # Submission indices round-trip.
+    assert sorted(e["idx"] for e in by["cell-end"]) == list(range(n))
+
+
+def test_warm_sweep_emits_hits_not_cell_spans(tmp_path):
+    cache_dir = tmp_path / "c"
+    # Populate cold, then replay warm with the bus attached.
+    fig1_sweep(streams=("iadd",), horizon_ticks=H,
+               engine=SweepEngine(cache=ResultCache(cache_dir)))
+    log = tmp_path / "warm.jsonl"
+    with TelemetryBus(str(log)) as bus:
+        warm = SweepEngine(cache=ResultCache(cache_dir), telemetry=bus)
+        fig1_sweep(streams=("iadd",), horizon_ticks=H, engine=warm)
+    by = events_by_type(list(read_events(str(log), validate=True)))
+    assert len(by["cache-hit"]) == 6
+    assert "enqueue" not in by and "cell-end" not in by
+    end = by["sweep-end"][0]
+    assert (end["hits"], end["misses"]) == (6, 0)

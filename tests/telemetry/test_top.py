@@ -1,0 +1,92 @@
+"""The live viewer: incremental following, partial-line buffering, and
+the single-frame (--once) rendering path the CLI test rides."""
+
+import io
+import json
+
+from repro.telemetry.bus import TELEMETRY_SCHEMA_VERSION, TelemetryBus
+from repro.telemetry.top import LogFollower, run_top
+
+
+def _write(path, events):
+    with TelemetryBus(str(path)) as bus:
+        for ev, fields in events:
+            bus.emit(ev, **fields)
+
+
+_SWEEP = [
+    ("sweep-begin", {"cells": 2, "jobs": 1, "cache_enabled": False}),
+    ("enqueue", {"idx": 0, "cell": "c0"}),
+    ("enqueue", {"idx": 1, "cell": "c1"}),
+    ("cell-begin", {"idx": 0, "cell": "c0", "queue_wait_s": 0.0}),
+    ("cell-end", {"idx": 0, "cell": "c0", "wall_s": 0.5, "fastpath": {}}),
+    ("cell-begin", {"idx": 1, "cell": "c1", "queue_wait_s": 0.0}),
+    ("cell-end", {"idx": 1, "cell": "c1", "wall_s": 0.7, "fastpath": {}}),
+    ("sweep-end", {"cells": 2, "hits": 0, "misses": 2, "wall_s": 1.2}),
+]
+
+
+class TestLogFollower:
+    def test_incremental_polling(self, tmp_path):
+        log = tmp_path / "t.jsonl"
+        _write(log, _SWEEP[:3])
+        follower = LogFollower(str(log))
+        assert [e["ev"] for e in follower.poll()] == [
+            "sweep-begin", "enqueue", "enqueue"]
+        assert follower.poll() == []
+        _write(log, _SWEEP[3:])
+        assert [e["ev"] for e in follower.poll()] == [
+            "cell-begin", "cell-end", "cell-begin", "cell-end", "sweep-end"]
+        follower.close()
+
+    def test_partial_line_stays_buffered(self, tmp_path):
+        log = tmp_path / "t.jsonl"
+        record = json.dumps({"v": TELEMETRY_SCHEMA_VERSION, "ev": "phase",
+                             "ts": 0.0, "pid": 1, "run": "r",
+                             "name": "probe", "wall_s": 0.1})
+        log.write_text(record + "\n" + record[:13])
+        follower = LogFollower(str(log))
+        assert len(follower.poll()) == 1      # the torn tail is held back
+        with open(log, "a") as fp:
+            fp.write(record[13:] + "\n")
+        done = follower.poll()                # ...and completes next poll
+        assert len(done) == 1 and done[0]["name"] == "probe"
+        follower.close()
+
+    def test_malformed_line_is_skipped(self, tmp_path):
+        log = tmp_path / "t.jsonl"
+        log.write_text('not json\n{"ev": "phase", "name": "x"}\n')
+        follower = LogFollower(str(log))
+        assert [e["ev"] for e in follower.poll()] == ["phase"]
+        follower.close()
+
+
+class TestRunTop:
+    def test_once_renders_final_frame(self, tmp_path):
+        log = tmp_path / "t.jsonl"
+        _write(log, _SWEEP)
+        out = io.StringIO()
+        assert run_top(path=str(log), once=True, out=out) == 0
+        text = out.getvalue()
+        assert "repro top" in text and "(final)" in text
+        assert "2/2 done" in text
+        assert "slowest cells:" in text
+
+    def test_once_without_any_log(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_TELEMETRY_DIR", str(tmp_path / "empty"))
+        assert run_top(once=True) == 2
+        assert "no telemetry log" in capsys.readouterr().err
+
+    def test_follow_exits_after_quiet_sweep_end(self, tmp_path):
+        log = tmp_path / "t.jsonl"
+        _write(log, _SWEEP)
+        out = io.StringIO()
+        assert run_top(path=str(log), interval=0.01, out=out) == 0
+        assert "2/2 done" in out.getvalue()
+
+    def test_follow_honors_duration_without_sweep_end(self, tmp_path):
+        log = tmp_path / "t.jsonl"
+        _write(log, _SWEEP[:-1])              # still "live"
+        out = io.StringIO()
+        assert run_top(path=str(log), interval=0.01, duration=0.05,
+                       out=out) == 0
