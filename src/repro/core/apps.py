@@ -78,12 +78,14 @@ def run_app_experiment(
     tracer=None,
     accountant=None,
     profiler=None,
+    fastpath=None,
 ) -> AppRunResult:
     """Run one workload variant and collect the paper's three events.
 
     ``tracer``/``accountant``/``profiler`` attach the
     :mod:`repro.observe` hooks to the run; all default to off (the
-    zero-overhead path).
+    zero-overhead path).  ``fastpath`` overrides the process default
+    for the tile-level fast-forward (None = inherit).
     """
     if app not in WORKLOADS:
         raise ConfigError(f"unknown application {app!r}; have {sorted(WORKLOADS)}")
@@ -92,7 +94,8 @@ def run_app_experiment(
     build = WORKLOADS[app].build(variant, mem_config=mem, **size)
     prog = Program(core_config=core_config, mem_config=mem,
                    aspace=build.aspace, tracer=tracer,
-                   accountant=accountant, profiler=profiler)
+                   accountant=accountant, profiler=profiler,
+                   fastpath=fastpath)
     for factory in build.factories:
         prog.add_thread(factory)
     t_wall = time.perf_counter()  # check: allow(wall-clock)

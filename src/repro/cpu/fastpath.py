@@ -1,14 +1,25 @@
-"""Steady-state cycle detection with exact fast-forward.
+"""Hierarchical steady-state cycle detection with exact fast-forward.
 
 The §4 synthetic streams drive the SMT core into an *exactly periodic*
-microarchitectural orbit within a few hundred ticks: the instruction
-pattern repeats (register rotation has period ``lcm(|T|, 6, |ops|)``,
-the memory walk is a fixed-stride sawtooth), the machine is
-deterministic, and every latency in it is a constant.  Once the
+microarchitectural orbit within a few hundred ticks; co-executing pairs
+lock into a joint super-period (the lcm of the solo orbits as seen at
+retirement boundaries); the tiled applications (mm/lu/cg/bt) recur at
+tile/phase granularity once the caches reach steady state.  The machine
+is deterministic and every latency in it is a constant, so once the
 tick-relative state at one retirement boundary equals the tick-relative
 state at an earlier boundary, the entire future is a replay of that
-period — so ``k`` whole periods can be applied in O(state) instead of
+period — ``k`` whole periods can be applied in O(state) instead of
 O(k · period).
+
+Detection is two-level.  A *probe* runs at every boundary and hashes a
+cheap signature (thread states, queue depths, source-cursor phase);
+full canonical-state equality implies signature equality, so nothing
+is lost by only *capturing* once a signature recurs.  The first
+recurrence at a plausible distance latches a candidate period and
+switches to the capture cadence: one full canonical capture per
+candidate period, compared against up to a few retained captures per
+fingerprint (older anchors catch super-periods — a tile row, a whole
+pass — that the newest capture alone would miss).
 
 Exactness, not approximation
 ----------------------------
@@ -18,15 +29,15 @@ t2`` is equal up to the two symmetries of the dynamics:
 * **time translation** — every tick-valued field is compared relative
   to "now", with fields proven inert (older than any predicate that
   reads them can reach) clamped to a sentinel;
-* **memory translation** — a memory stream ``Δ`` bytes further into its
+* **memory translation** — a memory walk ``Δ`` bytes further into its
   region sees cache sets, prefetch tags and stream heads shifted by
-  ``ΔL`` lines *circularly within the region* (the walk is a cycle, so
-  the shift acts modulo the region's line count — a capture window
-  straddling the wrap slides as well as any other); equality of the
-  *offset phase modulo line size × lcm of L1/L2 set counts* plus the
-  region spanning a whole number of sets guarantees the circular shift
-  lands every line in the same cache set, so per-set LRU evolution is
-  translation-invariant.
+  ``ΔL`` lines.  For the synthetic streams the walk is a cycle, so the
+  shift acts *circularly within the region*; for tiled applications
+  the per-region reference vector advances *linearly* by a constant
+  per-phase delta.  Either way the shift must be set-preserving in
+  both caches (``Δ ≡ 0`` modulo line size × lcm of L1/L2 set counts —
+  equal reference residues in the fingerprint guarantee it), which
+  makes per-set LRU evolution translation-invariant.
 
 The fingerprint *is* the canonical state (a nested tuple), and the
 ``dict`` lookup that finds a repeat performs a full equality check —
@@ -35,29 +46,42 @@ are then verified element-by-element under the line translation.
 Inert residue from an earlier phase — an orphaned prefetch tag whose
 line left L2, a dead stream head the LRU table never displaced, a
 stale cache line outside the walk — may instead verify *stationary*
-(equal untranslated); such lines are readable only when the walk comes
+(equal untranslated); such lines are readable only when a walk comes
 within prefetch reach of them, so the jump's period count is capped to
-keep every moving walk short of every stationary line.  On a
-verified repeat with period ``P = t2 - t1``, the true state at
-``t2 + k·P`` is obtained in closed form: shift every live tick field by
-``k·P``, translate memory by ``k·ΔL``, advance each compiled trace
-cursor by ``k·Δpos``, and extrapolate every monotone counter by
+keep every moving walk short of every stationary line (streams leave
+only the region behind their ascending head; tiled walks also leave
+the span below the recurrence window's floor).  Tiled jumps are
+additionally capped by the recorded schedule
+(:meth:`repro.isa.trace.TiledTrace.extrapolation_limit`): every
+extrapolated phase must replay the same pattern with the same
+reference deltas and keep prefetch overshoot clear of each region's
+top edge.  On a verified repeat with period ``P = t2 - t1``, the true
+state at ``t2 + k·P`` is obtained in closed form: shift every live
+tick field by ``k·P``, translate memory by ``k·ΔL``, advance each
+trace cursor by ``k·Δpos``, and extrapolate every monotone counter by
 ``k × (its delta over the period)``.  The run then resumes exact
 stepping for the residue, which is why ``CoreResult``s, run reports,
 stall accounting and golden fixtures are byte-identical with the
 fast-forward on or off (the equivalence suite and golden/determinism
 suites enforce this).
 
+A memory-stream wrap (the wrap-around episode where the walk re-enters
+the bottom of its region and prefetch overshoot breaks the symmetry)
+is *spliced*: the detector sleeps through the episode — the wrap ticks
+are stepped exactly and land in the ledger like any others — and the
+proven capture cadence picks the orbit back up on the far side, so
+verification failures across a wrap never count toward futility.
+
 When it stands down
 -------------------
 The detector arms only when every thread's instruction source is a
-compiled trace (:mod:`repro.isa.trace`); tracers and profilers need
-every tick observed, so an enabled ``Tracer`` or an attached
-delinquency profiler disables it.  Captures abort conservatively on
-anything the canonical form cannot prove periodic: effect-bearing µops
-(sync vars, markers), live generator parts, or in-flight addresses a
-translation cannot follow.  ``--no-fastpath`` on the CLI forces the
-slow path for A/B comparison.
+compiled or tiled trace (:mod:`repro.isa.trace`); tracers and
+profilers need every tick observed, so an enabled ``Tracer`` or an
+attached delinquency profiler disables it.  Captures abort
+conservatively on anything the canonical form cannot prove periodic:
+effect-bearing µops (sync vars, markers), live generator parts, or
+in-flight addresses a translation cannot follow.  ``--no-fastpath`` on
+the CLI forces the slow path for A/B comparison.
 """
 
 from __future__ import annotations
@@ -65,9 +89,10 @@ from __future__ import annotations
 import math
 from typing import TYPE_CHECKING, Optional
 
+
 from repro.cpu.thread import ThreadState, _FAR_FUTURE
 from repro.cpu.units import UNIT_NAMES
-from repro.isa.trace import ChainedSource, CompiledTrace
+from repro.isa.trace import ChainedSource, CompiledTrace, TiledTrace
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cpu.core import SMTCore
@@ -89,10 +114,16 @@ class FastpathStats:
       was off entirely: ``disabled`` (``--no-fastpath``/default off),
       ``tracer-active``, ``profiler-active``, ``plain-generator``
       (an instruction source that is not a compiled trace),
-      ``no-threads``, ``capture-budget``, ``futility``, ``horizon``;
+      ``no-threads`` (a core run with no threads bound — defensive,
+      the core rejects that earlier), ``probe-budget`` (signature
+      probing never latched a period), ``capture-budget``,
+      ``futility``, ``horizon``;
     * ``capture_aborts`` — boundary captures the canonical form
-      rejected: ``effectful-op`` (sync vars/markers in flight),
-      ``unmapped-addr``, ``off-rob-dep``, ``inactive-trace``;
+      rejected, attributed to the *first thread state that broke
+      canonicalization*: ``effectful-op`` (sync vars/markers in
+      flight), ``unmapped-addr``, ``off-rob-dep``, ``inactive-trace``.
+      A pair run that canonicalizes thread 0 but trips on thread 1
+      counts here (with the reason), never as a stand-down;
     * acceptance counters — ``jumps``, ``ticks_skipped`` (vs
       ``ticks_total`` stepped+skipped), ``captures``,
       ``verify_failures`` (key matched, memory verification failed),
@@ -197,32 +228,98 @@ _STATE_CODE = {
     ThreadState.DONE: 2,
 }
 
-#: Captures per stride level before the capture cadence doubles.  The
-#: stride-1 era covers any period up to this many boundaries outright;
-#: longer periods are caught by later eras (every era's captures are a
-#: superset of coarser ones within its span) and, once a single key
-#: match reveals the period, by the period-targeted captures below.
-_GROWTH_THRESHOLD = 256
-#: Cadence back-off cap.  Beyond this the gaps between captures could
-#: exceed the stride-1 era, losing the guarantee that some capture
-#: lands one whole period after a stored one.
-_MAX_STRIDE = 256
-#: Fingerprint table bound; cleared wholesale if ever exceeded.
+#: Fingerprint/signature table bound; cleared wholesale if exceeded.
 _MAX_ENTRIES = 4096
+#: Full captures retained per canonical fingerprint, newest first.
+#: Older anchors let a later capture match across a *super*-period
+#: (a tile row, a pass) that the newest anchor alone cannot see.
+_RETAIN = 4
 #: Failed verifications tolerated within one trace part before the
-#: detector stands down for the run.  Streams whose memory state never
-#: becomes translation-periodic inside the horizon (a load stream's
-#: prefetch-tag transient decays over whole passes of its vector) would
-#: otherwise pay capture + verification costs forever for nothing.
-_FUTILITY_LIMIT = 64
-#: Captures allowed per trace part (refunded by a successful jump).
-#: Caps the detector's total overhead on workloads it cannot help: once
-#: spent without a jump, the run proceeds at full exact stepping speed.
-#: Sized so that slow-issue streams (divides retire ~an order of
-#: magnitude slower than adds, stretching the pipeline transient before
-#: the orbit closes) still reach their first match: the stride-era sum
-#: 4·256 + tail covers ≳8k boundaries within this budget.
+#: detector stands down — but only while no period has been *proven*.
+#: Post-proof failures are wrap/tile-edge transients the proven cadence
+#: recovers from, and must not exhaust the run's patience.  Generous:
+#: a junk-fine latch on a stalled machine self-matches cheaply until
+#: the upgrade rule replaces it, and the exponential retry backoff
+#: already bounds the rate — the hard stop is the capture budget.
+_FUTILITY_LIMIT = 512
+#: Consecutive capture *aborts* (canonicalisation rejections — an
+#: effectful op in flight, an unmapped address, an off-ROB dependency)
+#: before the cell stands down attributing the dominant abort reason.
+#: A pair that captures thread 0 cleanly but always aborts on thread 1
+#: can never form an anchor; without this cap it would pay a failed
+#: capture per cadence tick until a generic budget tripped, and the
+#: stats would not say why.  Well above the handful of aborts a part
+#: transition's marker flight causes.
+_ABORT_LIMIT = 64
+#: Full captures allowed per trace part (refunded by a successful
+#: jump).  Caps the detector's total overhead on workloads it cannot
+#: help: once spent without a jump, the run proceeds at full speed.
 _CAPTURE_BUDGET = 4096
+#: Signature probes per trace part before detection stands down.
+#: Probes are ~two orders of magnitude cheaper than captures, so the
+#: budget is correspondingly larger — large enough that probing every
+#: boundary of an unproven stretch (the upgrade path) never trips it
+#: within the measurement horizons.
+_SIG_BUDGET = 1 << 18
+#: Signature sightings retained.  Must hold ~three canonical periods
+#: of distinct boundary signatures: the upgrade rule needs the same
+#: signature sighted three times (two equal intervals) to confirm a
+#: longer period through a junk latch.
+_SIG_ENTRIES = 1 << 15
+#: Smallest signature-recurrence distance (ticks) accepted as a period
+#: candidate.  Raised past any candidate the watchdog rejects, so a
+#: signature collision at a non-period distance cannot latch twice.
+_SIG_MIN0 = 8
+#: Consecutive capture misses before an *unproven* candidate period is
+#: dropped.  Deliberately patient: a candidate that is a true
+#: *sub*-period of the canonical one (a pipeline micro-cycle whose
+#: multiple the memory walk closes) only key-matches after
+#: period/candidate captures, and the parallel probing upgrades junk
+#: latches long before this trips — the watchdog is the backstop for
+#: genuinely aperiodic dynamics, where misses are cheap (the cadence
+#: backs off exponentially past the grace window).
+_WATCHDOG_UNPROVEN = 512
+#: Unproven-candidate misses captured at the tight cadence before the
+#: cadence backs off.  Sub-period latches whose multiple closes the
+#: canonical period are found by the burst path, so the grace window
+#: only needs to cover small commensurate ratios.
+_MISS_GRACE = 24
+#: Captures spent within one trace part without a *single* canonical
+#: key hit (burst included, budget excluded) before the detector
+#: concludes the joint state never recurs at a usable distance —
+#: threads whose cycle lengths are incommensurate drift phase forever
+#: — and stands down rather than paying capture cost to the budget.
+_APERIODIC_CAPS = 384
+#: Ticks into a part without a single canonical key hit (and with a
+#: meaningful number of captures tried) before the same conclusion is
+#: drawn on time instead of capture count — a backed-off cadence can
+#: otherwise stretch hopeless probing across most of a run.
+_APERIODIC_TICKS = 1 << 15
+#: Consecutive whole-pass head recurrences whose canonical key did not
+#: match before the pass-identity watch is retired for the part.  A
+#: walk whose pipeline phase drifts pass-to-pass will never line up.
+_PASS_FAILS = 8
+#: Consecutive capture misses tolerated on a *proven* period before
+#: detection restarts from probing (the dynamics genuinely moved on,
+#: e.g. a tiled schedule entered a differently-shaped episode).
+_WATCHDOG_PROVEN = 256
+#: Consecutive capture misses before signature probing resumes *in
+#: parallel* with the capture cadence.  A wrap episode can stretch one
+#: pass by a non-multiple of the period, leaving the rigid cadence
+#: off-phase forever; a fresh signature latch re-aligns it.  Kept low
+#: because misses also back the capture cadence off exponentially —
+#: probing (cheap, every boundary) is the fast re-acquisition path.
+_REPROBE_MISSES = 2
+#: Key misses (captures that landed but matched no retained anchor)
+#: tolerated on a candidate whose keys have *never* hit before burst
+#: capture kicks in.  A cadence that keeps producing fresh canonical
+#: states is commensurate with nothing — e.g. a signature-space
+#: subharmonic of the canonical period whose capture grid never
+#: revisits a canonical phase (gcd(candidate, period) < period).  The
+#: burst anchors every boundary across ~4 candidate periods, so the
+#: first canonical recurrence inside that span pairs at the *exact*
+#: true period, whatever its relation to the candidate.
+_BURST_MISSES = 6
 
 
 class _Capture:
@@ -237,7 +334,7 @@ class _Capture:
         self.tick = tick
         self.key = key
         self.src = src                      # per thread: None | (part, pos, trace)
-        self.mem_refs = mem_refs            # per thread: None | head address
+        self.mem_refs = mem_refs            # per thread: None | head | refs tuple
         self.counters = counters
         self.unit_counts = unit_counts
         self.thread_counters = thread_counters
@@ -247,7 +344,7 @@ class _Capture:
 
 
 class FastPath:
-    """Per-core steady-state detector and fast-forward engine."""
+    """Per-core hierarchical steady-state detector and fast-forward."""
 
     def __init__(self, core: "SMTCore"):
         self.core = core
@@ -255,29 +352,60 @@ class FastPath:
         self.jumps = 0
         self.ticks_skipped = 0
         self._armed = False
+        # Canonical fingerprint -> list of retained captures, newest
+        # first.  Only consulted at the capture cadence.
         self._seen: dict = {}
-        self._stride = 1
-        self._since_growth = 0
-        self._boundaries = 0
+        # Cheap per-boundary signature -> [first sighting, last
+        # sighting, last recurrence interval].  The first sighting
+        # grows multiples until one clears the distance floor; the
+        # last-interval pair powers the unproven-latch upgrade rule.
+        self._sig_seen: dict = {}
+        # Stream-head offsets tuple -> earliest capture seen there.  A
+        # later boundary whose heads return to exactly these offsets is
+        # one whole pass further: the pair translates as identity and
+        # jumps the pass — wrap episode included — in one step.
+        self._pass_map: dict = {}
+        self._pass_at = 0
+        self._sig_last = None
+        self._sig_min = _SIG_MIN0
+        self._probes = 0
         self._sleep_until = -1
-        # Active trace part per thread at the last capture.  A part
-        # transition (warm-up ending, a marker retiring) changes the
-        # dynamics, so detection restarts with a fresh dense era.
+        # Active trace part per thread at the last probe/capture.  A
+        # part transition (warm-up ending, a marker retiring) changes
+        # the dynamics, so detection restarts from probing.
         self._last_parts: Optional[tuple] = None
-        # Once any key match reveals a period, capture exactly every
-        # period at the matching phase regardless of stride: repeats
-        # land on the right boundary even when the period is not a
-        # multiple of the current cadence, and a match whose memory
-        # verification fails (a decaying transient, e.g. orphaned
-        # prefetch tags from the previous part) is retried each period
-        # until the transient clears.
+        # Candidate (then proven) period: once latched, one full
+        # capture per period at the latching phase carries detection.
         self._hint_period = 0
         self._hint_next = -1
         self._hint_proven = False
         self._hint_misses = 0
+        self._hint_hits = 0
         self._futile = 0
         self._retry_at = 0
+        self._vf_streak = 0
         self._capts = 0
+        self._key_misses = 0
+        self._burst_until = 0
+        self._burst_done = False
+        self._part_hit = False
+        self._pass_fails = 0
+        self._part_t0 = 0
+        # Consecutive capture aborts in the current detection era, and
+        # the per-reason tally behind them.  A cell whose every capture
+        # attempt aborts (e.g. a pair that captures thread 0 cleanly
+        # but always aborts on thread 1) stands down with the dominant
+        # abort reason instead of burning the probe budget.
+        self._abort_streak = 0
+        self._abort_reasons: dict = {}
+        # Tiled runs retain fingerprints across jumps (super-period
+        # anchors); stream runs clear them (a stale anchor would match
+        # the landing at an inflated period and wreck the wrap-sleep
+        # arithmetic, which is stream-specific).
+        self._retain = False
+        self._tiled_only = False
+        self._last_phases = None
+        self._res_cache: list = []
         cfg = core.config
         # Unit busy/penalty predicates look back at most one interval:
         # next_free older than that is inert and clamps to a sentinel.
@@ -307,12 +435,27 @@ class FastPath:
             st.bump(st.stand_downs, "profiler-active")
             return False
         if not core.threads:
+            # Defensive only: SMTCore.run() rejects thread-less runs
+            # before it ever consults the fast-forward.
             st.bump(st.stand_downs, "no-threads")
             return False
         for th in core.threads:
-            if not isinstance(th.gen, (ChainedSource, CompiledTrace)):
+            if not isinstance(th.gen,
+                              (ChainedSource, CompiledTrace, TiledTrace)):
                 st.bump(st.stand_downs, "plain-generator")
                 return False
+        self._retain = any(type(th.gen) is TiledTrace
+                           for th in core.threads)
+        # Tile-level probing: when every source is a compiled tiled
+        # trace, its PhaseMarker boundaries carry the only recurrence
+        # worth fingerprinting — µarch state at matching positions of
+        # *different* tiles never matches anyway, while probing every
+        # boundary floods the signature table long before a whole-tile
+        # (or whole-iteration) recurrence can show up twice.
+        self._tiled_only = all(type(th.gen) is TiledTrace
+                               for th in core.threads)
+        self._last_phases: Optional[tuple] = None
+        self._res_cache = [dict() for _ in core.threads]
         self._armed = True
         st.armed += 1
         return True
@@ -325,20 +468,370 @@ class FastPath:
         """
         if not self._armed or t < self._sleep_until:
             return t
-        self._boundaries += 1
-        on_hint = False
-        if self._hint_period and t >= self._hint_next:
-            self._hint_next = t + self._hint_period
-            on_hint = True
-        elif ((self._hint_period and self._hint_misses == 0)
-              or self._boundaries % self._stride):
-            # While the hint cadence keeps landing on key repeats it
-            # alone carries detection (one capture per period) and the
-            # exploratory stride captures would only add overhead.  The
-            # first miss (phase drift during a transient, or a key
-            # collision that latched a non-period distance) resumes the
-            # stride eras alongside the hint until it recovers.
+        if self._pass_map and t >= self._pass_at:
+            nt = self._pass_check(t, eff_limit)
+            if nt is not None:
+                return nt
+        if t < self._burst_until:
+            # Burst capture: anchor every boundary until a canonical
+            # recurrence pairs at the exact true period.
+            return self._on_hint(t, eff_limit)
+        if self._hint_period:
+            if t >= self._hint_next:
+                self._hint_next = t + self._hint_period
+                return self._on_hint(t, eff_limit)
+            if not self._hint_proven \
+                    or self._hint_misses >= _REPROBE_MISSES:
+                # Unproven candidates keep the cheap probing running in
+                # parallel so a longer true period can upgrade the
+                # latch; a proven cadence that lost the orbit's phase
+                # (a wrap stretched the pass by a non-multiple of the
+                # period) probes for a fresh latch to re-align it.
+                return self._probe(t)
             return t
+        return self._probe(t)
+
+    def _reset_detection(self, parts, t: int = 0) -> None:
+        """Restart detection from probing (part transition, or a proven
+        period whose dynamics moved on for good)."""
+        self._last_parts = parts
+        self._part_t0 = t
+        self._sig_seen.clear()
+        self._sig_last = None
+        self._sig_min = _SIG_MIN0
+        self._probes = 0
+        self._seen.clear()
+        self._hint_period = 0
+        self._hint_next = -1
+        self._hint_proven = False
+        self._hint_misses = 0
+        self._hint_hits = 0
+        self._futile = 0
+        self._retry_at = 0
+        self._vf_streak = 0
+        self._capts = 0
+        self._key_misses = 0
+        self._burst_until = 0
+        self._burst_done = False
+        self._part_hit = False
+        self._pass_fails = 0
+        self._pass_map.clear()
+        self._pass_at = 0
+        self._abort_streak = 0
+        self._abort_reasons.clear()
+
+    # ------------------------------------------------------------------
+    # Level 1: cheap per-boundary signature probing
+    # ------------------------------------------------------------------
+
+    def _sig(self, t: int):
+        """(parts, signature) for this boundary, or None while some
+        thread is momentarily unprobeable (a marker part in flight, an
+        exhausted trace draining).
+
+        Soundness: the signature is a pure function of fields the full
+        canonical key also contains, so canonical-state equality
+        implies signature equality — capturing only on signature
+        repeats loses no true period.
+        """
+        core = self.core
+        phase_mod = self._phase_mod
+        parts = []
+        sig = []
+        for i, th in enumerate(core.threads):
+            if th.gen_done:
+                parts.append(-1)
+                src_m: object = -1
+            else:
+                gen = th.gen
+                tg = type(gen)
+                if tg is ChainedSource:
+                    at = gen.active_trace()
+                    if at is None:
+                        return None
+                    part_idx, trace = at
+                    if trace.pos >= trace.count:
+                        return None
+                elif tg is CompiledTrace:
+                    if gen.pos >= gen.count:
+                        return None
+                    part_idx, trace = 0, gen
+                elif tg is TiledTrace:
+                    if gen.pos >= gen.count:
+                        return None
+                    part_idx, trace = 0, gen
+                else:
+                    return None
+                if tg is TiledTrace:
+                    pos = trace.pos
+                    ph = trace.phase_of(pos)
+                    pid, refs = trace.phases[ph]
+                    rc = self._res_cache[i]
+                    res = rc.get(ph)
+                    if res is None:
+                        res = tuple(r % phase_mod for r in refs)
+                        rc[ph] = res
+                    src_m = (part_idx, pos - trace.starts[ph], pid, res)
+                elif trace.is_memory:
+                    src_m = (part_idx, trace.pos % trace.pattern_len,
+                             trace.offset % phase_mod)
+                else:
+                    src_m = (part_idx, trace.pos % trace.pattern_len)
+                parts.append(part_idx)
+            sig.append((_STATE_CODE[th.state], th.gen_done, th.lq_used,
+                        th.sq_used, len(th.uopq), len(th.rob),
+                        len(th.waiting), src_m))
+        return (tuple(parts),
+                (tuple(sig), core._rr, core._issue_rr, core._issue_burst,
+                 len(core._comp_heap), len(core._drain_q)))
+
+    def _probe(self, t: int) -> int:
+        if self._tiled_only:
+            # Probe only at tile (phase) crossings: one signature per
+            # PhaseMarker instead of tens of thousands per tile keeps
+            # the sighting table alive across whole-iteration periods.
+            phs = []
+            for th in self.core.threads:
+                gen = th.gen
+                if th.gen_done or gen.pos >= gen.count:
+                    phs.append(-1)
+                else:
+                    phs.append(gen.phase_of(gen.pos))
+            pht = tuple(phs)
+            if pht == self._last_phases:
+                return t
+            self._last_phases = pht
+        ps = self._sig(t)
+        if ps is None:
+            return t
+        parts, sig = ps
+        if parts != self._last_parts:
+            self._reset_detection(parts, t)
+        if sig == self._sig_last:
+            # A stalled pipeline (a divide draining, a full store
+            # buffer) freezes the signature across adjacent boundaries;
+            # those trivial repeats carry no period information.
+            return t
+        self._sig_last = sig
+        self._probes += 1
+        if self._probes > _SIG_BUDGET:
+            self._armed = False
+            self._st.bump(self._st.stand_downs, "probe-budget")
+            return t
+        seen = self._sig_seen
+        rec = seen.get(sig)
+        if rec is None:
+            if len(seen) >= _SIG_ENTRIES:
+                seen.clear()
+            seen[sig] = [t, t, 0]
+            return t
+        d_last = t - rec[1]
+        confirmed = d_last == rec[2]
+        rec[2] = d_last
+        rec[1] = t
+        if self._hint_period and not self._hint_proven:
+            # Parallel probing under an unproven candidate: only an
+            # *upgrade* may relatch — a recurrence interval strictly
+            # longer than the candidate, seen twice in a row from the
+            # same signature.  A long-latency stall freezes every
+            # cheap field for stretches far shorter than the true
+            # canonical period; re-adopting such a junk interval would
+            # reset the miss counter and starve the watchdog, while a
+            # one-off longer interval is as likely a cold-transient
+            # coincidence.  A twice-confirmed longer interval is the
+            # true orbit showing through the junk latch.
+            d = d_last
+            if d <= self._hint_period or d < self._sig_min \
+                    or not confirmed:
+                return t
+        else:
+            d = t - rec[0]
+            if d < self._sig_min:
+                # Too short to trust — the *first* sighting is kept, so
+                # the next recurrence is measured at 2d, 3d, ... until
+                # one clears the threshold.
+                return t
+        # Latch the candidate period and switch to the capture cadence.
+        # Sightings are kept: their recurrence intervals stay valid and
+        # let a still-longer true period upgrade this latch without
+        # waiting out a fresh observation era.
+        self._hint_period = d
+        self._hint_next = t + d
+        self._hint_proven = False
+        self._hint_misses = 0
+        self._hint_hits = 0
+        self._futile = 0
+        self._vf_streak = 0
+        self._retry_at = 0
+        self._key_misses = 0
+        self._capts += 1
+        self._st.captures += 1
+        cap = self._capture(t)
+        if cap is not None:
+            self._remember(cap)
+        return t
+
+    # ------------------------------------------------------------------
+    # Level 2: full captures at the candidate-period cadence
+    # ------------------------------------------------------------------
+
+    def _remember(self, cap: _Capture) -> None:
+        seen = self._seen
+        caps = seen.get(cap.key)
+        if caps is None:
+            if len(seen) >= _MAX_ENTRIES:
+                seen.clear()
+            seen[cap.key] = [cap]
+        else:
+            caps.insert(0, cap)
+            del caps[_RETAIN:]
+        if not self._retain:
+            # Stream runs: index the capture by its joint head offsets.
+            # The earliest capture at an offset tuple survives the
+            # per-key retention churn and anchors whole-pass identity
+            # pairs (`_pass_check`) that the fine cadence cannot see.
+            offs = tuple(None if type(r) is not int else r
+                         for r in cap.mem_refs)
+            if any(r is not None for r in offs):
+                pm = self._pass_map
+                if len(pm) < _MAX_ENTRIES:
+                    pm.setdefault(offs, cap)
+
+    def _pass_check(self, t: int, eff_limit: int) -> Optional[int]:
+        """Whole-pass identity trigger for stream runs.
+
+        A sliding jump can never cross a region's top edge, so every
+        pass pays the wrap episode plus re-proof at the fine cadence.
+        But the walk returning to an *exact* previously-captured joint
+        head position one or more whole passes later is plain state
+        recurrence — wrap episode included — and jumps in one step.
+        This watches the (cheap) head offsets every stepped boundary;
+        on a hit it pays one capture, requires exact canonical-key
+        equality, and hands the pair to the normal verify/jump path.
+        Returns None when the boundary is not consumed.
+        """
+        refs = []
+        for th in self.core.threads:
+            if th.gen_done:
+                refs.append(None)
+                continue
+            gen = th.gen
+            if type(gen) is ChainedSource:
+                at = gen.active_trace()
+                if at is None:
+                    return None
+                trace = at[1]
+            elif type(gen) is CompiledTrace:
+                trace = gen
+            else:
+                return None
+            refs.append(trace.base + trace.offset
+                        if trace.is_memory else None)
+        anchor = self._pass_map.get(tuple(refs))
+        if anchor is None \
+                or t - anchor.tick <= max(4 * self._hint_period, 256):
+            # Too close: the fine cadence owns sub-pass distances (a
+            # lingering head would otherwise burn a capture per period
+            # against its own fresh anchor).  Heads linger on one
+            # offset for tens of ticks, so sampling every 16 still
+            # sees every joint position — checking every boundary
+            # would tax the whole simulation for a rare trigger.
+            self._pass_at = t + 16
+            return None
+        # Rearm past the lingering window: the head sits on one offset
+        # for several boundaries, and each pass revisits it once.
+        self._pass_at = t + max(self._hint_period, 64)
+        self._capts += 1
+        self._st.captures += 1
+        if self._capts > _CAPTURE_BUDGET:
+            self._armed = False
+            self._st.bump(self._st.stand_downs, "capture-budget")
+            return t
+        cap = self._capture(t)
+        if cap is None and self._abort_stand_down():
+            return t
+        if cap is None or cap.key != anchor.key:
+            # Pipeline phase drifted across the pass: nearby joint
+            # offsets will mismatch the same way, and a walk that
+            # drifts once drifts every pass — retire the watch after
+            # a few strikes instead of paying a capture per revisit.
+            self._pass_fails += 1
+            if self._pass_fails >= _PASS_FAILS:
+                self._pass_map.clear()
+            return t
+        self._part_hit = True
+        self._pass_fails = 0
+        nt = self._try_pair(anchor, cap, t, eff_limit, False)
+        if nt is not None and nt >= 0:
+            return nt
+        return t
+
+    def _hint_miss(self, t: int) -> int:
+        self._hint_misses += 1
+        if self._hint_proven:
+            if self._hint_misses == _REPROBE_MISSES:
+                # Parallel probing is about to resume: stale sightings
+                # from the hinted stretch would measure distances
+                # across it, not along the fresh orbit.
+                self._sig_seen.clear()
+                self._sig_last = None
+            if self._hint_misses >= _WATCHDOG_PROVEN:
+                self._reset_detection(self._last_parts, t)
+            elif self._hint_misses >= 2:
+                # A proven orbit whose cadence keeps missing is off
+                # phase (wrap/tile-edge stretch).  Captures are the
+                # expensive part of a miss: back the cadence off
+                # exponentially (capped at 8 periods) and let the
+                # parallel cheap probing re-latch the phase instead.
+                nxt = t + self._hint_period * (
+                    1 << min(self._hint_misses - 1, 3))
+                if nxt > self._hint_next:
+                    self._hint_next = nxt
+            return t
+        if self._hint_misses >= _WATCHDOG_UNPROVEN:
+            # The candidate cadence never landed on a canonical repeat
+            # and no upgrade showed through: genuinely junk.  Resume
+            # probing, doubling the distance floor so the same
+            # collision cannot latch twice.  Anchors are *kept* — they
+            # are real canonical states, and a later latch at the true
+            # period pairs against them across the dropped era.
+            d = self._hint_period
+            self._hint_period = 0
+            self._hint_next = -1
+            self._hint_misses = 0
+            self._hint_hits = 0
+            self._key_misses = 0
+            self._vf_streak = 0
+            self._sig_seen.clear()
+            self._sig_last = None
+            self._sig_min = max(d + 2, 2 * self._sig_min)
+        elif (not self._burst_done and self._hint_hits == 0
+                and self._key_misses >= _BURST_MISSES):
+            # Every capture of this candidate produced a fresh canonical
+            # state: its grid never revisits a canonical phase (e.g. a
+            # signature-space subharmonic).  Anchor every boundary for
+            # ~4 candidate periods — a canonical recurrence inside that
+            # span pairs at the exact true period.  One burst per part:
+            # either it finds the recurrence or there is none this size.
+            self._burst_done = True
+            span = 4 * self._hint_period + 16
+            room = 2 * (_CAPTURE_BUDGET - self._capts) - 64
+            if span > room:
+                span = room
+            if span > 0:
+                self._burst_until = t + span
+        elif self._hint_misses > _MISS_GRACE:
+            # Past the grace window the candidate has had every chance
+            # a sub-period latch needs; keep it (the parallel probing
+            # may still upgrade it) but stop paying a capture per
+            # period for it.
+            nxt = t + self._hint_period * (
+                1 << min(self._hint_misses - _MISS_GRACE, 4))
+            if nxt > self._hint_next:
+                self._hint_next = nxt
+        return t
+
+    def _on_hint(self, t: int, eff_limit: int) -> int:
         self._capts += 1
         self._st.captures += 1
         if self._capts > _CAPTURE_BUDGET:
@@ -347,57 +840,79 @@ class FastPath:
             return t
         cap = self._capture(t)
         if cap is None:
-            return t
+            if self._abort_stand_down():
+                return t
+            if t < self._burst_until:
+                return t
+            return self._hint_miss(t)
+        self._abort_streak = 0
         parts = tuple(-1 if s is None else s[0] for s in cap.src)
         if parts != self._last_parts:
-            self._last_parts = parts
-            self._seen.clear()
-            self._seen[cap.key] = cap
-            self._stride = 1
-            self._since_growth = 0
-            self._boundaries = 0
-            self._hint_period = 0
-            self._hint_next = -1
-            self._hint_proven = False
-            self._hint_misses = 0
-            self._futile = 0
-            self._retry_at = 0
-            self._capts = 1
+            self._reset_detection(parts, t)
             return t
-        prev = self._seen.get(cap.key)
-        if prev is None:
-            if on_hint:
-                # Watchdog: a hint whose cadence stops landing on key
-                # repeats latched a coincidental collision (the
-                # canonical key omits raw memory) or lost its phase for
-                # good; drop it so the stride eras take over fully.
-                self._hint_misses += 1
-                if self._hint_misses >= 8:
-                    self._hint_period = 0
-                    self._hint_next = -1
-                    self._hint_proven = False
-                    self._hint_misses = 0
-            seen = self._seen
-            if len(seen) >= _MAX_ENTRIES:
-                seen.clear()
-            seen[cap.key] = cap
-            self._since_growth += 1
-            if self._since_growth >= _GROWTH_THRESHOLD:
-                # No repeat at this cadence: halve the capture rate so
-                # detector overhead decays geometrically on workloads
-                # with long (or no) super-periods.
-                if self._stride < _MAX_STRIDE:
-                    self._stride <<= 1
-                self._since_growth = 0
-            return t
+        caps = self._seen.get(cap.key)
+        if caps is None:
+            self._remember(cap)
+            if t < self._burst_until:
+                return t
+            if not self._part_hit and (
+                    self._capts > _APERIODIC_CAPS
+                    or (self._capts > 64
+                        and t - self._part_t0 > _APERIODIC_TICKS)):
+                # Hundreds of captures into this part and not one
+                # canonical state has ever been seen twice: the joint
+                # dynamics are incommensurate (thread cycle lengths
+                # drift phase forever).  Stop paying for captures.
+                self._armed = False
+                self._st.bump(self._st.stand_downs, "aperiodic")
+                return t
+            self._key_misses += 1
+            return self._hint_miss(t)
         self._hint_misses = 0
+        self._key_misses = 0
+        self._hint_hits += 1
+        self._part_hit = True
         if t < self._retry_at:
             # A verification failed less than one period ago; the whole
             # current period shares whatever transient caused it, so
-            # keep the table fresh but do not spend another attempt.
-            self._seen[cap.key] = cap
+            # keep the newest anchor fresh but do not spend another
+            # attempt (and do not displace older anchors).
+            caps[0] = cap
             return t
-        return self._try_jump(prev, cap, t, eff_limit)
+        first = True
+        for prev in list(caps):
+            nt = self._try_pair(prev, cap, t, eff_limit, first)
+            if nt is not None:
+                return t if nt < 0 else nt
+            first = False
+        # Every retained anchor failed: remember the newer capture (its
+        # future has at least as much room), hold further attempts for
+        # one period — every phase of the current period shares the
+        # same transient.
+        caps[0] = cap
+        # A long cold transient (caches still filling at store-buffer
+        # drain rate) can outlast any fixed number of every-period
+        # retries; back the retry cadence off exponentially (capped at
+        # 8 periods) so the transient is *simulated* — cheap — instead
+        # of being captured at every boundary until futility trips.
+        self._vf_streak += 1
+        delay = self._hint_period * (1 << min(self._vf_streak - 1, 3))
+        if delay < 256:
+            # A junk-fine latch (a stalled machine self-matching every
+            # few ticks) would otherwise retry — and fail — at capture
+            # cost every few boundaries until the upgrade rule replaces
+            # it.
+            delay = 256
+        self._retry_at = t + delay
+        if self._retry_at > self._hint_next:
+            self._hint_next = self._retry_at
+        self._st.verify_failures += 1
+        if not self._hint_proven:
+            self._futile += 1
+            if self._futile > _FUTILITY_LIMIT:
+                self._armed = False
+                self._st.bump(self._st.stand_downs, "futility")
+        return t
 
     # ------------------------------------------------------------------
     # Canonical capture
@@ -407,19 +922,39 @@ class FastPath:
         """Count one rejected capture by reason; returns None so abort
         sites read ``return self._abort("...")``."""
         self._st.bump(self._st.capture_aborts, reason)
+        self._abort_streak += 1
+        self._abort_reasons[reason] = self._abort_reasons.get(reason, 0) + 1
         return None
+
+    def _abort_stand_down(self) -> bool:
+        """Disarm when captures abort persistently, attributing the
+        stand-down to the dominant abort reason.
+
+        A cell that captures thread 0 but aborts on thread 1 every
+        period would otherwise pay a full (failed) capture per cadence
+        tick for the rest of the run and then report nothing more
+        specific than the budget it happened to exhaust."""
+        if self._abort_streak < _ABORT_LIMIT:
+            return False
+        reason = max(self._abort_reasons, key=self._abort_reasons.get)
+        self._armed = False
+        self._st.bump(self._st.stand_downs, "capture-abort:" + reason)
+        return True
 
     def _capture(self, t: int) -> Optional[_Capture]:
         core = self.core
         threads = core.threads
         src = []
         mem_refs = []
+        tiled = []
         rob_index = []
         thr_keys = []
         thread_counters = []
         phase_mod = self._phase_mod
-        for th in threads:
-            mem_ref = None
+        for i, th in enumerate(threads):
+            mem_ref = None          # stream-memory head address
+            tt = None               # TiledTrace for tiled threads
+            trefs = None            # its per-region reference vector
             if th.gen_done:
                 src.append(None)
                 src_key: object = -1
@@ -434,9 +969,24 @@ class FastPath:
                     if gen.pos >= gen.count:
                         return self._abort("inactive-trace")
                     part_idx, trace = 0, gen
+                elif type(gen) is TiledTrace:
+                    if gen.pos >= gen.count:
+                        return self._abort("inactive-trace")
+                    part_idx, trace = 0, gen
                 else:
                     return self._abort("plain-generator")
-                if trace.is_memory:
+                if type(trace) is TiledTrace:
+                    tt = trace
+                    pos = trace.pos
+                    ph = trace.phase_of(pos)
+                    pid, trefs = trace.phases[ph]
+                    rc = self._res_cache[i]
+                    res = rc.get(ph)
+                    if res is None:
+                        res = tuple(r % phase_mod for r in trefs)
+                        rc[ph] = res
+                    src_key = (part_idx, pos - trace.starts[ph], pid, res)
+                elif trace.is_memory:
                     off = trace.offset
                     mem_ref = trace.base + off
                     src_key = (part_idx, trace.pos % trace.pattern_len,
@@ -444,7 +994,8 @@ class FastPath:
                 else:
                     src_key = (part_idx, trace.pos % trace.pattern_len)
                 src.append((part_idx, trace.pos, trace))
-            mem_refs.append(mem_ref)
+            mem_refs.append(trefs if tt is not None else mem_ref)
+            tiled.append(tt)
 
             rob = th.rob
             index_of: dict = {}
@@ -460,6 +1011,12 @@ class FastPath:
                 a = u.addr
                 if a is None:
                     rel = None
+                elif tt is not None:
+                    ri = tt.region_of(a)
+                    if ri < 0:
+                        abort = "unmapped-addr"
+                        break
+                    rel = (ri, a - trefs[ri])
                 elif mem_ref is None:
                     abort = "unmapped-addr"
                     break
@@ -493,6 +1050,11 @@ class FastPath:
                 a = u.addr
                 if a is None:
                     rel = None
+                elif tt is not None:
+                    ri = tt.region_of(a)
+                    if ri < 0:
+                        return self._abort("unmapped-addr")
+                    rel = (ri, a - trefs[ri])
                 elif mem_ref is None:
                     return self._abort("unmapped-addr")
                 else:
@@ -544,10 +1106,22 @@ class FastPath:
             heap_c.append((c - t, tid, j))
         drain_c = []
         for u in core._drain_q:
-            ref = mem_refs[u.thread]
-            if u.addr is None or ref is None:
+            tid = u.thread
+            a = u.addr
+            tt = tiled[tid]
+            if a is None:
                 return self._abort("unmapped-addr")
-            drain_c.append((u.thread, int(u.op), u.addr - ref, u.site))
+            if tt is not None:
+                ri = tt.region_of(a)
+                if ri < 0:
+                    return self._abort("unmapped-addr")
+                rel = (ri, a - mem_refs[tid][ri])
+            else:
+                ref = mem_refs[tid]
+                if ref is None:
+                    return self._abort("unmapped-addr")
+                rel = a - ref
+            drain_c.append((tid, int(u.op), rel, u.site))
         sqrel_c = tuple(tuple(x - t for x in rel)
                         for rel in core._sq_release)
         scf = core._store_commit_free - t
@@ -591,104 +1165,149 @@ class FastPath:
                         mem_raw)
 
     # ------------------------------------------------------------------
-    # Match → plan → jump
+    # Match -> plan -> jump
     # ------------------------------------------------------------------
 
-    def _replace(self, cap: _Capture, t: int, period: int) -> int:
-        """Key matched but the pair could not be used: remember the
-        newer capture under this key (its future has at least as much
-        room) and hold further attempts for one period — every phase of
-        the current period shares the same transient."""
-        self._seen[cap.key] = cap
-        self._retry_at = t + period
-        self._st.verify_failures += 1
-        self._futile += 1
-        if self._futile > _FUTILITY_LIMIT:
-            self._armed = False
-            self._st.bump(self._st.stand_downs, "futility")
-        return t
+    def _try_pair(self, prev: _Capture, cap: _Capture, t: int,
+                  eff_limit: int, first: bool) -> Optional[int]:
+        """Attempt a jump from the (prev, cap) anchor pair.
 
-    def _try_jump(self, prev: _Capture, cap: _Capture, t: int,
-                  eff_limit: int) -> int:
+        Returns the landing tick on success, ``None`` if this pair is
+        unusable (the caller tries the next retained anchor), or ``-1``
+        if the attempt consumed the boundary another way (wrap sleep,
+        horizon stand-down) — only the newest anchor may do that.
+        """
         core = self.core
-        threads = core.threads
-        n = len(threads)
+        n = len(core.threads)
         period = cap.tick - prev.tick
+        if period <= 0:
+            return None
 
         dps = [0] * n
         dls = [0] * n
         dbs = [0] * n
+        tinfo: list = [None] * n
         for i in range(n):
             s1, s2 = prev.src[i], cap.src[i]
             if s1 is None or s2 is None:
                 if s1 is not s2:
-                    return self._replace(cap, t, period)
+                    return None
                 continue
             trace = s2[2]
             if s1[2] is not trace:
-                return self._replace(cap, t, period)
+                return None
             dp = s2[1] - s1[1]
             if dp < 0:
-                return self._replace(cap, t, period)
+                return None
             dps[i] = dp
-            if trace.is_memory:
+            if type(trace) is TiledTrace:
+                if dp == 0:
+                    continue        # same position: identity thread
+                ph1 = trace.phase_of(s1[1])
+                ph2 = trace.phase_of(s2[1])
+                dphase = ph2 - ph1
+                if dphase <= 0:
+                    return None
+                refs1 = prev.mem_refs[i]
+                refs2 = cap.mem_refs[i]
+                deltas = tuple(b - a for a, b in zip(refs1, refs2))
+                neg = False
+                for d in deltas:
+                    if d < 0:
+                        neg = True
+                        break
+                if neg:
+                    # A reference walked backwards (a tile row reset):
+                    # not extrapolable — an older anchor spanning the
+                    # reset (a whole-row super-period) may still be.
+                    return None
+                # Forward edges of one recurrence window, per region:
+                # the span [floor, head] the walk touches during phases
+                # [ph2, ph2+dphase).  Bounds the stationary-residue
+                # guard below (lines under the floor are never
+                # revisited — references only move forward; lines over
+                # the head need the walk to advance to them).
+                nreg = len(deltas)
+                edges: list = [None] * nreg
+                phases = trace.phases
+                extents = trace.extents
+                nph = len(phases)
+                for j in range(dphase):
+                    pj = ph2 + j
+                    if pj >= nph:
+                        break
+                    pidj, refsj = phases[pj]
+                    extj = extents[pidj]
+                    for r in range(nreg):
+                        e = extj[r]
+                        if e is None:
+                            continue
+                        lo_e = refsj[r] + e[0]
+                        hi_e = refsj[r] + e[1]
+                        cur = edges[r]
+                        if cur is None:
+                            edges[r] = (lo_e, hi_e)
+                        else:
+                            edges[r] = (min(cur[0], lo_e),
+                                        max(cur[1], hi_e))
+                tinfo[i] = (ph1, ph2, dphase, deltas, edges)
+            elif trace.is_memory:
                 span = trace.span
                 off1 = prev.mem_refs[i] - trace.base
                 off2 = cap.mem_refs[i] - trace.base
                 db_raw = dp * trace.stride
                 if db_raw % span == 0:
                     # Whole passes: identity translation.  Sound for any
-                    # residue (it is plain state recurrence, no symmetry
-                    # argument needed).
+                    # residue (it is plain state recurrence — wrap
+                    # episodes and all — no symmetry argument needed).
                     if off2 != off1:
-                        return self._replace(cap, t, period)
-                elif (db_raw < span and (off2 - off1) % span == db_raw
+                        return None
+                elif (off2 - off1 == db_raw
                       and span % self._phase_mod == 0):
-                    # Circular translation: the walk is a cycle over the
-                    # region, so the line shift acts modulo the region —
-                    # a capture window straddling the wrap slides as
-                    # well as any other.  Requires the region to span a
-                    # whole number of sets in both caches (span divides
-                    # by the phase modulus) so the circular shift is
-                    # set-preserving.  A period advancing a whole span
-                    # or more (db_raw >= span, not a multiple) would
-                    # cross the region's top edge inside every
-                    # extrapolated period, where absolute-line prefetch
-                    # overshoot breaks the symmetry: rejected above.
+                    # Monotone sliding translation: the head advanced
+                    # exactly the period's stride *without* crossing the
+                    # region's top edge, so every per-period delta the
+                    # interval recorded is wrap-free and extrapolates by
+                    # pure line shift.  The shift is set-preserving in
+                    # both caches because the region spans a whole
+                    # number of sets (span divides the phase modulus).
+                    # An interval that crossed the wrap (off2 < off1)
+                    # contains the wrap episode's prefetch-relearn
+                    # deltas, which no non-wrap future repeats — only
+                    # the whole-pass identity branch above may span it.
                     dls[i] = db_raw // self._line_size
                     dbs[i] = db_raw
                 else:
-                    return self._replace(cap, t, period)
+                    return None
 
-        # Adopt the period hint only from translation-consistent pairs
-        # (the canonical key omits raw memory, so distinct phases of a
-        # longer orbit can collide at a non-period distance), and only
-        # until a jump has *proven* a period — the candidate cadence is
-        # a guess worth re-probing every period (a decaying transient
-        # clears while the phase holds), but a proven one is exact and
-        # must not be stolen by a later coincidental collision.
-        if not self._hint_proven and (not self._hint_period
-                                      or period < self._hint_period):
-            self._hint_period = period
-            self._hint_next = t + period
-
-        windows = self._windows(cap, dls, 1)
+        windows = self._windows(cap, dls, tinfo, 1)
+        if windows is None:
+            return None     # two threads disagree on a region's shift
         if windows:
             plan = self._mem_equal(prev, cap, windows)
             if plan is None:
-                return self._replace(cap, t, period)
+                return None
         else:
             if prev.mem_raw != cap.mem_raw:
-                return self._replace(cap, t, period)
+                return None
             plan = (set(), set(), set(), set(), set())
 
         # -- how many whole periods fit ---------------------------------
+        # Only the newest anchor at the cadence's own (finest) period
+        # may consume the boundary with a sleep or a stand-down: an
+        # older anchor's inflated period proves nothing about whether
+        # one *fine* period still fits.
+        decisive = first and period <= self._hint_period
         k = (eff_limit - t) // period
         if k < 1:
+            if not decisive:
+                return None
             self._armed = False        # time bound only shrinks: done
             self._st.bump(self._st.stand_downs, "horizon")
-            return t
+            return -1
         limit_sleep = 0
+        fine = (self._hint_period
+                if 0 < self._hint_period < period else period)
         for i in range(n):
             s = cap.src[i]
             dp = dps[i]
@@ -697,12 +1316,25 @@ class FastPath:
             trace = s[2]
             kt = (trace.count - s[1]) // dp
             if kt < k:
-                # A finite trace part (warm-up) is nearly exhausted:
-                # sleep until it ends; the part transition then restarts
-                # detection on the next part's dynamics.
+                # A finite trace is nearly exhausted: sleep until it
+                # ends; the part transition (or run end) then restarts
+                # detection on the next dynamics.
                 k = kt
-                limit_sleep = ((trace.count - s[1]) // dp + 2) * period
-            if dbs[i] > 0:
+                limit_sleep = (kt + 2) * period
+            ti = tinfo[i]
+            if ti is not None:
+                if k >= 1:
+                    ke = trace.extrapolation_limit(
+                        ti[0], ti[1], ti[3], k, self._guard_bytes)
+                    if ke < k:
+                        # The recorded schedule stops repeating with
+                        # this shift (tile-row edge, pattern change):
+                        # splice — jump/step up to the break, sleep
+                        # across it, and let the proven cadence pick
+                        # the next episode up.
+                        k = ke
+                        limit_sleep = (ke + 2) * period
+            elif dbs[i] > 0:
                 off = cap.mem_refs[i] - trace.base
                 room = trace.span - self._guard_bytes - off
                 km = room // dbs[i] if room > 0 else 0
@@ -714,19 +1346,22 @@ class FastPath:
                     # back up just after the wrap, and circular
                     # translation verifies across it.
                     k = km
-                    limit_sleep = ((trace.span - off) // dbs[i] + 2) * period
+                    limit_sleep = ((trace.span - off) * period // dbs[i]
+                                   + 2 * fine)
         if k < 1:
+            if not decisive:
+                return None
             self._sleep_until = t + limit_sleep
             self._st.wrap_sleeps += 1
-            return t
+            return -1
 
-        # Stationary residue is inert only while the walk stays clear of
-        # it: its one read site needs the walk to come within reach (an
-        # L2 demand hit for a tag, a miss within two lines for a stream
-        # head, an access for a cache line).  Cap k so no moving walk
-        # crosses a stationary line during the jump; residue behind a
-        # head never gets revisited before the wrap, which bounds k
-        # already.
+        # Stationary residue is inert only while every walk stays clear
+        # of it.  Streams leave only the span behind their ascending
+        # head (never revisited before the wrap, which bounds k
+        # already); tiled walks leave the span below the recurrence
+        # window's floor (references only move forward).  Anything
+        # ahead needs the walk to advance to it: cap k so no moving
+        # window crosses a stationary line during the jump.
         stat_lines = []
         for ss in plan[:4]:
             stat_lines.extend(sorted(ss))
@@ -734,56 +1369,158 @@ class FastPath:
         if stat_lines:
             guard_l = self._guard_bytes // self._line_size
             for x in stat_lines:
-                for lo, hi, dl, head in windows:
+                for lo, hi, dl, head, floor in windows:
                     if dl > 0 and lo <= x <= hi:
-                        if x >= head - 2:
+                        if x >= floor:
                             kx = (x - head - guard_l) // dl
                             if kx < k:
                                 k = kx
                         break
             if k < 1:
-                return self._replace(cap, t, period)
+                return None
 
-        windows_k = self._windows(cap, dls, k) if any(dls) else []
+        windows_k = (self._windows(cap, dls, tinfo, k)
+                     if windows else [])
 
-        self._apply(prev, cap, k, period, dps, dls, windows_k, plan)
+        # Wrap splice: when the jump lands within one period (plus the
+        # prefetch guard) of a stream region's top edge, the wrap
+        # episode — where absolute-line prefetch overshoot breaks the
+        # translation symmetry — is next.  Rather than burning a full
+        # capture per period through it, splice it into the schedule:
+        # sleep exactly the episode out at the proven cadence and
+        # capture again on the far side, where the orbit re-proves in
+        # two periods.
+        splice = 0
+        for i in range(n):
+            s = cap.src[i]
+            if s is None or tinfo[i] is not None or dbs[i] <= 0:
+                continue
+            trace = s[2]
+            off_land = (cap.mem_refs[i] - trace.base) + dbs[i] * k
+            if off_land + dbs[i] + self._guard_bytes > trace.span:
+                # Episode length in *ticks*: time to the top edge at the
+                # walk's byte rate, plus two fine periods of relearn
+                # margin.  A pair formed at a period multiple must not
+                # quantize the sleep in its own coarse units — that
+                # doubles the simulated window for nothing.
+                need = ((trace.span - off_land) * period // dbs[i]
+                        + 2 * fine)
+                if need > splice:
+                    splice = need
+
+        self._apply(prev, cap, k, period, dps, dls, tinfo, windows_k,
+                    plan)
         self._futile = 0
+        self._vf_streak = 0
         self._capts = 0
-        # Start fresh at the landing boundary: stale pre-jump entries
-        # would otherwise match the landing state at an inflated period
-        # (k times the true one), wrecking the wrap-sleep arithmetic.
-        # The landing capture re-seeds the table, and the jump promotes
-        # its period to *proven*: the hint cadence alone now carries
-        # detection, so follow-up jumps chain until the horizon or a
-        # part transition intervenes — across a wrap, the same cadence
-        # picks the orbit back up once the next pass reaches steady
-        # state.
-        self._seen.clear()
+        self._burst_until = 0
+        # Keep the pre-jump anchor: a later capture one tile-row or one
+        # pass further matches it across the *super*-period.  Inflated
+        # pairs it forms with post-landing captures are sound (their
+        # per-period deltas scale with the period) and the horizon /
+        # wrap decisions above defer to the finest pair available.
+        self._remember(cap)
+        if not self._hint_proven and (
+                self._hint_hits <= 1
+                or period % self._hint_period != 0):
+            # First proof, and the latched candidate was junk: its keys
+            # never hit (beyond this very pair), or the proof distance
+            # is not even a multiple of it.  The pairing period is the
+            # real cadence.
+            self._hint_period = period
+        elif period < self._hint_period:
+            self._hint_period = period
+        # else: the latched period is canonically confirmed (its keys
+        # hit; the pair formed at a multiple only because backoff or a
+        # transient skipped intermediate attempts) or the pair spans a
+        # whole pass; keep the finer cadence — finer pairs give larger
+        # wrap head-room per jump.
         self._hint_proven = True
-        self._hint_period = period
-        self._hint_next = t + k * period
+        self._hint_next = t + k * period + splice
+        self._hint_misses = 0
+        if splice:
+            self._sleep_until = t + k * period + splice
+            self._st.wrap_sleeps += 1
         return t + k * period
 
-    def _windows(self, cap: _Capture, dls, k: int):
-        """Per-region line windows: k-period line shift + walk head."""
+    def _windows(self, cap: _Capture, dls, tinfo, k: int):
+        """Per-region line windows ``(lo, hi, dl, head, floor)``.
+
+        All windows translate linearly by ``k x`` their per-period line
+        delta.  Stream regions anchor at the walk head's line
+        (``floor`` = just under it — the sliding state lives at and
+        ahead of the head, everything behind is stationary residue);
+        tiled regions anchor at the recurrence window's touch edges
+        (``head``/``floor``).  Returns ``None`` when
+        two threads demand different shifts for the same region —
+        no single translation can satisfy both, so the pair is
+        unusable.  A region a tiled pair leaves in place (delta 0)
+        gets no window: its lines must verify as identity/stationary.
+        """
         ls = self._line_size
-        windows = []
+        out: dict = {}
         for i, s in enumerate(cap.src):
-            if s is not None and s[2].is_memory:
-                trace = s[2]
+            if s is None:
+                continue
+            trace = s[2]
+            ti = tinfo[i]
+            if ti is not None:
+                deltas = ti[3]
+                edges = ti[4]
+                for r, d in enumerate(deltas):
+                    if d == 0:
+                        continue
+                    reg = trace.regions[r]
+                    lo = reg.base // ls
+                    hi = (reg.end - 1) // ls
+                    dl = (d // ls) * k
+                    e = edges[r]
+                    if e is None:
+                        # Delta without a touch inside the recurrence
+                        # window (schedule truncated): treat the whole
+                        # region as the window — maximally conservative
+                        # for the stationary guard.
+                        floor, head = lo, hi
+                    else:
+                        floor = e[0] // ls
+                        head = e[1] // ls
+                    w = out.get(lo)
+                    if w is not None:
+                        if w[1] != hi or w[2] != dl:
+                            return None
+                        if head > w[3]:
+                            w[3] = head
+                        if floor < w[4]:
+                            w[4] = floor
+                    else:
+                        out[lo] = [lo, hi, dl, head, floor]
+            elif trace.is_memory:
                 lo = trace.base // ls
                 hi = (trace.base + trace.span - 1) // ls
-                windows.append((lo, hi, dls[i] * k, cap.mem_refs[i] // ls))
-        return windows
+                dl = dls[i] * k
+                head = cap.mem_refs[i] // ls
+                w = out.get(lo)
+                if w is not None:
+                    if w[1] != hi or w[2] != dl:
+                        return None
+                    if head > w[3]:
+                        w[3] = head
+                    if head - 2 < w[4]:
+                        w[4] = head - 2
+                else:
+                    out[lo] = [lo, hi, dl, head, head - 2]
+        return [tuple(w) for w in out.values()]
 
     @staticmethod
     def _xl(line: int, windows) -> int:
-        """Circular line translation: in-region lines shift modulo the
-        region's line count (images cannot escape the window); lines
-        outside every window are identity."""
-        for lo, hi, dl, _head in windows:
+        """Line translation.  Windows shift monotonically — an image
+        past the region's top returns the ``-1`` sentinel, which
+        matches no real line, so verification falls through to the
+        stationary test.  Lines outside every window are identity."""
+        for lo, hi, dl, _head, _floor in windows:
             if lo <= line <= hi:
-                return lo + (line - lo + dl) % (hi - lo + 1)
+                nl = line + dl
+                return nl if nl <= hi else -1
         return line
 
     def _mem_equal(self, prev: _Capture, cap: _Capture, windows):
@@ -793,13 +1530,12 @@ class FastPath:
         stream heads in recency order — both orders are semantic and
         translation-invariant, so the pairing is positional.
         Prefetch-pending entries and tags are unordered collections:
-        the circular shift (or a mixed stationary/sliding shift)
-        reorders their sorted snapshots, so they are matched as
-        multisets.  Each element either *slides* (its translated image
-        matches) or is *stationary* (it matches untranslated — inert
-        residue such as an orphaned prefetch tag whose line left L2, or
-        a dead stream head the LRU table never displaced).  Anything
-        else fails.
+        the shift (or a mixed stationary/sliding shift) reorders their
+        sorted snapshots, so they are matched as multisets.  Each
+        element either *slides* (its translated image matches) or is
+        *stationary* (it matches untranslated — inert residue such as
+        an orphaned prefetch tag whose line left L2, or a dead stream
+        head the LRU table never displaced).  Anything else fails.
 
         Returns ``None`` on mismatch, else the stationary plan — one
         line set per structure (streams keyed by (cpu, line)).  The
@@ -813,7 +1549,7 @@ class FastPath:
         stat_l2: set = set()
         for p_sets, c_sets, stat in ((p_l1, c_l1, stat_l1),
                                      (p_l2, c_l2, stat_l2)):
-            for pset, cset in zip(p_sets, c_sets):
+            for si, (pset, cset) in enumerate(zip(p_sets, c_sets)):
                 if len(pset) != len(cset):
                     return None
                 for (pl, pd), (cl, cd) in zip(pset, cset):
@@ -871,7 +1607,7 @@ class FastPath:
     # ------------------------------------------------------------------
 
     def _apply(self, prev: _Capture, cap: _Capture, k: int, period: int,
-               dps, dls, windows_k, plan) -> None:
+               dps, dls, tinfo, windows_k, plan) -> None:
         core = self.core
         t = cap.tick
         dt = k * period
@@ -897,6 +1633,26 @@ class FastPath:
             th.uops_fetched += (tc2[1] - tc1[1]) * k
             th.uops_retired += (tc2[2] - tc1[2]) * k
             th.instrs_emitted += (tc2[3] - tc1[3]) * k
+            ti = tinfo[i]
+            if ti is not None:
+                # Tiled in-flight addresses advance by their region's
+                # k-period reference delta (capture proved every one
+                # mapped, so region_of cannot miss).
+                dmap = [d * k for d in ti[3]]
+                moving = any(dmap)
+                if moving or dseq:
+                    region_of = cap.src[i][2].region_of
+                    for u in th.uopq:
+                        a = u.addr
+                        if moving and a is not None:
+                            u.addr = a + dmap[region_of(a)]
+                        u.seq += dseq
+                    for u in th.rob:
+                        a = u.addr
+                        if moving and a is not None:
+                            u.addr = a + dmap[region_of(a)]
+                        u.seq += dseq
+                continue
             shift = dls[i] != 0
             if shift or dseq:
                 if shift:
@@ -919,11 +1675,18 @@ class FastPath:
                                          + dpos) % wrap * stride
                     u.seq += dseq
         for u in core._drain_q:
-            if dls[u.thread]:
-                trace = cap.src[u.thread][2]
+            tid = u.thread
+            ti = tinfo[tid]
+            if ti is not None:
+                trace = cap.src[tid][2]
+                d = ti[3][trace.region_of(u.addr)] * k
+                if d:
+                    u.addr += d
+            elif dls[tid]:
+                trace = cap.src[tid][2]
                 u.addr = (trace.base
                           + ((u.addr - trace.base) // trace.stride
-                             + dps[u.thread] * k) % trace.wrap_len
+                             + dps[tid] * k) % trace.wrap_len
                           * trace.stride)
 
         # Core-global tick fields.  A uniform +dt keeps every relation
@@ -953,8 +1716,8 @@ class FastPath:
             hier._l2_free += dt
 
         # Memory translation by k·ΔL per region (set-preserving; the
-        # shift is circular within each window, so no image can escape
-        # it; stationary residue keeps its lines).
+        # monotone shifts are schedule/guard-bounded in-region;
+        # stationary residue keeps its lines).
         if windows_k:
             xl = self._xl
             stat_l1, stat_l2, stat_pend, stat_tag, stat_streams = plan

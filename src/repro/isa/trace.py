@@ -22,6 +22,17 @@ measurement marker) into a single iterator with the same protocol, and
 exposes which compiled trace is currently feeding the core — the
 fast-forward only engages when every thread is inside a compiled trace.
 
+App workloads (mm/lu/cg/bt) are not periodic at the instruction level,
+but they *are* recurrent at the tile level: the same per-tile pattern
+replays with its region references shifted by one tile.  The workload
+generators mark those boundaries by yielding :class:`PhaseMarker`
+sentinels, and :func:`compile_tiled` records the instruction stream
+into a :class:`TiledTrace` — a deduplicated table of per-phase patterns
+whose memory operands are stored relative to the first address each
+phase touches in its region.  That phase/reference factoring is what
+lets the fast-forward fingerprint per-tile µarch state and extrapolate
+whole tiles (see ``repro.cpu.fastpath``).
+
 Exactness contract: for any :class:`~repro.isa.streams.StreamSpec`,
 ``compile_stream(spec, region)`` emits the byte-for-byte identical
 instruction sequence as ``make_stream(spec, region)`` (property-tested
@@ -31,7 +42,8 @@ in ``tests/isa/test_trace.py``).
 from __future__ import annotations
 
 import math
-from typing import Iterator, List, Optional, Tuple
+from bisect import bisect_right
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.common.addrspace import Region
 from repro.common.errors import ConfigError
@@ -281,6 +293,325 @@ class ChainedSource:
             else:
                 return None
         return None
+
+
+# ---------------------------------------------------------------------------
+# Tiled app traces (phase markers)
+# ---------------------------------------------------------------------------
+
+class PhaseMarker:
+    """Sentinel a workload generator yields at a tile/phase boundary.
+
+    Markers are *hints*, never instructions: :func:`compile_tiled` uses
+    them to split the recorded stream into phases, and the sync-heavy
+    variants that cannot be recorded simply strip them before the core
+    sees the stream.  A marker carries no state — one module-level
+    instance (:data:`PHASE`) is enough.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "PhaseMarker()"
+
+
+#: The shared marker instance workload generators yield.
+PHASE = PhaseMarker()
+
+
+class TiledTrace:
+    """An app workload recorded as deduplicated per-phase patterns.
+
+    ``patterns[pid]`` is a tuple of ``(op, dst, srcs, site, region_idx,
+    rel)`` rows; ``phases[i] = (pid, refs)`` names the pattern replayed
+    as phase ``i`` together with one reference address per region —
+    the first address the phase touches in that region (carried forward
+    from the previous phase for untouched regions).  A row's absolute
+    address is ``refs[region_idx] + rel``; non-memory rows store
+    ``region_idx == -1``.
+
+    The factoring is chosen for the fast-forward: two phases replaying
+    the same pattern differ only by their reference vector, so a
+    per-tile recurrence shows up as a constant per-region reference
+    delta — exactly the shape the detector's linear line translation
+    can extrapolate (:meth:`extrapolation_limit`).
+    """
+
+    __slots__ = ("count", "pos", "patterns", "phases", "starts",
+                 "regions", "extents", "_rbases", "_rends", "_phase")
+
+    def __init__(
+        self,
+        patterns: Sequence[tuple],
+        phases: Sequence[Tuple[int, tuple]],
+        starts: Sequence[int],
+        regions: Sequence[Region],
+        extents: Sequence[tuple],
+    ):
+        if not phases:
+            raise ConfigError("tiled trace needs at least one phase")
+        self.patterns = tuple(patterns)
+        self.phases = tuple(phases)
+        self.starts = tuple(starts)
+        self.regions = tuple(regions)
+        self.extents = tuple(extents)
+        self.count = self.starts[-1]
+        self.pos = 0
+        self._phase = 0
+        self._rbases = [r.base for r in self.regions]
+        self._rends = [r.end for r in self.regions]
+
+    # -- iterator protocol ---------------------------------------------
+
+    def __iter__(self) -> Iterator[Instr]:
+        return self
+
+    def __next__(self) -> Instr:
+        pos = self.pos
+        if pos >= self.count:
+            raise StopIteration
+        starts = self.starts
+        ph = self._phase
+        while pos >= starts[ph + 1]:
+            ph += 1
+        self._phase = ph
+        pid, refs = self.phases[ph]
+        op, dst, srcs, site, ri, rel = self.patterns[pid][pos - starts[ph]]
+        self.pos = pos + 1
+        ins = Instr.__new__(Instr)
+        ins.op = op
+        ins.dst = dst
+        ins.srcs = srcs
+        ins.addr = refs[ri] + rel if ri >= 0 else None
+        ins.site = site
+        ins.effect = None
+        ins.thread = -1
+        ins.seq = -1
+        ins.deps = EMPTY
+        ins.completed = False
+        ins.comp_tick = -1
+        ins.issued = False
+        return ins
+
+    # -- batched / fast-forward protocol -------------------------------
+
+    def take(self, n: int) -> List[Instr]:
+        """Up to ``n`` next instructions as a list (empty = exhausted)."""
+        pos = self.pos
+        end = pos + n
+        if end > self.count:
+            end = self.count
+        if end <= pos:
+            return []
+        starts = self.starts
+        phases = self.phases
+        patterns = self.patterns
+        ph = self._phase
+        new = Instr.__new__
+        out: List[Instr] = []
+        append = out.append
+        while pos < end:
+            while pos >= starts[ph + 1]:
+                ph += 1
+            pid, refs = phases[ph]
+            pattern = patterns[pid]
+            base_pos = starts[ph]
+            stop = min(end, starts[ph + 1])
+            for i in range(pos, stop):
+                op, dst, srcs, site, ri, rel = pattern[i - base_pos]
+                ins = new(Instr)
+                ins.op = op
+                ins.dst = dst
+                ins.srcs = srcs
+                ins.addr = refs[ri] + rel if ri >= 0 else None
+                ins.site = site
+                ins.effect = None
+                ins.thread = -1
+                ins.seq = -1
+                ins.deps = EMPTY
+                ins.completed = False
+                ins.comp_tick = -1
+                ins.issued = False
+                append(ins)
+            pos = stop
+        self.pos = pos
+        self._phase = ph
+        return out
+
+    def skip(self, n: int) -> None:
+        """Advance the cursor ``n`` instructions in O(log phases)."""
+        if n < 0 or self.pos + n > self.count:
+            raise ConfigError(
+                f"cannot skip {n} instructions at pos {self.pos} "
+                f"of {self.count}"
+            )
+        self.pos += n
+        self._phase = self.phase_of(self.pos)
+
+    @property
+    def remaining(self) -> int:
+        return self.count - self.pos
+
+    # -- detector accessors ---------------------------------------------
+
+    def phase_of(self, pos: int) -> int:
+        """Phase index containing position ``pos`` (clamped at the end)."""
+        ph = bisect_right(self.starts, pos) - 1
+        return min(ph, len(self.phases) - 1)
+
+    def region_of(self, addr: int) -> int:
+        """Index of the region owning ``addr``, or -1 if unmapped."""
+        i = bisect_right(self._rbases, addr) - 1
+        if i >= 0 and addr < self._rends[i]:
+            return i
+        return -1
+
+    def extrapolation_limit(self, ph1: int, ph2: int, deltas: tuple,
+                            max_k: int, guard_bytes: int) -> int:
+        """Largest ``k <= max_k`` whole recurrences provable from the
+        recorded schedule.
+
+        A capture pair at phases ``ph1 < ph2`` with per-region reference
+        deltas ``deltas`` extrapolates ``k`` recurrences soundly only if
+        the future schedule keeps repeating with the *same* shift:
+        for every ``j in [1, k*(ph2-ph1)]`` phase ``ph1+j`` and
+        ``ph2+j`` must replay the same pattern with reference deltas
+        exactly ``deltas`` (telescoping then covers every intermediate
+        period), and every moving region's working set through the
+        extrapolated window must stay ``guard_bytes`` clear of the
+        region's top edge — the hardware prefetcher overshoots the
+        demand stream, and the linear line translation only commutes
+        with the cache dynamics while the overshoot stays in-region.
+        """
+        dphase = ph2 - ph1
+        phases = self.phases
+        nph = len(phases)
+        rends = self._rends
+        extents = self.extents
+        need = max_k * dphase
+        good = 0
+        j = 1
+        while j <= need:
+            b = ph2 + j
+            if b >= nph:
+                break
+            pa, ra = phases[ph1 + j]
+            pb, rb = phases[b]
+            if pa != pb:
+                break
+            ok = True
+            for r, d in enumerate(deltas):
+                if rb[r] - ra[r] != d:
+                    ok = False
+                    break
+            if ok:
+                # Top-edge guard on the shifted phase just entered.
+                pid_prev, rprev = phases[b - 1]
+                ext = extents[pid_prev]
+                for r, d in enumerate(deltas):
+                    e = ext[r]
+                    if d and e is not None and (
+                            rprev[r] + e[1] + guard_bytes >= rends[r]):
+                        ok = False
+                        break
+            if not ok:
+                break
+            good = j
+            j += 1
+        return good // dphase
+
+
+def compile_tiled(source: Iterable, regions: Sequence[Region]) -> TiledTrace:
+    """Record a marker-annotated instruction stream into a
+    :class:`TiledTrace`.
+
+    ``source`` yields :class:`Instr` objects interleaved with
+    :class:`PhaseMarker` sentinels; ``regions`` are the address-space
+    regions the workload touches.  Recording is *exact*: replaying the
+    trace produces the byte-for-byte identical instruction sequence
+    (markers excluded — they were never instructions).  Streams that
+    cannot be replayed from a flat table — synchronization effects,
+    fetch-gating ops, addresses outside the declared regions — are
+    rejected with :class:`ConfigError` so callers fall back to the live
+    generator (and the fast-forward stands down instead of guessing).
+    """
+    regions = tuple(sorted(regions, key=lambda r: r.base))
+    rbases = [r.base for r in regions]
+    rends = [r.end for r in regions]
+    nregions = len(regions)
+
+    groups: List[List[Instr]] = []
+    cur: List[Instr] = []
+    for item in source:
+        if type(item) is PhaseMarker:
+            if cur:
+                groups.append(cur)
+                cur = []
+            continue
+        cur.append(item)
+    if cur:
+        groups.append(cur)
+    if not groups:
+        raise ConfigError("tiled trace recorded no instructions")
+
+    pattern_ids: dict = {}
+    patterns: List[tuple] = []
+    extents: List[tuple] = []
+    phases: List[Tuple[int, tuple]] = []
+    starts = [0]
+    prev_refs = tuple(r.base for r in regions)
+
+    for group in groups:
+        refs = list(prev_refs)
+        seen = [False] * nregions
+        rows = []
+        for ins in group:
+            if ins.effect is not None:
+                raise ConfigError(
+                    f"{ins.op.name} with a completion effect cannot be "
+                    "recorded into a tiled trace"
+                )
+            if ins.op in _GATE_OPS:
+                raise ConfigError(
+                    f"{ins.op.name} cannot appear in a tiled trace "
+                    "(fetch-gating ops must arrive one at a time)"
+                )
+            a = ins.addr
+            if a is None:
+                rows.append((ins.op, ins.dst, ins.srcs, ins.site, -1, 0))
+                continue
+            ri = bisect_right(rbases, a) - 1
+            if ri < 0 or a >= rends[ri]:
+                raise ConfigError(
+                    f"address {a:#x} of {ins.op.name} is outside every "
+                    "declared region"
+                )
+            if not seen[ri]:
+                refs[ri] = a
+                seen[ri] = True
+            rows.append((ins.op, ins.dst, ins.srcs, ins.site, ri, a))
+        refs_t = tuple(refs)
+        pat = tuple(
+            (op, dst, srcs, site, ri, (a - refs_t[ri]) if ri >= 0 else 0)
+            for op, dst, srcs, site, ri, a in rows
+        )
+        pid = pattern_ids.get(pat)
+        if pid is None:
+            pid = len(patterns)
+            pattern_ids[pat] = pid
+            patterns.append(pat)
+            ext: List[Optional[Tuple[int, int]]] = [None] * nregions
+            for _op, _dst, _srcs, _site, ri, rel in pat:
+                if ri >= 0:
+                    e = ext[ri]
+                    ext[ri] = ((rel, rel) if e is None else
+                               (min(e[0], rel), max(e[1], rel)))
+            extents.append(tuple(ext))
+        phases.append((pid, refs_t))
+        starts.append(starts[-1] + len(pat))
+        prev_refs = refs_t
+
+    return TiledTrace(patterns, phases, starts, regions, extents)
 
 
 # ---------------------------------------------------------------------------

@@ -47,6 +47,7 @@ from repro.isa.opcodes import Op
 from repro.mem.config import MemConfig
 from repro.runtime.sync import SenseBarrier, SyncVar, WaitMode, advance_var, wait_ge
 from repro.spr.spans import plan_spans
+from repro.isa.trace import PHASE
 from repro.workloads.common import (
     ACC,
     IDX,
@@ -55,7 +56,12 @@ from repro.workloads.common import (
     VAL,
     Variant,
     WorkloadBuild,
+    tiled_factories,
 )
+
+#: Only the serial stream is a pure instruction sequence; the TLP
+#: variants carry barrier/sync effects and cannot be recorded.
+_RECORDABLE = frozenset({Variant.SERIAL})
 
 _BASE = SITE_BLOCKS["bt"]
 SITE_LOAD_BLOCK = _BASE + 1
@@ -255,6 +261,7 @@ def build(
         def factory(api):
             for d in range(3):
                 for line in range(nlines):
+                    yield PHASE
                     state.solve_line(d, line)
                     yield from state.emit_line(d, line)
 
@@ -340,10 +347,13 @@ def build(
     else:
         raise ConfigError(f"BT does not implement {variant}")
 
+    regions = [state.reg_lower, state.reg_diag, state.reg_upper,
+               state.reg_rhs]
     return WorkloadBuild(
         name="bt",
         variant=variant,
-        factories=factories,
+        factories=tiled_factories(factories, regions,
+                                  variant in _RECORDABLE),
         aspace=aspace,
         reference_check=check,
         meta={"grid": grid, "worker_tid": 0, "span_plan": span_plan},

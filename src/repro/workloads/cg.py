@@ -49,6 +49,7 @@ from repro.isa.opcodes import Op
 from repro.mem.config import MemConfig
 from repro.runtime.sync import SenseBarrier, SyncVar, WaitMode, advance_var, wait_ge
 from repro.spr.spans import plan_spans
+from repro.isa.trace import PHASE
 from repro.workloads.common import (
     ACC,
     IDX,
@@ -58,7 +59,12 @@ from repro.workloads.common import (
     VAL,
     Variant,
     WorkloadBuild,
+    tiled_factories,
 )
+
+#: Only the serial stream is a pure instruction sequence; every TLP
+#: variant carries barrier/sync effects and cannot be recorded.
+_RECORDABLE = frozenset({Variant.SERIAL})
 
 _BASE = SITE_BLOCKS["cg"]
 SITE_LOAD_ROWPTR = _BASE + 1
@@ -262,7 +268,9 @@ def build(
         def factory(api):
             for _ in range(iterations):
                 for i in range(n):
+                    yield PHASE
                     yield from _emit_spmv_row(state, i)
+                yield PHASE
                 yield from _emit_vector_ops(state, 0, n)
                 _functional_iteration(state)
 
@@ -389,10 +397,13 @@ def build(
     else:
         raise ConfigError(f"CG does not implement {variant}")
 
+    regions = [state.reg_rowptr, state.reg_colidx, state.reg_aval,
+               state.reg_p, state.reg_q, state.reg_r, state.reg_z]
     return WorkloadBuild(
         name="cg",
         variant=variant,
-        factories=factories,
+        factories=tiled_factories(factories, regions,
+                                  variant in _RECORDABLE),
         aspace=aspace,
         reference_check=check,
         meta={

@@ -31,6 +31,7 @@ from repro.common.errors import ConfigError
 from repro.isa.instr import Instr
 from repro.isa.opcodes import Op
 from repro.isa.registers import F, R
+from repro.isa.trace import PhaseMarker, compile_tiled
 
 
 class Variant(enum.Enum):
@@ -74,6 +75,33 @@ class WorkloadBuild:
     @property
     def num_threads(self) -> int:
         return len(self.factories)
+
+
+def strip_markers(stream: Iterator) -> Iterator[Instr]:
+    """Drop :class:`PhaseMarker` hints from an instruction stream.
+
+    Markers are pure detector hints — every consumer of an unrecorded
+    stream (sync variants, race detection, mix profiling) must see the
+    exact instruction sequence it saw before markers existed.
+    """
+    return (i for i in stream if type(i) is not PhaseMarker)
+
+
+def tiled_factories(factories: list, regions: list, recordable: bool) -> list:
+    """Wrap thread factories for the fast-forward's tile-level detector.
+
+    ``recordable`` variants (pure instruction streams — no SyncVar or
+    barrier effects) are compiled into a :class:`~repro.isa.trace.
+    TiledTrace` at thread-bind time, turning each ``PhaseMarker`` into a
+    phase boundary the detector can fingerprint.  Variants with effects
+    cannot be recorded (an effect must fire exactly when the pipeline
+    retires it), so their markers are stripped instead — byte-identical
+    to the pre-marker stream.
+    """
+    if recordable:
+        return [lambda api, f=f: compile_tiled(f(api), regions)
+                for f in factories]
+    return [lambda api, f=f: strip_markers(f(api)) for f in factories]
 
 
 class BlockedMatrix:

@@ -41,6 +41,7 @@ from repro.isa.opcodes import Op
 from repro.mem.config import MemConfig
 from repro.runtime.sync import SenseBarrier, SyncVar, WaitMode, advance_var, wait_ge
 from repro.spr.spans import plan_spans
+from repro.isa.trace import PHASE
 from repro.workloads.common import (
     ACC,
     IDX,
@@ -52,7 +53,12 @@ from repro.workloads.common import (
     WorkloadBuild,
     emit_blocked_index,
     prefetch_elements,
+    tiled_factories,
 )
+
+#: Only the serial stream is a pure instruction sequence; the TLP
+#: variants carry barrier/sync effects and cannot be recorded.
+_RECORDABLE = frozenset({Variant.SERIAL})
 
 _BASE = SITE_BLOCKS["lu"]
 SITE_LOAD_DIAG = _BASE + 1
@@ -224,16 +230,20 @@ def build(
     if variant is Variant.SERIAL:
         def factory(api):
             for k in range(tiles):
+                yield PHASE
                 state.factor_diag(k)
                 yield from state.emit_diag(k)
                 for j in range(k + 1, tiles):
+                    yield PHASE
                     state.update_row_panel(k, j)
                     yield from state.emit_row_panel(k, j)
                 for i in range(k + 1, tiles):
+                    yield PHASE
                     state.update_col_panel(k, i)
                     yield from state.emit_col_panel(k, i)
                 for i in range(k + 1, tiles):
                     for j in range(k + 1, tiles):
+                        yield PHASE
                         state.update_trailing(k, i, j)
                         yield from state.emit_trailing(k, i, j)
 
@@ -358,7 +368,8 @@ def build(
     return WorkloadBuild(
         name="lu",
         variant=variant,
-        factories=factories,
+        factories=tiled_factories(factories, [state.A.region],
+                                  variant in _RECORDABLE),
         aspace=aspace,
         reference_check=state.check,
         meta={

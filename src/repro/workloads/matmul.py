@@ -41,6 +41,7 @@ from repro.isa.opcodes import Op
 from repro.mem.config import MemConfig
 from repro.runtime.sync import SenseBarrier, SyncVar, WaitMode, advance_var, wait_ge
 from repro.spr.spans import plan_spans
+from repro.isa.trace import PHASE
 from repro.workloads.common import (
     ACC,
     IDX,
@@ -53,7 +54,13 @@ from repro.workloads.common import (
     emit_blocked_index,
     emit_sw_prefetch,
     prefetch_lines,
+    tiled_factories,
 )
+
+#: Variants whose streams are pure instructions (no sync effects) and so
+#: can be recorded into a TiledTrace for tile-level fast-forward.
+_RECORDABLE = frozenset({Variant.SERIAL, Variant.SW_PREFETCH,
+                         Variant.TLP_COARSE, Variant.TLP_FINE})
 
 _BASE = SITE_BLOCKS["mm"]
 SITE_LOAD_A = _BASE + 1
@@ -169,6 +176,7 @@ def build(
     if variant is Variant.SERIAL:
         def factory(api):
             for (ti, tj, kt) in triples:
+                yield PHASE
                 arrays.tile_update(ti, tj, kt)
                 yield from _emit_tile_mult(arrays.A, arrays.B, arrays.C,
                                            ti, tj, kt)
@@ -185,6 +193,7 @@ def build(
 
         def factory(api):
             for idx, (ti, tj, kt) in enumerate(triples):
+                yield PHASE
                 if idx + 1 < len(triples):
                     nti, ntj, nkt = triples[idx + 1]
                     for mat, (a, b) in ((arrays.A, (nti, nkt)),
@@ -207,6 +216,7 @@ def build(
                     # kt steps of a C tile stay with its owner.
                     if (ti * tiles + tj) % 2 != tid:
                         continue
+                    yield PHASE
                     arrays.tile_update(ti, tj, kt)
                     yield from _emit_tile_mult(arrays.A, arrays.B, arrays.C,
                                                ti, tj, kt)
@@ -219,6 +229,7 @@ def build(
         def make(tid):
             def factory(api):
                 for (ti, tj, kt) in triples:
+                    yield PHASE
                     if tid == 0:
                         arrays.tile_update(ti, tj, kt)  # single owner
                     yield from _emit_tile_mult(
@@ -249,6 +260,7 @@ def build(
                 # Span-entry barrier: data for span s must be prefetched.
                 yield from wait_ge(pf_prog, s + 1, api, mode=WaitMode.SPIN)
                 for (ti, tj, kt) in span:
+                    yield PHASE
                     arrays.tile_update(ti, tj, kt)
                     yield from _emit_tile_mult(arrays.A, arrays.B, arrays.C,
                                                ti, tj, kt)
@@ -283,6 +295,7 @@ def build(
         def make(tid):
             def factory(api):
                 for idx, (ti, tj, kt) in enumerate(triples):
+                    yield PHASE
                     if tid == 1 and idx + 1 < len(triples):
                         # Thread 1 prefetches the next tile in issue.
                         nti, ntj, nkt = triples[idx + 1]
@@ -307,10 +320,12 @@ def build(
     else:  # pragma: no cover - exhaustive over Variant
         raise ConfigError(f"MM does not implement {variant}")
 
+    regions = [arrays.A.region, arrays.B.region, arrays.C.region]
     return WorkloadBuild(
         name="mm",
         variant=variant,
-        factories=factories,
+        factories=tiled_factories(factories, regions,
+                                  variant in _RECORDABLE),
         aspace=aspace,
         reference_check=arrays.check,
         meta={

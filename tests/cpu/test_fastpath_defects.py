@@ -1,0 +1,186 @@
+"""Seeded-defect fixtures for the hierarchical fast-forward verifier.
+
+Mutation tests à la ``tests/check``: each test seeds one deliberate
+defect into the super-period/tile fingerprint or the jump restore path
+— a corruption class the structural snapshot verification exists to
+rule out — and asserts the differential harness *kills* the mutant
+(fastpath-on results diverge from fastpath-off, or the verifier refuses
+the poisoned pair outright).  A surviving mutant would mean the
+verification is vacuous for that class.
+
+The five classes, per the detector's soundness argument:
+
+* stale prefetch tag      — restore forgets to translate ``_pf_tag``
+* off-by-one wrap splice  — state extrapolates k+1 periods while the
+                            clock and splice schedule advance k
+* ignored rename map      — restore drops an in-flight rename-map
+                            entry, so a dependent issues early
+* cross-thread store ordering — restore scrambles which thread's
+                            pending store commits next
+* dropped monitor delta   — restore loses one counter row's
+                            extrapolated delta
+"""
+
+import pytest
+
+from repro.cpu.fastpath import FastPath
+from repro.cpu import fastpath as _fastpath
+from repro.isa.streams import ILP, StreamSpec
+from repro.isa.trace import compile_stream
+from repro.runtime.program import Program
+
+_ENDLESS = 1 << 30
+_H = 220_000
+
+
+def _run(names, fastpath, ilp=ILP.MAX, horizon=_H):
+    prog = Program(fastpath=fastpath)
+    for i, name in enumerate(names):
+        spec = StreamSpec(name, ilp=ilp, count=_ENDLESS)
+        region = None
+        if spec.is_memory:
+            region = prog.aspace.alloc(f"v{i}", 16384, elem_size=1)
+        trace = compile_stream(spec, region)
+        prog.add_thread(lambda api, tr=trace: tr)
+    result = prog.run(stop_at_tick=horizon)
+    return {
+        "ticks": result.ticks,
+        "retired": result.retired,
+        "units": dict(result.unit_issue_counts),
+        "monitor": [list(row) for row in result.monitor.raw],
+    }
+
+
+def _kill_check(names, seed_defect, monkeypatch, ilp=ILP.MAX,
+                horizon=_H):
+    """Stock A/B must agree; the seeded mutant must diverge."""
+    baseline = _run(names, False, ilp=ilp, horizon=horizon)
+    _fastpath.reset_stats()
+    stock = _run(names, True, ilp=ilp, horizon=horizon)
+    assert stock == baseline, "stock fastpath must be invisible"
+    assert _fastpath.stats().jumps >= 1, (
+        "fixture run must actually exercise the jump path")
+    seed_defect(monkeypatch)
+    _fastpath.reset_stats()
+    mutated = _run(names, True, ilp=ilp, horizon=horizon)
+    assert _fastpath.stats().jumps >= 1, (
+        "mutant must still jump — a refusal to engage proves nothing")
+    assert mutated != baseline, (
+        "seeded defect survived: the structural verification never "
+        "depended on the corrupted state")
+
+
+# -- 1. stale prefetch tag ---------------------------------------------------
+
+def _seed_stale_pf_tag(monkeypatch):
+    orig = FastPath._apply
+
+    def apply_stale_tags(self, prev, cap, k, period, dps, dls, tinfo,
+                         windows_k, plan):
+        stale = set(self.core.hierarchy._pf_tag)
+        orig(self, prev, cap, k, period, dps, dls, tinfo, windows_k, plan)
+        hier = self.core.hierarchy
+        hier._pf_tag.clear()
+        hier._pf_tag.update(stale)
+
+    monkeypatch.setattr(FastPath, "_apply", apply_stale_tags)
+
+
+def test_stale_prefetch_tag_is_caught(monkeypatch):
+    _kill_check(["fload", "iload"], _seed_stale_pf_tag, monkeypatch)
+
+
+# -- 2. off-by-one wrap splice -----------------------------------------------
+
+def _seed_off_by_one_splice(monkeypatch):
+    orig = FastPath._apply
+
+    def apply_one_extra(self, prev, cap, k, period, dps, dls, tinfo,
+                        windows_k, plan):
+        # The jump schedule (clock, splice sleep, next capture) still
+        # advances k periods, but the architectural state advances k+1
+        # — the classic off-by-one between the splice arithmetic and
+        # the state extrapolation it must stay in lockstep with.
+        orig(self, prev, cap, k + 1, period, dps, dls, tinfo,
+             windows_k, plan)
+
+    monkeypatch.setattr(FastPath, "_apply", apply_one_extra)
+
+
+def test_off_by_one_wrap_splice_is_caught(monkeypatch):
+    _kill_check(["fload", "iload"], _seed_off_by_one_splice, monkeypatch)
+
+
+# -- 3. ignored rename map ---------------------------------------------------
+
+def _seed_ignored_regmap(monkeypatch):
+    orig = FastPath._apply
+
+    def apply_ignoring_regmap(self, prev, cap, k, period, dps, dls,
+                              tinfo, windows_k, plan):
+        orig(self, prev, cap, k, period, dps, dls, tinfo, windows_k,
+             plan)
+        # Drop one in-flight rename mapping: the next reader of that
+        # register no longer sees its producer and issues early.
+        for th in self.core.threads:
+            for reg, p in list(th.regmap.items()):
+                if not p.completed:
+                    del th.regmap[reg]
+                    return
+
+    monkeypatch.setattr(FastPath, "_apply", apply_ignoring_regmap)
+
+
+def test_ignored_rename_map_is_caught(monkeypatch):
+    # MIN ILP: the serial dependency chains keep a divide in flight —
+    # and hence a live rename mapping — at every jump boundary.
+    _kill_check(["idiv", "fdiv"], _seed_ignored_regmap, monkeypatch,
+                ilp=ILP.MIN)
+
+
+# -- 4. cross-thread store ordering ------------------------------------------
+
+def _seed_unordered_drain(monkeypatch):
+    orig = FastPath._apply
+
+    def apply_unordered_drain(self, prev, cap, k, period, dps, dls,
+                              tinfo, windows_k, plan):
+        orig(self, prev, cap, k, period, dps, dls, tinfo, windows_k,
+             plan)
+        # Reassign each thread's pending store-release schedule to the
+        # other thread: the stores themselves survive, but their global
+        # commit interleaving — which thread's store wins the shared
+        # commit port next — is scrambled.
+        sq = self.core._sq_release
+        if len(sq) == 2 and list(sq[0]) != list(sq[1]):
+            sq[0], sq[1] = sq[1], sq[0]
+
+    monkeypatch.setattr(FastPath, "_apply", apply_unordered_drain)
+
+
+def test_cross_thread_store_ordering_is_caught(monkeypatch):
+    _kill_check(["fstore", "istore"], _seed_unordered_drain, monkeypatch)
+
+
+# -- 5. dropped monitor delta ------------------------------------------------
+
+def _seed_dropped_monitor_delta(monkeypatch):
+    orig = FastPath._apply
+
+    def apply_dropping_delta(self, prev, cap, k, period, dps, dls, tinfo,
+                             windows_k, plan):
+        raw = self.core.monitor.raw
+        before = [list(row) for row in raw]
+        orig(self, prev, cap, k, period, dps, dls, tinfo, windows_k, plan)
+        # Drop the extrapolated delta of the first row that moved.
+        for e, row in enumerate(raw):
+            if list(row) != before[e]:
+                for cpu in range(len(row)):
+                    row[cpu] = before[e][cpu]
+                break
+
+    monkeypatch.setattr(FastPath, "_apply", apply_dropping_delta)
+
+
+def test_dropped_monitor_delta_is_caught(monkeypatch):
+    _kill_check(["fload", "iload"], _seed_dropped_monitor_delta, monkeypatch)

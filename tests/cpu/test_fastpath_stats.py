@@ -124,6 +124,81 @@ class TestSnapshotAndMerge:
         assert delta["stand_downs"] == {"disabled": 1}
 
 
+class TestCaptureAbortTaxonomy:
+    """A cell whose captures persistently abort must stand down under
+    ``capture-abort:<reason>`` — not burn its budgets and report a
+    generic (or worse, unrelated) bucket."""
+
+    def _run_pair_with_aborting_captures(self, monkeypatch, reason):
+        from repro.cpu.fastpath import FastPath
+
+        def abort_capture(self, t):
+            return self._abort(reason)
+
+        monkeypatch.setattr(FastPath, "_capture", abort_capture)
+        prog = Program(fastpath=True)
+        for i in range(2):
+            trace = compile_stream(
+                StreamSpec("iadd", ilp=ILP.MAX, count=1 << 30))
+            prog.add_thread(lambda api, tr=trace: tr)
+        return prog.run(stop_at_tick=120_000)
+
+    def test_persistent_aborts_attribute_stand_down(self, monkeypatch):
+        self._run_pair_with_aborting_captures(monkeypatch, "effectful-op")
+        st = _fastpath.stats()
+        assert st.stand_downs.get("capture-abort:effectful-op", 0) == 1
+        assert "no-threads" not in st.stand_downs
+        assert "capture-budget" not in st.stand_downs
+        assert "probe-budget" not in st.stand_downs
+        assert st.capture_aborts.get("effectful-op", 0) >= 1
+        assert st.jumps == 0
+
+    def test_dominant_reason_wins(self, monkeypatch):
+        from itertools import cycle
+
+        from repro.cpu.fastpath import FastPath
+
+        reasons = cycle(["off-rob-dep", "unmapped-addr", "unmapped-addr"])
+
+        def abort_capture(self, t):
+            return self._abort(next(reasons))
+
+        monkeypatch.setattr(FastPath, "_capture", abort_capture)
+        prog = Program(fastpath=True)
+        trace = compile_stream(StreamSpec("iadd", ilp=ILP.MAX, count=1 << 30))
+        prog.add_thread(lambda api, tr=trace: tr)
+        prog.run(stop_at_tick=120_000)
+        st = _fastpath.stats()
+        assert st.stand_downs.get("capture-abort:unmapped-addr", 0) == 1
+
+    def test_transient_aborts_do_not_stand_down(self):
+        """The real pair harness aborts a handful of captures around
+        marker retirement; that must stay far below the stand-down
+        threshold and never disarm the cell."""
+        measure_stream_cpi("iadd", ILP.MAX, 2, horizon_ticks=H)
+        st = _fastpath.stats()
+        assert not any(k.startswith("capture-abort:")
+                       for k in st.stand_downs)
+        assert st.jumps >= 1
+
+    def test_abort_streak_resets_on_clean_capture(self):
+        from repro.cpu.fastpath import FastPath, _ABORT_LIMIT
+
+        fp = FastPath.__new__(FastPath)
+        fp._st = _fastpath.stats()
+        fp._abort_streak = 0
+        fp._abort_reasons = {}
+        fp._armed = True
+        for _ in range(_ABORT_LIMIT - 1):
+            fp._abort("effectful-op")
+        assert not fp._abort_stand_down() and fp._armed
+        fp._abort_streak = 0          # what a clean capture does
+        fp._abort("effectful-op")
+        assert not fp._abort_stand_down() and fp._armed
+        fp._abort_streak = _ABORT_LIMIT
+        assert fp._abort_stand_down() and not fp._armed
+
+
 class TestCountersDoNotPerturbResults:
     def test_counters_are_pure_observers(self):
         r1 = measure_stream_cpi("iadd", ILP.MAX, 2, horizon_ticks=H)
