@@ -1,6 +1,6 @@
 """Static analysis for simulated experiments (no simulation required).
 
-Six passes over a bounded symbolic unrolling of an experiment:
+Seven passes over a bounded symbolic unrolling of an experiment:
 
 1. **hazards** — RAW/WAW chain walking confirms a stream's declared
    ILP (|T|) matches the dependence-chain width it realizes;
@@ -17,18 +17,26 @@ Six passes over a bounded symbolic unrolling of an experiment:
 6. **model**  — the analytic machine model (:mod:`repro.model`)
    reports each stream's provable CPI interval and each pair's
    slowdown envelope, and errors when the model itself is
-   inconsistent (missing timing, lower above upper).
+   inconsistent (missing timing, lower above upper);
+7. **recurrence** — symbolic unrolling of compiled traces proves
+   where steady-state recurrence lives (period lattices, tiled
+   recurrence windows, guard splices) and emits versioned,
+   machine-checkable certificates the fast-forward consumes as
+   capture hints (:mod:`repro.check.recurrence`).
 
 Surfaces: the ``repro check`` CLI verb (human or ``--json`` output),
-and :func:`preflight_cells`, the fail-fast gate the sweep engine runs
-before simulating anything.
+``repro certify`` (certificate inventory and static/dynamic agreement
+check), and :func:`preflight_cells`, the fail-fast gate the sweep
+engine runs before simulating anything.
 """
 
 from repro.check.findings import (
+    CHECK_SCHEMA_ID,
     CHECK_SCHEMA_VERSION,
     CheckReport,
     Finding,
     Severity,
+    schema_fingerprint,
 )
 from repro.check.hazards import (
     ChainStats,
@@ -40,6 +48,19 @@ from repro.check.hazards import (
 from repro.check.lint import lint_paths, lint_source
 from repro.check.preflight import preflight_cells
 from repro.check.races import detect_races
+from repro.check.recurrence import (
+    RECURRENCE_SCHEMA_VERSION,
+    PatternFamily,
+    RecurrenceCertificate,
+    RecurrenceWindow,
+    SplicePoint,
+    attach_certificate,
+    cache_geometry,
+    certificate_inventory,
+    certify_stream,
+    certify_tiled,
+    certify_trace,
+)
 from repro.check.runner import load_experiment, run_targets
 from repro.check.spans import verify_span_plan, verify_span_request
 from repro.check.targets import (
@@ -47,28 +68,43 @@ from repro.check.targets import (
     InstrsTarget,
     PairTarget,
     ProgramTarget,
+    RecurrenceTarget,
     SpanTarget,
     StreamTarget,
     WorkloadTarget,
     default_targets,
+    recurrence_targets,
     stream_targets,
     workload_targets,
 )
 from repro.check.units import pair_contention, verify_ops
 
 __all__ = [
+    "CHECK_SCHEMA_ID",
     "CHECK_SCHEMA_VERSION",
+    "RECURRENCE_SCHEMA_VERSION",
     "ChainStats",
     "CheckReport",
     "CheckTarget",
     "Finding",
     "InstrsTarget",
     "PairTarget",
+    "PatternFamily",
     "ProgramTarget",
+    "RecurrenceCertificate",
+    "RecurrenceTarget",
+    "RecurrenceWindow",
     "Severity",
     "SpanTarget",
+    "SplicePoint",
     "StreamTarget",
     "WorkloadTarget",
+    "attach_certificate",
+    "cache_geometry",
+    "certificate_inventory",
+    "certify_stream",
+    "certify_tiled",
+    "certify_trace",
     "chain_stats",
     "default_targets",
     "detect_races",
@@ -77,7 +113,9 @@ __all__ = [
     "load_experiment",
     "pair_contention",
     "preflight_cells",
+    "recurrence_targets",
     "run_targets",
+    "schema_fingerprint",
     "stream_targets",
     "unroll_stream",
     "verify_instrs",

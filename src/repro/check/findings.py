@@ -16,11 +16,50 @@ check (non-zero exit, sweep pre-flight rejection); ``WARNING`` and
 from __future__ import annotations
 
 import enum
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Set, Tuple
 
-#: Bumped on any change to the JSON finding layout.
-CHECK_SCHEMA_VERSION = 1
+#: Bumped on any change to the JSON finding layout.  v2 added the
+#: schema id/fingerprint pair to the report envelope and the
+#: ``recurrence`` pass (certificate findings) to the check vocabulary.
+CHECK_SCHEMA_VERSION = 2
+
+#: Stable name of this document family; consumers key migrations on
+#: ``(schema_id, schema_version)`` rather than guessing from shape.
+CHECK_SCHEMA_ID = "repro.check/findings"
+
+#: Every pass id that may appear in ``Finding.check``.  Part of the
+#: schema fingerprint: adding a pass is a consumer-visible change even
+#: though the JSON layout is unchanged.
+CHECK_PASSES = (
+    "hazards", "units", "races", "spans", "model", "lint", "recurrence",
+)
+
+
+def schema_fingerprint() -> str:
+    """Content hash of the findings schema itself.
+
+    Digests the envelope keys, the per-finding keys, the severity
+    vocabulary, and the pass vocabulary — everything a consumer can
+    depend on.  Two builds with equal fingerprints emit interchangeable
+    documents; golden fixtures pin this value so an accidental layout
+    drift fails loudly instead of silently shifting the contract.
+    """
+    material = {
+        "id": CHECK_SCHEMA_ID,
+        "version": CHECK_SCHEMA_VERSION,
+        "report_keys": ["schema_id", "schema_version", "schema_fingerprint",
+                        "ok", "targets_checked", "files_linted", "counts",
+                        "findings"],
+        "finding_keys": ["check", "severity", "site", "message", "hint",
+                         "data"],
+        "severities": [s.name for s in Severity],
+        "passes": list(CHECK_PASSES),
+    }
+    blob = json.dumps(material, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
 
 
 class Severity(enum.IntEnum):
@@ -114,7 +153,9 @@ class CheckReport:
 
     def to_dict(self) -> Dict[str, Any]:
         return {
+            "schema_id": CHECK_SCHEMA_ID,
             "schema_version": CHECK_SCHEMA_VERSION,
+            "schema_fingerprint": schema_fingerprint(),
             "ok": self.ok,
             "targets_checked": self.targets_checked,
             "files_linted": self.files_linted,

@@ -112,6 +112,24 @@ def _check_app(cell: Any) -> List[Finding]:
         findings.extend(races.detect_races(
             build.factories, build.aspace, name=site,
             budget=PREFLIGHT_RACE_BUDGET))
+    # Certificate machine check: a recordable cell is about to execute
+    # under certificate guidance; a certificate that does not describe
+    # its own trace must never reach the jump engine silently.
+    from repro.isa.trace import TiledTrace
+
+    for tid, factory in enumerate(build.factories):
+        trace = factory(None)
+        if type(trace) is not TiledTrace or trace.cert is None:
+            continue
+        for problem in trace.cert.validate(trace):
+            findings.append(Finding(
+                check="preflight", severity=Severity.ERROR,
+                site=f"{site}/t{tid}",
+                message=f"recurrence certificate fails its machine "
+                        f"check: {problem}",
+                hint="the certificate does not describe the trace it "
+                     "is attached to; rebuild or re-certify",
+            ))
     return findings
 
 

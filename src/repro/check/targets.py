@@ -192,6 +192,33 @@ class WorkloadTarget(CheckTarget):
         return findings
 
 
+@dataclass
+class RecurrenceTarget(CheckTarget):
+    """A recordable workload build: static recurrence certification.
+
+    The seventh pass — certifies every tiled trace of the build
+    (:mod:`repro.check.recurrence`) and machine-checks each
+    certificate against its own trace.  INFO findings summarize the
+    recurrence structure; an ERROR means the pass disagrees with
+    itself, which must fail the check run.
+    """
+
+    app: str
+    variant: Any   # repro.workloads.common.Variant (or its .value string)
+    size: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        variant = getattr(self.variant, "value", self.variant)
+        size = ",".join(f"{k}={v}" for k, v in sorted(self.size.items()))
+        return f"recurrence {self.app}/{variant}({size})"
+
+    def check(self) -> List[Finding]:
+        from repro.check.recurrence import recurrence_findings
+
+        return recurrence_findings(self.app, self.variant, self.size)
+
+
 def stream_targets(core_config: Any = None) -> List[CheckTarget]:
     """Every shipped stream at every ILP level (42 targets)."""
     return [
@@ -215,6 +242,22 @@ def workload_targets(budget: int = races.DEFAULT_BUDGET) -> List[CheckTarget]:
     ]
 
 
+def recurrence_targets() -> List[CheckTarget]:
+    """Every recordable workload variant at its smallest size."""
+    from repro.core.apps import APP_SIZES, APP_VARIANTS
+    from repro.workloads import WORKLOADS
+
+    out: List[CheckTarget] = []
+    for app in sorted(APP_VARIANTS):
+        recordable = getattr(WORKLOADS[app], "_RECORDABLE", frozenset())
+        for variant in APP_VARIANTS[app]:
+            if variant in recordable:
+                out.append(RecurrenceTarget(
+                    app, variant, dict(APP_SIZES[app][0])))
+    return out
+
+
 def default_targets(budget: int = races.DEFAULT_BUDGET) -> List[CheckTarget]:
     """Everything the repo ships, checkable without simulating."""
-    return [*stream_targets(), *workload_targets(budget=budget)]
+    return [*stream_targets(), *workload_targets(budget=budget),
+            *recurrence_targets()]

@@ -12,6 +12,8 @@
     python -m repro check --experiment exp.py --json
     python -m repro check --lint-src          # determinism lint over src/
     python -m repro check --fail-on warn      # warnings fail too (CI)
+    python -m repro certify --json            # recurrence certificates
+    python -m repro certify --verify          # + static/dynamic agreement
     python -m repro model                     # provable CPI/slowdown bounds
     python -m repro model --ilp max --json
 
@@ -26,6 +28,15 @@ the same hazard/unit/race/span passes as a fail-fast pre-flight over
 every cell, then cross-check every simulated result against its static
 CPI interval (the :mod:`repro.model` differential oracle);
 ``--no-check`` skips both.
+
+``repro certify`` (the :mod:`repro.check.recurrence` pass) emits the
+versioned recurrence certificates — per-stream period lattices and
+per-trace tiled recurrence windows with their guard splices — for
+every shipped stream spec and every recordable app experiment, again
+without simulating anything.  ``--verify`` additionally machine-checks
+each app certificate against its own trace and replays every
+recordable cell with the fast-forward disabled, exiting non-zero on
+any static/dynamic disagreement (the CI ``certify`` gate).
 
 ``repro model`` (the :mod:`repro.model` analyzer) prints, without
 simulating anything, the provable CPI interval of every §4 stream
@@ -245,6 +256,26 @@ def _parser() -> argparse.ArgumentParser:
                     "(default %(default)s)")
     ck.add_argument("--json", action="store_true",
                     help="print the findings as a versioned JSON document")
+
+    cf = sub.add_parser(
+        "certify",
+        help="static recurrence certificates — period lattices, tiled "
+        "recurrence windows, guard splices — without simulating",
+    )
+    cf.add_argument("--app-sizes", choices=["all", "small"], default="all",
+                    help="app coverage: every shipped size, or only the "
+                    "smallest per app (default %(default)s)")
+    cf.add_argument("--json", action="store_true",
+                    help="print the certificate inventory as a versioned "
+                    "JSON document")
+    cf.add_argument("--out", metavar="PATH", default=None,
+                    help="also write the JSON inventory to PATH "
+                    "(the CI certificates.json artifact)")
+    cf.add_argument("--verify", action="store_true",
+                    help="machine-check every app certificate against its "
+                    "trace and replay each recordable cell with the "
+                    "fast-forward disabled; any static/dynamic "
+                    "disagreement fails the run")
 
     md = sub.add_parser(
         "model",
@@ -541,6 +572,108 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return report.exit_code_at(threshold)
 
 
+def _certify_verify(app_sizes: str) -> list:
+    """The ``certify --verify`` gate: machine-check + dynamic replay.
+
+    For every recordable (app, variant, size): (a) each tiled trace's
+    certificate must pass its own :meth:`validate` machine check, and
+    (b) the cell's simulated result must be byte-identical with the
+    fast-forward (and hence all certificate guidance) disabled.  Any
+    violation is a static/dynamic disagreement.
+    """
+    from repro.core.apps import APP_VARIANTS, run_app_experiment
+    from repro.cpu import fastpath
+    from repro.isa.trace import TiledTrace
+    from repro.sweep.cells import runner_for
+    from repro.workloads import WORKLOADS
+
+    problems = []
+    encode = runner_for("app-run").encode
+    for app in sorted(APP_SIZES):
+        recordable = getattr(WORKLOADS[app], "_RECORDABLE", frozenset())
+        sizes = (APP_SIZES[app] if app_sizes == "all"
+                 else APP_SIZES[app][:1])
+        for variant in APP_VARIANTS[app]:
+            if variant not in recordable:
+                continue
+            for size in sizes:
+                label = (f"{app}/{variant.value}("
+                         + ",".join(f"{k}={v}"
+                                    for k, v in sorted(size.items()))
+                         + ")")
+                build = WORKLOADS[app].build(variant, **dict(size))
+                for tid, factory in enumerate(build.factories):
+                    trace = factory(None)
+                    if type(trace) is not TiledTrace or trace.cert is None:
+                        continue
+                    for issue in trace.cert.validate(trace):
+                        problems.append(
+                            f"{label}/t{tid}: certificate fails its "
+                            f"machine check: {issue}")
+                guided = run_app_experiment(app, variant, dict(size))
+                fastpath.set_default_enabled(False)
+                try:
+                    plain = run_app_experiment(app, variant, dict(size))
+                finally:
+                    fastpath.set_default_enabled(True)
+                a, b = encode(guided), encode(plain)
+                a["wall_time_s"] = b["wall_time_s"] = 0.0
+                if json.dumps(a, sort_keys=True) != \
+                        json.dumps(b, sort_keys=True):
+                    diff = sorted(k for k in a
+                                  if a[k] != b[k])
+                    problems.append(
+                        f"{label}: static/dynamic disagreement — "
+                        f"certificate-guided run differs from the "
+                        f"fast-forward-disabled replay in {diff}")
+    return problems
+
+
+def _cmd_certify(args: argparse.Namespace) -> int:
+    from repro.check.recurrence import certificate_inventory
+
+    inventory = certificate_inventory(app_sizes=args.app_sizes)
+    problems = []
+    if args.verify:
+        problems = _certify_verify(args.app_sizes)
+        inventory["verify"] = {"ok": not problems, "problems": problems}
+    payload = json.dumps(inventory, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(payload + "\n")
+    if args.json:
+        print(payload)
+    else:
+        def _tally(entries):
+            out = {}
+            for e in entries:
+                out[e["verdict"]] = out.get(e["verdict"], 0) + 1
+            return ", ".join(f"{v}: {n}" for v, n in sorted(out.items()))
+
+        print(f"recurrence certificates "
+              f"(schema v{inventory['schema_version']})")
+        print(f"  streams: {len(inventory['streams'])} "
+              f"({_tally(inventory['streams'])})")
+        print(f"  apps:    {len(inventory['apps'])} "
+              f"({_tally(inventory['apps'])})")
+        for entry in inventory["apps"]:
+            windows = entry.get("windows") or []
+            print(f"    {entry['subject']}: {entry['verdict']}"
+                  f" [{len(windows)} window(s),"
+                  f" {len(entry.get('splices') or [])} splice(s),"
+                  f" fp {entry['fingerprint']}]")
+        if args.verify:
+            if problems:
+                print(f"  VERIFY: {len(problems)} problem(s)")
+                for p in problems:
+                    print(f"    {p}")
+            else:
+                print("  VERIFY: ok — every certificate passes its "
+                      "machine check; every certificate-guided run is "
+                      "byte-identical with the fast-forward disabled")
+    return 1 if problems else 0
+
+
 def _cmd_model(args: argparse.Namespace) -> int:
     from repro.model import (
         MODEL_SCHEMA_VERSION,
@@ -637,6 +770,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_stream(args)
     if args.command == "check":
         return _cmd_check(args)
+    if args.command == "certify":
+        return _cmd_certify(args)
     if args.command == "model":
         return _cmd_model(args)
     if args.command == "top":

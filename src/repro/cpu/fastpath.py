@@ -87,7 +87,7 @@ the CLI forces the slow path for A/B comparison.
 from __future__ import annotations
 
 import math
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Any, List, Optional, Sequence, Tuple
 
 
 from repro.cpu.thread import ThreadState, _FAR_FUTURE
@@ -117,7 +117,11 @@ class FastpathStats:
       ``no-threads`` (a core run with no threads bound — defensive,
       the core rejects that earlier), ``probe-budget`` (signature
       probing never latched a period), ``capture-budget``,
-      ``futility``, ``horizon``;
+      ``futility``, ``horizon``, ``cert-none`` (a recurrence
+      certificate proves no phase distance recurs, so detection is
+      skipped outright), ``cert-mismatch`` (certificate-guided
+      capture never revisited a canonical state — the certificate is
+      wrong for this run; dynamic detection takes over);
     * ``capture_aborts`` — boundary captures the canonical form
       rejected, attributed to the *first thread state that broke
       canonicalization*: ``effectful-op`` (sync vars/markers in
@@ -127,7 +131,13 @@ class FastpathStats:
     * acceptance counters — ``jumps``, ``ticks_skipped`` (vs
       ``ticks_total`` stepped+skipped), ``captures``,
       ``verify_failures`` (key matched, memory verification failed),
-      ``wrap_sleeps`` (memory-stream wrap episodes slept through).
+      ``wrap_sleeps`` (memory-stream wrap episodes slept through);
+    * certificate counters — ``cert_runs`` (runs armed in
+      certificate-guided mode), ``cert_captures`` (captures fired at
+      statically aligned phases), ``cert_jumps`` (jumps whose anchor
+      pair formed under certificate guidance).  Kept separate from
+      the dynamic counters so certificate-guided cells land in their
+      own acceptance column.
 
     The counters are *observers only*: they never influence detection,
     so results stay byte-identical whether anyone reads them.  Workers
@@ -138,6 +148,7 @@ class FastpathStats:
 
     __slots__ = ("runs", "armed", "captures", "jumps", "ticks_skipped",
                  "ticks_total", "verify_failures", "wrap_sleeps",
+                 "cert_runs", "cert_captures", "cert_jumps",
                  "stand_downs", "capture_aborts")
 
     def __init__(self) -> None:
@@ -152,6 +163,9 @@ class FastpathStats:
         self.ticks_total = 0
         self.verify_failures = 0
         self.wrap_sleeps = 0
+        self.cert_runs = 0
+        self.cert_captures = 0
+        self.cert_jumps = 0
         self.stand_downs: dict = {}
         self.capture_aborts: dict = {}
 
@@ -174,6 +188,9 @@ class FastpathStats:
             "ticks_total": self.ticks_total,
             "verify_failures": self.verify_failures,
             "wrap_sleeps": self.wrap_sleeps,
+            "cert_runs": self.cert_runs,
+            "cert_captures": self.cert_captures,
+            "cert_jumps": self.cert_jumps,
             "stand_downs": {k: self.stand_downs[k]
                             for k in sorted(self.stand_downs)},
             "capture_aborts": {k: self.capture_aborts[k]
@@ -193,6 +210,19 @@ def stats() -> FastpathStats:
 def reset_stats() -> FastpathStats:
     _stats.reset()
     return _stats
+
+
+_last_jump: Optional[dict] = None
+
+
+def last_jump() -> Optional[dict]:
+    """Test/debug hook: ``{"period", "k", "dps"}`` of the most recent
+    applied jump in this process (``dps`` = per-thread position
+    deltas of the anchor pair).  The recurrence property suite checks
+    every observed ``dps`` against the statically certified period
+    lattice; the hook is an observer only and never feeds back into
+    detection."""
+    return _last_jump
 
 
 def merge_stats(into: dict, snap: dict) -> dict:
@@ -320,6 +350,13 @@ _REPROBE_MISSES = 2
 #: first canonical recurrence inside that span pairs at the *exact*
 #: true period, whatever its relation to the candidate.
 _BURST_MISSES = 6
+#: Consecutive certificate-aligned captures whose canonical key never
+#: revisited a retained anchor before certificate guidance is declared
+#: wrong for this run (``cert-mismatch``) and dynamic detection takes
+#: over.  One window pairs after two aligned captures, so two dozen
+#: straight misses means the static and dynamic views genuinely
+#: disagree — not that the run is still warming up.
+_CERT_STRIKES = 24
 
 
 class _Capture:
@@ -329,8 +366,10 @@ class _Capture:
                  "unit_counts", "thread_counters", "gseq", "acct",
                  "mem_raw")
 
-    def __init__(self, tick, key, src, mem_refs, counters, unit_counts,
-                 thread_counters, gseq, acct, mem_raw):
+    def __init__(self, tick: int, key: tuple, src: tuple, mem_refs: tuple,
+                 counters: tuple, unit_counts: tuple,
+                 thread_counters: tuple, gseq: int, acct: Any,
+                 mem_raw: tuple) -> None:
         self.tick = tick
         self.key = key
         self.src = src                      # per thread: None | (part, pos, trace)
@@ -346,7 +385,7 @@ class _Capture:
 class FastPath:
     """Per-core hierarchical steady-state detector and fast-forward."""
 
-    def __init__(self, core: "SMTCore"):
+    def __init__(self, core: "SMTCore") -> None:
         self.core = core
         self._st = _stats
         self.jumps = 0
@@ -366,7 +405,7 @@ class FastPath:
         # jumps the pass — wrap episode included — in one step.
         self._pass_map: dict = {}
         self._pass_at = 0
-        self._sig_last = None
+        self._sig_last: Optional[tuple] = None
         self._sig_min = _SIG_MIN0
         self._probes = 0
         self._sleep_until = -1
@@ -404,8 +443,14 @@ class FastPath:
         # arithmetic, which is stream-specific).
         self._retain = False
         self._tiled_only = False
-        self._last_phases = None
+        self._last_phases: Optional[tuple] = None
         self._res_cache: list = []
+        # Certificate-guided capture (repro.check.recurrence): per
+        # thread, the statically certified aligned phase set.  Hints
+        # only — pairing still runs the full canonical proof.
+        self._cert_mode = False
+        self._cert_aligned: Optional[list] = None
+        self._cert_strikes = 0
         cfg = core.config
         # Unit busy/penalty predicates look back at most one interval:
         # next_free older than that is inert and clamps to a sentinel.
@@ -454,8 +499,28 @@ class FastPath:
         # (or whole-iteration) recurrence can show up twice.
         self._tiled_only = all(type(th.gen) is TiledTrace
                                for th in core.threads)
-        self._last_phases: Optional[tuple] = None
+        self._last_phases = None
         self._res_cache = [dict() for _ in core.threads]
+        self._cert_mode = False
+        self._cert_aligned = None
+        self._cert_strikes = 0
+        if self._tiled_only:
+            certs = [getattr(th.gen, "cert", None) for th in core.threads]
+            if all(c is not None for c in certs):
+                if all(c.verdict == "none" for c in certs):
+                    # The certificate proves no phase distance admits a
+                    # constant set-preserving forward shift — exactly
+                    # the match the tiled pairing rules require — so
+                    # dynamic detection cannot jump either.  Skip its
+                    # whole hot-loop cost instead of paying capture
+                    # overhead for a provably fruitless search.
+                    st.bump(st.stand_downs, "cert-none")
+                    return False
+                if all(c.verdict == "recurrent" for c in certs):
+                    self._cert_mode = True
+                    self._cert_aligned = [
+                        frozenset(c.aligned_phases()) for c in certs]
+                    st.cert_runs += 1
         self._armed = True
         st.armed += 1
         return True
@@ -468,6 +533,8 @@ class FastPath:
         """
         if not self._armed or t < self._sleep_until:
             return t
+        if self._cert_mode:
+            return self._cert_probe(t, eff_limit)
         if self._pass_map and t >= self._pass_at:
             nt = self._pass_check(t, eff_limit)
             if nt is not None:
@@ -491,7 +558,7 @@ class FastPath:
             return t
         return self._probe(t)
 
-    def _reset_detection(self, parts, t: int = 0) -> None:
+    def _reset_detection(self, parts: Optional[tuple], t: int = 0) -> None:
         """Restart detection from probing (part transition, or a proven
         period whose dynamics moved on for good)."""
         self._last_parts = parts
@@ -521,10 +588,97 @@ class FastPath:
         self._abort_reasons.clear()
 
     # ------------------------------------------------------------------
+    # Level 0: certificate-guided capture (statically aligned phases)
+    # ------------------------------------------------------------------
+
+    def _cert_probe(self, t: int, eff_limit: int) -> int:
+        """Capture only at phases the recurrence certificate proves
+        aligned, skipping the signature-probe warmup entirely.
+
+        The certificate is a hint, never an authority: anchors pair
+        through the same canonical-key equality and ``_try_pair``
+        proof as dynamic detection, so a wrong certificate can cost
+        captures but not correctness.  When aligned captures
+        persistently fail to revisit a canonical state, the static and
+        dynamic views disagree — record ``cert-mismatch`` and hand the
+        run to the dynamic detector.
+        """
+        aligned = self._cert_aligned
+        if aligned is None:     # pragma: no cover — cert mode sets it
+            return t
+        phs = []
+        for th in self.core.threads:
+            gen: Any = th.gen   # cert mode: every source is TiledTrace
+            if th.gen_done or gen.pos >= gen.count:
+                phs.append(-1)
+            else:
+                phs.append(gen.phase_of(gen.pos))
+        pht = tuple(phs)
+        if pht == self._last_phases:
+            return t
+        self._last_phases = pht
+        live = False
+        for ph, al in zip(phs, aligned):
+            if ph >= 0:
+                if ph not in al:
+                    return t
+                live = True
+        if not live:
+            return t
+        self._capts += 1
+        self._st.captures += 1
+        self._st.cert_captures += 1
+        if self._capts > _CAPTURE_BUDGET:
+            self._armed = False
+            self._st.bump(self._st.stand_downs, "capture-budget")
+            return t
+        cap = self._capture(t)
+        if cap is None:
+            if self._abort_stand_down():
+                return t
+            self._cert_strikes += 1
+            if self._cert_strikes >= _CERT_STRIKES:
+                self._cert_fallback(t)
+            return t
+        self._abort_streak = 0
+        caps = self._seen.get(cap.key)
+        if caps is None:
+            self._remember(cap)
+            self._cert_strikes += 1
+            if self._cert_strikes >= _CERT_STRIKES:
+                self._cert_fallback(t)
+            return t
+        self._cert_strikes = 0
+        first = True
+        for prev in list(caps):
+            nt = self._try_pair(prev, cap, t, eff_limit, first)
+            if nt is not None:
+                if nt >= 0:
+                    self._st.cert_jumps += 1
+                    return nt
+                return t
+            first = False
+        # Key hit but no usable pair (cold transient, horizon): keep
+        # the newest anchor fresh.  The aligned cadence is sparse — one
+        # capture per phase crossing — so no extra backoff is needed.
+        caps[0] = cap
+        self._st.verify_failures += 1
+        return t
+
+    def _cert_fallback(self, t: int) -> None:
+        """Aligned captures never revisited a canonical state: the
+        certificate is wrong for this run (stale geometry, seeded
+        defect, forged fixture).  Fall back to dynamic detection."""
+        self._st.bump(self._st.stand_downs, "cert-mismatch")
+        self._cert_mode = False
+        self._cert_aligned = None
+        self._reset_detection(self._last_parts, t)
+
+    # ------------------------------------------------------------------
     # Level 1: cheap per-boundary signature probing
     # ------------------------------------------------------------------
 
-    def _sig(self, t: int):
+    def _sig(self, t: int) -> Optional[Tuple[tuple, tuple]]:
         """(parts, signature) for this boundary, or None while some
         thread is momentarily unprobeable (a marker part in flight, an
         exhausted trace draining).
@@ -543,7 +697,7 @@ class FastPath:
                 parts.append(-1)
                 src_m: object = -1
             else:
-                gen = th.gen
+                gen: Any = th.gen
                 tg = type(gen)
                 if tg is ChainedSource:
                     at = gen.active_trace()
@@ -592,7 +746,7 @@ class FastPath:
             # the sighting table alive across whole-iteration periods.
             phs = []
             for th in self.core.threads:
-                gen = th.gen
+                gen: Any = th.gen   # tiled-only: every source is tiled
                 if th.gen_done or gen.pos >= gen.count:
                     phs.append(-1)
                 else:
@@ -710,7 +864,7 @@ class FastPath:
         equality, and hands the pair to the normal verify/jump path.
         Returns None when the boundary is not consumed.
         """
-        refs = []
+        refs: List[Optional[int]] = []
         for th in self.core.threads:
             if th.gen_done:
                 refs.append(None)
@@ -918,9 +1072,9 @@ class FastPath:
     # Canonical capture
     # ------------------------------------------------------------------
 
-    def _abort(self, reason: str) -> None:
-        """Count one rejected capture by reason; returns None so abort
-        sites read ``return self._abort("...")``."""
+    def _abort(self, reason: str) -> Optional["_Capture"]:
+        """Count one rejected capture by reason; always returns None so
+        abort sites read ``return self._abort("...")``."""
         self._st.bump(self._st.capture_aborts, reason)
         self._abort_streak += 1
         self._abort_reasons[reason] = self._abort_reasons.get(reason, 0) + 1
@@ -944,22 +1098,22 @@ class FastPath:
     def _capture(self, t: int) -> Optional[_Capture]:
         core = self.core
         threads = core.threads
-        src = []
-        mem_refs = []
-        tiled = []
-        rob_index = []
-        thr_keys = []
-        thread_counters = []
+        src: List[Optional[tuple]] = []
+        mem_refs: List[Any] = []
+        tiled: List[Any] = []
+        rob_index: List[dict] = []
+        thr_keys: List[tuple] = []
+        thread_counters: List[tuple] = []
         phase_mod = self._phase_mod
         for i, th in enumerate(threads):
-            mem_ref = None          # stream-memory head address
-            tt = None               # TiledTrace for tiled threads
-            trefs = None            # its per-region reference vector
+            mem_ref: Optional[int] = None   # stream-memory head address
+            tt: Any = None          # TiledTrace for tiled threads
+            trefs: Any = None       # its per-region reference vector
             if th.gen_done:
                 src.append(None)
                 src_key: object = -1
             else:
-                gen = th.gen
+                gen: Any = th.gen
                 if type(gen) is ChainedSource:
                     at = gen.active_trace()
                     if at is None:
@@ -1379,7 +1533,10 @@ class FastPath:
             if k < 1:
                 return None
 
-        windows_k = (self._windows(cap, dls, tinfo, k)
+        # ``_windows`` rejects independently of k (per-region deltas all
+        # scale by k), and ``windows`` was non-None above, so the ``or``
+        # arm never fires — it only narrows the Optional for the checker.
+        windows_k = ((self._windows(cap, dls, tinfo, k) or [])
                      if windows else [])
 
         # Wrap splice: when the jump lands within one period (plus the
@@ -1443,7 +1600,8 @@ class FastPath:
             self._st.wrap_sleeps += 1
         return t + k * period
 
-    def _windows(self, cap: _Capture, dls, tinfo, k: int):
+    def _windows(self, cap: _Capture, dls: Sequence[int],
+                 tinfo: Sequence[Any], k: int) -> Optional[List[tuple]]:
         """Per-region line windows ``(lo, hi, dl, head, floor)``.
 
         All windows translate linearly by ``k x`` their per-period line
@@ -1512,7 +1670,7 @@ class FastPath:
         return [tuple(w) for w in out.values()]
 
     @staticmethod
-    def _xl(line: int, windows) -> int:
+    def _xl(line: int, windows: Sequence[tuple]) -> int:
         """Line translation.  Windows shift monotonically — an image
         past the region's top returns the ``-1`` sentinel, which
         matches no real line, so verification falls through to the
@@ -1523,7 +1681,8 @@ class FastPath:
                 return nl if nl <= hi else -1
         return line
 
-    def _mem_equal(self, prev: _Capture, cap: _Capture, windows):
+    def _mem_equal(self, prev: _Capture, cap: _Capture,
+                   windows: Sequence[tuple]) -> Optional[tuple]:
         """Element-wise raw verification under the line translation.
 
         Cache sets compare in insertion (= LRU) order and prefetch
@@ -1607,7 +1766,11 @@ class FastPath:
     # ------------------------------------------------------------------
 
     def _apply(self, prev: _Capture, cap: _Capture, k: int, period: int,
-               dps, dls, tinfo, windows_k, plan) -> None:
+               dps: Sequence[int], dls: Sequence[int],
+               tinfo: Sequence[Any], windows_k: Sequence[tuple],
+               plan: tuple) -> None:
+        global _last_jump
+        _last_jump = {"period": period, "k": k, "dps": list(dps)}
         core = self.core
         t = cap.tick
         dt = k * period
@@ -1676,16 +1839,19 @@ class FastPath:
                     u.seq += dseq
         for u in core._drain_q:
             tid = u.thread
+            a = u.addr
+            if a is None:       # drain entries are stores: never None
+                continue
             ti = tinfo[tid]
             if ti is not None:
                 trace = cap.src[tid][2]
-                d = ti[3][trace.region_of(u.addr)] * k
+                d = ti[3][trace.region_of(a)] * k
                 if d:
-                    u.addr += d
+                    u.addr = a + d
             elif dls[tid]:
                 trace = cap.src[tid][2]
                 u.addr = (trace.base
-                          + ((u.addr - trace.base) // trace.stride
+                          + ((a - trace.base) // trace.stride
                              + dps[tid] * k) % trace.wrap_len
                           * trace.stride)
 

@@ -64,6 +64,11 @@ class Instr:
         "issued",
     )
 
+    # ``deps`` starts as the shared empty tuple and is rebound by the
+    # core to the in-flight ``Instr`` objects this µop waits on —
+    # annotated loosely so both shapes type-check.
+    deps: tuple
+
     def __init__(
         self,
         op: Op,

@@ -43,7 +43,8 @@ from __future__ import annotations
 
 import math
 from bisect import bisect_right
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import (Any, Iterable, Iterator, List, Optional, Sequence,
+                    Tuple, Union)
 
 from repro.common.addrspace import Region
 from repro.common.errors import ConfigError
@@ -145,7 +146,7 @@ class CompiledTrace:
         plen = self.pattern_len
         site = self.site
         new = Instr.__new__
-        out = []
+        out: List[Instr] = []
         append = out.append
         if self.is_memory:
             base, stride, wrap = self.base, self.stride, self.wrap_len
@@ -237,7 +238,8 @@ class ChainedSource:
 
     __slots__ = ("parts", "idx")
 
-    def __init__(self, parts):
+    def __init__(self, parts: Iterable[Union[CompiledTrace, OneShot,
+                                             Iterator[Instr]]]):
         self.parts = list(parts)
         self.idx = 0
 
@@ -338,7 +340,8 @@ class TiledTrace:
     """
 
     __slots__ = ("count", "pos", "patterns", "phases", "starts",
-                 "regions", "extents", "_rbases", "_rends", "_phase")
+                 "regions", "extents", "_rbases", "_rends", "_phase",
+                 "cert")
 
     def __init__(
         self,
@@ -358,6 +361,12 @@ class TiledTrace:
         self.count = self.starts[-1]
         self.pos = 0
         self._phase = 0
+        # Optional static recurrence certificate (attached by
+        # repro.check.recurrence.attach_certificate); the fast-forward
+        # reads it as capture hints at arm time.  Typed loosely: the
+        # certificate class lives in repro.check, which must stay
+        # import-independent of the ISA layer.
+        self.cert: Optional[Any] = None
         self._rbases = [r.base for r in self.regions]
         self._rends = [r.end for r in self.regions]
 
@@ -564,7 +573,7 @@ def compile_tiled(source: Iterable, regions: Sequence[Region]) -> TiledTrace:
     for group in groups:
         refs = list(prev_refs)
         seen = [False] * nregions
-        rows = []
+        rows: List[Tuple[Op, Optional[int], tuple, int, int, int]] = []
         for ins in group:
             if ins.effect is not None:
                 raise ConfigError(
@@ -641,7 +650,7 @@ def _compile_arith(spec: StreamSpec) -> CompiledTrace:
     sources = [regs(i) for i in range(8, 8 + 6)]
     ops = spec.ops
     plen = math.lcm(n_targets, len(sources), len(ops))
-    pattern = []
+    pattern: List[Tuple[Op, Optional[int], tuple]] = []
     for i in range(plen):
         dst = targets[i % n_targets]
         src = sources[i % len(sources)]
@@ -656,6 +665,7 @@ def _compile_memory(spec: StreamSpec, region: Region) -> CompiledTrace:
     n_targets = spec.ilp.num_targets
     fp = is_fp(op)
     regs = F if fp else R
+    pattern: List[Tuple[Op, Optional[int], tuple]]
     if is_store(op):
         data_reg = regs(15)
         pattern = [(op, None, (data_reg,))]

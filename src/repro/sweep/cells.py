@@ -48,19 +48,34 @@ class SweepCell:
         """Everything the cache key is derived from (ISSUE contract:
         cell config, simulator config, schema version, repro version)."""
         from repro import __version__
+        from repro.check.recurrence import RECURRENCE_SCHEMA_VERSION
         from repro.cpu.config import CoreConfig
         from repro.mem.config import MemConfig
 
         core = self.core_config if self.core_config is not None else CoreConfig()
         mem = self.mem_config if self.mem_config is not None else MemConfig()
-        return {
+        material = {
             "cell": {"kind": self.kind, "config": self.config},
             "core_config": core.to_dict(),
             "mem_config": mem.to_dict(),
             "cache_schema_version": CACHE_SCHEMA_VERSION,
             "fastpath_schema_version": FASTPATH_SCHEMA_VERSION,
+            "recurrence_schema_version": RECURRENCE_SCHEMA_VERSION,
             "repro_version": __version__,
         }
+        if self.kind == "app-run":
+            # App cells execute under certificate guidance: the
+            # certificates' fingerprints join the key so a recurrence-
+            # pass change invalidates exactly the cells it steers.
+            from repro.check.recurrence import workload_cert_fingerprints
+
+            c = self.config
+            material["cert_fingerprints"] = list(
+                workload_cert_fingerprints(
+                    c["app"], c["variant"],
+                    tuple(sorted(c["size"].items())),
+                    self.mem_config))
+        return material
 
     def key(self) -> str:
         return cache_key(self.key_material())

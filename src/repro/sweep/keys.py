@@ -38,7 +38,10 @@ CACHE_SCHEMA_VERSION = 1
 #: it is part of every cell cache key: if a fast-forward defect were
 #: ever found and fixed, bumping this invalidates every cached entry
 #: that could have been computed through the defective jump engine.
-FASTPATH_SCHEMA_VERSION = 2
+#: v3: certificate-guided capture (repro.check.recurrence) joins the
+#: jump engine — cert-aligned anchors, cert-none disarm, cert-mismatch
+#: fallback.
+FASTPATH_SCHEMA_VERSION = 3
 
 
 def canonicalize(obj: Any) -> Any:

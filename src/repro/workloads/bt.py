@@ -353,7 +353,7 @@ def build(
         name="bt",
         variant=variant,
         factories=tiled_factories(factories, regions,
-                                  variant in _RECORDABLE),
+                                  variant in _RECORDABLE, mem),
         aspace=aspace,
         reference_check=check,
         meta={"grid": grid, "worker_tid": 0, "span_plan": span_plan},

@@ -403,7 +403,7 @@ def build(
         name="cg",
         variant=variant,
         factories=tiled_factories(factories, regions,
-                                  variant in _RECORDABLE),
+                                  variant in _RECORDABLE, mem),
         aspace=aspace,
         reference_check=check,
         meta={

@@ -369,7 +369,7 @@ def build(
         name="lu",
         variant=variant,
         factories=tiled_factories(factories, [state.A.region],
-                                  variant in _RECORDABLE),
+                                  variant in _RECORDABLE, mem),
         aspace=aspace,
         reference_check=state.check,
         meta={

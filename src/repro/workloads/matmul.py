@@ -325,7 +325,7 @@ def build(
         name="mm",
         variant=variant,
         factories=tiled_factories(factories, regions,
-                                  variant in _RECORDABLE),
+                                  variant in _RECORDABLE, mem),
         aspace=aspace,
         reference_check=arrays.check,
         meta={

@@ -1,8 +1,22 @@
-"""CheckReport aggregation: duplicate folding and severity thresholds."""
+"""CheckReport aggregation: duplicate folding, severity thresholds,
+and the versioned JSON contract (golden fixture)."""
+
+import json
+from pathlib import Path
 
 from repro.check import StreamTarget, run_targets
-from repro.check.findings import CheckReport, Finding, Severity
+from repro.check.findings import (
+    CHECK_PASSES,
+    CHECK_SCHEMA_ID,
+    CHECK_SCHEMA_VERSION,
+    CheckReport,
+    Finding,
+    Severity,
+    schema_fingerprint,
+)
 from repro.isa.streams import ILP, StreamSpec
+
+GOLDEN = Path(__file__).parent / "fixtures" / "findings_schema_v2.json"
 
 
 def _finding(message="boom", site="here", severity=Severity.ERROR,
@@ -62,3 +76,53 @@ class TestExitCodeThresholds:
         report = CheckReport()
         for s in Severity:
             assert report.exit_code_at(s) == 0
+
+
+def _canned_report() -> CheckReport:
+    """The exact report the golden fixture was generated from."""
+    report = CheckReport(targets_checked=2, files_linted=1)
+    report.extend([
+        Finding(check="recurrence", severity=Severity.INFO,
+                site="mm/tlp-fine/t0",
+                message="recurrent: 2 window(s), 1 splice(s)",
+                hint="", data={"fingerprint": "deadbeefdeadbeef"}),
+        Finding(check="hazards", severity=Severity.ERROR,
+                site="stream fdiv",
+                message="RAW chain shorter than declared ILP",
+                hint="rotate more targets"),
+    ])
+    return report
+
+
+class TestSchemaContract:
+    """The ``--json`` document is a versioned contract: the envelope
+    carries ``(schema_id, schema_version, schema_fingerprint)`` and the
+    golden fixture pins the byte-exact rendering.  Any layout change
+    must bump :data:`CHECK_SCHEMA_VERSION` and regenerate the fixture —
+    these tests make silent drift impossible.
+    """
+
+    def test_envelope_identifies_schema(self):
+        doc = CheckReport().to_dict()
+        assert doc["schema_id"] == CHECK_SCHEMA_ID == "repro.check/findings"
+        assert doc["schema_version"] == CHECK_SCHEMA_VERSION == 2
+        assert doc["schema_fingerprint"] == schema_fingerprint()
+
+    def test_fingerprint_is_stable_and_well_formed(self):
+        fp = schema_fingerprint()
+        assert fp == schema_fingerprint()
+        assert len(fp) == 16
+        int(fp, 16)  # hex
+
+    def test_recurrence_is_a_known_pass(self):
+        assert "recurrence" in CHECK_PASSES
+
+    def test_golden_fixture_matches_byte_for_byte(self):
+        rendered = json.dumps(_canned_report().to_dict(),
+                              indent=2, sort_keys=True) + "\n"
+        assert rendered == GOLDEN.read_text()
+
+    def test_golden_fixture_pins_the_fingerprint(self):
+        doc = json.loads(GOLDEN.read_text())
+        assert doc["schema_fingerprint"] == schema_fingerprint()
+        assert doc["schema_version"] == CHECK_SCHEMA_VERSION

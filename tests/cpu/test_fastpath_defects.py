@@ -8,7 +8,7 @@ rule out — and asserts the differential harness *kills* the mutant
 the poisoned pair outright).  A surviving mutant would mean the
 verification is vacuous for that class.
 
-The five classes, per the detector's soundness argument:
+The seven classes, per the detector's soundness argument:
 
 * stale prefetch tag      — restore forgets to translate ``_pf_tag``
 * off-by-one wrap splice  — state extrapolates k+1 periods while the
@@ -19,14 +19,22 @@ The five classes, per the detector's soundness argument:
                             pending store commits next
 * dropped monitor delta   — restore loses one counter row's
                             extrapolated delta
+* forged certificate      — a recurrence certificate lifted from a
+                            different trace claims recurrence where
+                            none exists
+* corrupted cert-guided restore — the off-by-one, seeded specifically
+                            under certificate guidance
 """
 
 import pytest
 
+from repro.check.recurrence import attach_certificate
+from repro.common.addrspace import AddressSpace
 from repro.cpu.fastpath import FastPath
 from repro.cpu import fastpath as _fastpath
+from repro.isa import F, Instr, Op
 from repro.isa.streams import ILP, StreamSpec
-from repro.isa.trace import compile_stream
+from repro.isa.trace import PHASE, compile_stream, compile_tiled
 from repro.runtime.program import Program
 
 _ENDLESS = 1 << 30
@@ -184,3 +192,116 @@ def _seed_dropped_monitor_delta(monkeypatch):
 
 def test_dropped_monitor_delta_is_caught(monkeypatch):
     _kill_check(["fload", "iload"], _seed_dropped_monitor_delta, monkeypatch)
+
+
+# -- 6. forged certificate ---------------------------------------------------
+
+def _cyclic_tiled(tiles, passes, lines_per_tile=8):
+    """Genuinely recurrent: ``passes`` sweeps over the same tiles."""
+    aspace = AddressSpace()
+    region = aspace.alloc("a", tiles * lines_per_tile * 64)
+
+    def gen():
+        for _p in range(passes):
+            for tile in range(tiles):
+                base = region.base + tile * lines_per_tile * 64
+                for j in range(lines_per_tile):
+                    yield Instr.load(base + j * 64, dst=F(0))
+                    yield Instr.arith(Op.FADD, dst=F(1), src=F(0))
+                yield PHASE
+
+    return gen, [region]
+
+
+def _aperiodic_tiled(tiles=40, lines_per_tile=8):
+    """Genuinely non-recurrent: one pass, quadratically spaced tiles."""
+    aspace = AddressSpace()
+    region = aspace.alloc("a", tiles * tiles * lines_per_tile * 64)
+
+    def gen():
+        for tile in range(tiles):
+            base = region.base + tile * tile * lines_per_tile * 64
+            for j in range(lines_per_tile):
+                yield Instr.load(base + j * 64, dst=F(0))
+                yield Instr.arith(Op.FADD, dst=F(1), src=F(0))
+            yield PHASE
+
+    return gen, [region]
+
+
+def _run_tiled(gen_factory, regions, fastpath, cert_from=None,
+               horizon=None):
+    trace = compile_tiled(gen_factory(), regions)
+    if cert_from is not None:
+        trace.cert = cert_from
+    else:
+        attach_certificate(trace)
+    prog = Program(fastpath=fastpath)
+    prog.add_thread(lambda api, tr=trace: tr)
+    result = prog.run(stop_at_tick=horizon)
+    return {
+        "ticks": result.ticks,
+        "retired": result.retired,
+        "units": dict(result.unit_issue_counts),
+        "monitor": [list(row) for row in result.monitor.raw],
+    }
+
+
+def test_forged_certificate_is_caught():
+    """A certificate lifted from a recurrent trace and forged onto an
+    aperiodic one must die twice over: the machine check rejects it
+    statically, and the runtime — which treats certificates as capture
+    hints, never as proof — stays byte-identical anyway, recording
+    ``cert-mismatch`` once the aligned captures go nowhere."""
+    cyc_gen, cyc_regions = _cyclic_tiled(tiles=4, passes=128)
+    donor = attach_certificate(compile_tiled(cyc_gen(), cyc_regions))
+    forged = donor.cert
+    assert forged.verdict == "recurrent"
+
+    ape_gen, ape_regions = _aperiodic_tiled()
+    victim = compile_tiled(ape_gen(), ape_regions)
+    assert attach_certificate(
+        compile_tiled(ape_gen(), ape_regions)).cert.verdict == "none"
+
+    # Static kill: validate() re-derives every claim against the trace.
+    problems = forged.validate(victim)
+    assert problems, "machine check must reject the forged certificate"
+
+    # Runtime kill: hint-only consumption cannot corrupt results.
+    baseline = _run_tiled(ape_gen, ape_regions, False)
+    _fastpath.reset_stats()
+    poisoned = _run_tiled(ape_gen, ape_regions, True, cert_from=forged)
+    st = _fastpath.stats()
+    assert poisoned == baseline, (
+        "a forged certificate must never change simulated results")
+    assert st.cert_runs == 1, "the forgery must actually arm cert mode"
+    assert st.jumps == 0
+    assert st.stand_downs.get("cert-mismatch", 0) == 1
+
+
+# -- 7. corrupted cert-guided restore ----------------------------------------
+
+def test_cert_guided_restore_off_by_one_is_caught(monkeypatch):
+    """Certificate guidance changes where captures happen, not what a
+    jump must prove — so the differential harness must kill a corrupted
+    restore under cert guidance exactly as it does under dynamic
+    detection."""
+    # A horizon well inside the trace: the honest jump's k is capped by
+    # the clock, not by trace exhaustion, so the k+1 mutant has trace
+    # headroom to diverge into instead of tripping the cursor guard.
+    gen, regions = _cyclic_tiled(tiles=4, passes=512)
+    horizon = 40_000
+    baseline = _run_tiled(gen, regions, False, horizon=horizon)
+    _fastpath.reset_stats()
+    stock = _run_tiled(gen, regions, True, horizon=horizon)
+    assert stock == baseline, "stock cert-guided fastpath must be invisible"
+    assert _fastpath.stats().cert_jumps >= 1, (
+        "fixture run must jump under certificate guidance")
+
+    _seed_off_by_one_splice(monkeypatch)
+    _fastpath.reset_stats()
+    mutated = _run_tiled(gen, regions, True, horizon=horizon)
+    assert _fastpath.stats().cert_jumps >= 1, (
+        "mutant must still jump — a refusal to engage proves nothing")
+    assert mutated != baseline, (
+        "seeded defect survived under certificate guidance")

@@ -199,6 +199,105 @@ class TestCaptureAbortTaxonomy:
         assert fp._abort_stand_down() and not fp._armed
 
 
+def _tiled_loop_program(tiles, passes, lines_per_tile=8):
+    """A cyclic tiled workload: ``passes`` sweeps over ``tiles`` tiles
+    of the same region.  Certifies ``recurrent`` (whole-pass identity:
+    window deltas all zero at dphase == tiles), and after the cache
+    warms the canonical key recurs pass over pass — the ideal
+    certificate-guided case, in miniature."""
+    from repro.check.recurrence import attach_certificate
+    from repro.common.addrspace import AddressSpace
+    from repro.isa import F
+    from repro.isa.trace import PHASE, compile_tiled
+
+    aspace = AddressSpace()
+    region = aspace.alloc("a", tiles * lines_per_tile * 64)
+
+    def gen():
+        for _p in range(passes):
+            for tile in range(tiles):
+                base = region.base + tile * lines_per_tile * 64
+                for j in range(lines_per_tile):
+                    yield Instr.load(base + j * 64, dst=F(0))
+                    yield Instr.arith(Op.FADD, dst=F(1), src=F(0))
+                yield PHASE
+
+    trace = attach_certificate(compile_tiled(gen(), [region]))
+    prog = Program(fastpath=True)
+    prog.add_thread(lambda api, tr=trace: tr)
+    return prog, trace
+
+
+class TestCertificateGuidance:
+    """The certificate-guided arm's accounting: cert-mode runs land in
+    their own counters (``cert_runs``/``cert_captures``/``cert_jumps``)
+    and the two stand-down verdicts — ``cert-none`` (proven fruitless,
+    detection skipped) and ``cert-mismatch`` (static and dynamic views
+    disagree, dynamic detection takes over) — are attributed exactly."""
+
+    def test_cert_guided_run_jumps_under_cert_counters(self):
+        prog, trace = _tiled_loop_program(tiles=4, passes=128)
+        assert trace.cert.verdict == "recurrent"
+        prog.run()
+        st = _fastpath.stats()
+        assert st.cert_runs == 1
+        assert st.cert_captures >= 1
+        assert st.cert_jumps >= 1
+        assert st.jumps >= st.cert_jumps
+        assert st.ticks_skipped > 0
+        assert st.stand_downs == {}
+
+    def test_cert_none_stands_down_without_any_capture(self):
+        """Quadratic tile spacing: no phase distance admits a constant
+        set-preserving shift, so the certificate proves the search
+        fruitless and the run never arms at all."""
+        from repro.check.recurrence import attach_certificate
+        from repro.common.addrspace import AddressSpace
+        from repro.isa import F
+        from repro.isa.trace import PHASE, compile_tiled
+
+        aspace = AddressSpace()
+        region = aspace.alloc("a", 24 * 24 * 8 * 64)
+
+        def gen():
+            for tile in range(24):
+                base = region.base + tile * tile * 8 * 64
+                for j in range(8):
+                    yield Instr.load(base + j * 64, dst=F(0))
+                    yield Instr.arith(Op.FADD, dst=F(1), src=F(0))
+                yield PHASE
+
+        trace = attach_certificate(compile_tiled(gen(), [region]))
+        assert trace.cert.verdict == "none"
+        prog = Program(fastpath=True)
+        prog.add_thread(lambda api, tr=trace: tr)
+        prog.run()
+        st = _fastpath.stats()
+        assert st.stand_downs == {"cert-none": 1}
+        assert st.armed == 0 and st.captures == 0 and st.jumps == 0
+        assert st.cert_runs == 0
+
+    def test_cert_mismatch_falls_back_to_dynamic_detection(self):
+        """Eight tiles per pass: the cache warms slower than the strike
+        budget, so aligned captures never revisit a canonical state in
+        time.  The run must record ``cert-mismatch`` — not a generic
+        bucket — and hand the rest of the run to dynamic detection
+        instead of disarming."""
+        prog, trace = _tiled_loop_program(tiles=8, passes=64)
+        assert trace.cert.verdict == "recurrent"
+        prog.run()
+        st = _fastpath.stats()
+        assert st.stand_downs.get("cert-mismatch", 0) == 1
+        assert st.cert_runs == 1
+        assert st.cert_captures >= 1
+        assert st.cert_jumps == 0
+        assert "capture-budget" not in st.stand_downs
+        assert "probe-budget" not in st.stand_downs
+        # The fallback re-armed dynamic detection rather than standing
+        # the run down outright.
+        assert st.armed == 1
+
+
 class TestCountersDoNotPerturbResults:
     def test_counters_are_pure_observers(self):
         r1 = measure_stream_cpi("iadd", ILP.MAX, 2, horizon_ticks=H)

@@ -72,6 +72,45 @@ class TestFig2RefreshGuard:
         golden_check("fig2_fastpath_guard", report)
 
 
+class TestCertificationRefreshGuard:
+    """Certificates are capture hints, never inputs to the result: the
+    same app report must come out byte-identical with certification
+    active (certificate-guided captures), stripped (build-time
+    attachment disabled, pure dynamic detection), and on a warm replay
+    with certification active."""
+
+    @pytest.fixture(scope="class")
+    def certified(self):
+        _fastpath.reset_stats()
+        report = _app_report(True)
+        snap = _fastpath.stats().to_dict()
+        # The regime must actually differ: some cell armed in cert mode
+        # or stood down on a proven-fruitless certificate.
+        assert snap["cert_runs"] >= 1 or \
+            snap["stand_downs"].get("cert-none", 0) >= 1
+        return report
+
+    def test_certified_matches_fixture(self, certified, golden_check):
+        golden_check("apps_fastpath_guard", certified)
+
+    def test_stripped_certification_matches(self, certified, monkeypatch):
+        import repro.check.recurrence as _rec
+
+        monkeypatch.setattr(_rec, "attach_certificate",
+                            lambda trace, *a, **kw: trace)
+        _fastpath.reset_stats()
+        report = _app_report(True)
+        assert report == certified
+        assert _fastpath.stats().cert_runs == 0, (
+            "stripping certification must leave no cert-mode runs")
+
+    def test_warm_certified_replay_matches(self, certified, golden_check):
+        _app_report(True)                      # warm the caches
+        report = _app_report(True)             # replay
+        assert report == certified
+        golden_check("apps_fastpath_guard", report)
+
+
 class TestAppRefreshGuard:
     @pytest.fixture(scope="class")
     def stepped(self):
