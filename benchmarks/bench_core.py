@@ -15,7 +15,9 @@ A second app section (``apps_certified``) A/Bs certificate-guided
 capture against pure dynamic detection with the fast-forward on in
 both arms — what the static recurrence certificates
 (:mod:`repro.check.recurrence`) buy on top of the detector, again at
-asserted-equal results.
+asserted-equal results.  A third section (``pairs_certified``) does
+the same for dual-stream cells: pair-certificate-guided joint capture
+(:mod:`repro.check.compose`) against dynamic super-period detection.
 
 ``--smoke`` reruns only the small ``quick`` section and fails (exit 1)
 if its speedup regressed more than 25% against the committed
@@ -62,6 +64,16 @@ PAIR_SUBSET = (("fadd", "fmul"), ("fmul", "fmul"), ("iadd", "imul"),
 #: subset.
 MEM_PAIR_SUBSET = (("fload", "iload"), ("fstore", "istore"),
                    ("fadd-mul", "iload"))
+
+#: Pair-certificate A/B subset: the parity case (fload+iload — joint
+#: cycle as visible dynamically as statically), the wrap case
+#: (fstore+istore — residue anchors survive where dynamic signatures
+#: relearn), the divider orbit (fdiv+fdiv — the joint period is 6
+#: positions but thousands of ticks, the dynamic detector's worst
+#: search), and the honest fallback (fadd-mul+iload — genuinely
+#: aperiodic jointly, the certificate must strike out and stand down).
+PAIR_CERT_SUBSET = (("fload", "iload"), ("fstore", "istore"),
+                    ("fdiv", "fdiv"), ("fadd-mul", "iload"))
 
 #: Tiled app workloads for the tile-level (PhaseMarker) fast-forward.
 #: cg uses a deeper solve than the figure default: its whole-iteration
@@ -246,6 +258,71 @@ def _apps_certified():
     }
 
 
+def _run_pair_on(a, b, certified):
+    """One fastpath-on pair run, with or without the pair certificate.
+
+    Suppressing ``attach_pair_certificate`` leaves the runtime on pure
+    dynamic super-period detection — the exact arm the joint-lattice
+    capture replaced — so the pair times what static composition buys
+    at equal results.
+    """
+    from repro.cpu import fastpath as _fastpath
+
+    orig = _fastpath.attach_pair_certificate
+    if not certified:
+        _fastpath.attach_pair_certificate = lambda cert: None
+    _fastpath.reset_stats()
+    try:
+        r = run_pair_cpis(a, b, ilp=ILP.MAX, fastpath=True)
+    finally:
+        _fastpath.attach_pair_certificate = orig
+    st = _fastpath.stats()
+    return r, {"coverage": round(st.coverage, 4), "jumps": st.jumps,
+               "pair_cert_runs": st.pair_cert_runs,
+               "pair_cert_jumps": st.pair_cert_jumps,
+               "stand_downs": st.to_dict()["stand_downs"]}
+
+
+def _pairs_certified():
+    """Pair-certificate-guided vs dynamic detection (fastpath on both).
+
+    ``speedup`` is dynamic-arm seconds over certified-arm seconds: what
+    the composed joint lattice buys on top of the dynamic super-period
+    detector, at byte-identical results.
+    """
+    per_pair = {}
+    for a, b in PAIR_CERT_SUBSET:
+        t0 = time.perf_counter()    # check: allow(wall-clock)
+        r_dyn, c_dyn = _run_pair_on(a, b, certified=False)
+        sec_dyn = time.perf_counter() - t0  # check: allow(wall-clock)
+        t0 = time.perf_counter()    # check: allow(wall-clock)
+        r_cert, c_cert = _run_pair_on(a, b, certified=True)
+        sec_cert = time.perf_counter() - t0  # check: allow(wall-clock)
+        if r_dyn != r_cert:
+            raise AssertionError(
+                "pair certification changed results; refusing to "
+                "record timings for inequivalent work")
+        per_pair[f"{a}+{b}"] = {
+            "seconds_dynamic": round(sec_dyn, 3),
+            "seconds_certified": round(sec_cert, 3),
+            "speedup": round(sec_dyn / sec_cert, 2),
+            "coverage_dynamic": c_dyn["coverage"],
+            "coverage_certified": c_cert["coverage"],
+            "jumps_dynamic": c_dyn["jumps"],
+            "pair_cert_runs": c_cert["pair_cert_runs"],
+            "pair_cert_jumps": c_cert["pair_cert_jumps"],
+            "stand_downs_certified": c_cert["stand_downs"],
+        }
+    sec_dyn = sum(c["seconds_dynamic"] for c in per_pair.values())
+    sec_cert = sum(c["seconds_certified"] for c in per_pair.values())
+    return {
+        "seconds_dynamic": round(sec_dyn, 3),
+        "seconds_certified": round(sec_cert, 3),
+        "speedup": round(sec_dyn / sec_cert, 2),
+        "per_pair": per_pair,
+    }
+
+
 def smoke() -> int:
     """CI perf gate: quick-section speedup within 25% of committed."""
     committed = json.loads(OUT.read_text())["quick"]["speedup"]
@@ -279,6 +356,7 @@ def main(argv=None) -> int:
         "fig2_mem": _ab(_fig2_mem),
         "apps": _apps(),
         "apps_certified": _apps_certified(),
+        "pairs_certified": _pairs_certified(),
     }
     # ``total_seconds`` is the ledger's trajectory metric and must keep
     # measuring the same thing across entries: the off/on A/B sections.

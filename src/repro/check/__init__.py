@@ -1,6 +1,6 @@
 """Static analysis for simulated experiments (no simulation required).
 
-Seven passes over a bounded symbolic unrolling of an experiment:
+Eight passes over a bounded symbolic unrolling of an experiment:
 
 1. **hazards** — RAW/WAW chain walking confirms a stream's declared
    ILP (|T|) matches the dependence-chain width it realizes;
@@ -22,7 +22,12 @@ Seven passes over a bounded symbolic unrolling of an experiment:
    where steady-state recurrence lives (period lattices, tiled
    recurrence windows, guard splices) and emits versioned,
    machine-checkable certificates the fast-forward consumes as
-   capture hints (:mod:`repro.check.recurrence`).
+   capture hints (:mod:`repro.check.recurrence`);
+8. **compose** — composes two solo stream lattices into joint
+   super-period pair certificates (lcm lattice, RR fetch parity,
+   interference windows cross-checked against the model's pair
+   envelopes, guard-aware splice windows) guiding the dual-thread
+   fast-forward (:mod:`repro.check.compose`).
 
 Surfaces: the ``repro check`` CLI verb (human or ``--json`` output),
 ``repro certify`` (certificate inventory and static/dynamic agreement
@@ -30,6 +35,14 @@ check), and :func:`preflight_cells`, the fail-fast gate the sweep
 engine runs before simulating anything.
 """
 
+from repro.check.compose import (
+    COMPOSE_SCHEMA_VERSION,
+    InterferenceWindow,
+    PairCertificate,
+    PairSplice,
+    compose_pair,
+    pair_inventory,
+)
 from repro.check.findings import (
     CHECK_SCHEMA_ID,
     CHECK_SCHEMA_VERSION,
@@ -65,6 +78,7 @@ from repro.check.runner import load_experiment, run_targets
 from repro.check.spans import verify_span_plan, verify_span_request
 from repro.check.targets import (
     CheckTarget,
+    ComposeTarget,
     InstrsTarget,
     PairTarget,
     ProgramTarget,
@@ -72,6 +86,7 @@ from repro.check.targets import (
     SpanTarget,
     StreamTarget,
     WorkloadTarget,
+    compose_targets,
     default_targets,
     recurrence_targets,
     stream_targets,
@@ -82,12 +97,17 @@ from repro.check.units import pair_contention, verify_ops
 __all__ = [
     "CHECK_SCHEMA_ID",
     "CHECK_SCHEMA_VERSION",
+    "COMPOSE_SCHEMA_VERSION",
     "RECURRENCE_SCHEMA_VERSION",
     "ChainStats",
     "CheckReport",
     "CheckTarget",
+    "ComposeTarget",
     "Finding",
     "InstrsTarget",
+    "InterferenceWindow",
+    "PairCertificate",
+    "PairSplice",
     "PairTarget",
     "PatternFamily",
     "ProgramTarget",
@@ -106,12 +126,15 @@ __all__ = [
     "certify_tiled",
     "certify_trace",
     "chain_stats",
+    "compose_pair",
+    "compose_targets",
     "default_targets",
     "detect_races",
     "lint_paths",
     "lint_source",
     "load_experiment",
     "pair_contention",
+    "pair_inventory",
     "preflight_cells",
     "recurrence_targets",
     "run_targets",

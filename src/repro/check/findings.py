@@ -23,8 +23,9 @@ from typing import Any, Dict, Iterable, List, Set, Tuple
 
 #: Bumped on any change to the JSON finding layout.  v2 added the
 #: schema id/fingerprint pair to the report envelope and the
-#: ``recurrence`` pass (certificate findings) to the check vocabulary.
-CHECK_SCHEMA_VERSION = 2
+#: ``recurrence`` pass (certificate findings) to the check vocabulary;
+#: v3 added the ``compose`` pass (pair-certificate findings).
+CHECK_SCHEMA_VERSION = 3
 
 #: Stable name of this document family; consumers key migrations on
 #: ``(schema_id, schema_version)`` rather than guessing from shape.
@@ -35,6 +36,7 @@ CHECK_SCHEMA_ID = "repro.check/findings"
 #: though the JSON layout is unchanged.
 CHECK_PASSES = (
     "hazards", "units", "races", "spans", "model", "lint", "recurrence",
+    "compose",
 )
 
 

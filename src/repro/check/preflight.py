@@ -133,6 +133,46 @@ def _check_app(cell: Any) -> List[Finding]:
     return findings
 
 
+def _check_pair_cert(cell: Any) -> List[Finding]:
+    """Machine-check the composed pair certificate a dual-stream cell
+    is about to execute under.
+
+    The fast-forward re-derives both lattices at arm time and absorbs
+    a bad certificate byte-identically, so this gate costs nothing in
+    correctness — it exists so a forged or stale
+    :class:`~repro.check.compose.PairCertificate` is killed *before*
+    any simulation or cache write, with a finding naming the defect
+    instead of a silent runtime stand-down.  It validates the exact
+    certificate the runtime will attach (the memoized one), not a
+    fresh composition, so a poisoned cache entry cannot slip past.
+    """
+    from repro.check.compose import (
+        _stream_trace,
+        cached_pair_certificate,
+        mem_token,
+    )
+    from repro.isa.streams import ILP, STREAM_OPS
+
+    config = cell.config
+    name_a = config["stream_a"]
+    name_b = config["stream_b"]
+    ilp_name = config["ilp"]
+    if name_a not in STREAM_OPS or name_b not in STREAM_OPS \
+            or ilp_name not in ILP.__members__:
+        return []       # _check_stream already reported the defect
+    cert = cached_pair_certificate(name_a, name_b, ilp_name,
+                                   mem_token(cell.mem_config))
+    ilp = ILP[ilp_name]
+    site = f"pair {name_a}+{name_b} ({ilp_name} ILP)"
+    return [Finding(
+        check="compose", severity=Severity.ERROR, site=site,
+        message=f"pair certificate fails its machine check: {p}",
+        hint="the certificate does not describe the streams this "
+             "cell will run; re-enumerate or re-certify",
+    ) for p in cert.validate(_stream_trace(name_a, ilp),
+                             _stream_trace(name_b, ilp))]
+
+
 def preflight_cells(cells: Sequence[Any]) -> List[Finding]:
     """Statically analyze ``cells``; raise :class:`CheckError` on ERROR.
 
@@ -152,6 +192,7 @@ def preflight_cells(cells: Sequence[Any]) -> List[Finding]:
                 findings.extend(_check_stream(
                     config[f"stream_{which}"], config["ilp"],
                     config.get(f"recipe_{which}"), cell.core_config))
+            findings.extend(_check_pair_cert(cell))
         elif cell.kind in ("app-run", "table1-row"):
             if cell.kind == "table1-row":
                 from repro.sweep.cells import workload_fingerprint
@@ -183,6 +224,7 @@ def preflight_cells(cells: Sequence[Any]) -> List[Finding]:
             f"pre-flight check failed at {head.site}: {head.message}"
             f"{more} — nothing was simulated or cached; "
             f"run `repro check` for the full report or pass --no-check "
-            f"to skip pre-flight"
+            f"to skip pre-flight",
+            check=head.check,
         )
     return findings

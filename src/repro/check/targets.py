@@ -219,6 +219,30 @@ class RecurrenceTarget(CheckTarget):
         return recurrence_findings(self.app, self.variant, self.size)
 
 
+@dataclass
+class ComposeTarget(CheckTarget):
+    """One fig.-2 stream pair: static pair-composition certification.
+
+    The eighth pass — composes the two solo recurrence lattices into a
+    :class:`~repro.check.compose.PairCertificate` and machine-checks
+    every claim against the freshly compiled traces.  INFO findings
+    summarize the joint lattice; an ERROR means the pass disagrees
+    with itself, which must fail the check run.
+    """
+
+    stream_a: str
+    stream_b: str
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"compose {self.stream_a}+{self.stream_b}"
+
+    def check(self) -> List[Finding]:
+        from repro.check.compose import compose_findings
+
+        return compose_findings(self.stream_a, self.stream_b)
+
+
 def stream_targets(core_config: Any = None) -> List[CheckTarget]:
     """Every shipped stream at every ILP level (42 targets)."""
     return [
@@ -257,7 +281,14 @@ def recurrence_targets() -> List[CheckTarget]:
     return out
 
 
+def compose_targets() -> List[CheckTarget]:
+    """Every fig.-2 pair (fp x fp, int x int, fp x int; 39 targets)."""
+    from repro.check.compose import fig2_pairs
+
+    return [ComposeTarget(a, b) for a, b in fig2_pairs()]
+
+
 def default_targets(budget: int = races.DEFAULT_BUDGET) -> List[CheckTarget]:
     """Everything the repo ships, checkable without simulating."""
     return [*stream_targets(), *workload_targets(budget=budget),
-            *recurrence_targets()]
+            *recurrence_targets(), *compose_targets()]

@@ -14,6 +14,7 @@
     python -m repro check --fail-on warn      # warnings fail too (CI)
     python -m repro certify --json            # recurrence certificates
     python -m repro certify --verify          # + static/dynamic agreement
+    python -m repro certify --pairs --verify  # + joint pair certificates
     python -m repro model                     # provable CPI/slowdown bounds
     python -m repro model --ilp max --json
 
@@ -37,6 +38,12 @@ without simulating anything.  ``--verify`` additionally machine-checks
 each app certificate against its own trace and replays every
 recordable cell with the fast-forward disabled, exiting non-zero on
 any static/dynamic disagreement (the CI ``certify`` gate).
+``--pairs`` adds the :mod:`repro.check.compose` pass: a joint
+super-period certificate for every fig.-2 pair; with ``--verify``,
+each pair is also replayed dual-threaded under certificate guidance,
+its CPIs must match the fast-forward-disabled replay byte-for-byte,
+and every observed jump's per-thread position delta must lie on the
+certified period lattice.
 
 ``repro model`` (the :mod:`repro.model` analyzer) prints, without
 simulating anything, the provable CPI interval of every §4 stream
@@ -276,6 +283,11 @@ def _parser() -> argparse.ArgumentParser:
                     "trace and replay each recordable cell with the "
                     "fast-forward disabled; any static/dynamic "
                     "disagreement fails the run")
+    cf.add_argument("--pairs", action="store_true",
+                    help="include the fig.-2 pair-composition "
+                    "certificates (joint super-period lattices); with "
+                    "--verify, also replay every pair dual-threaded and "
+                    "check each observed jump against the joint lattice")
 
     md = sub.add_parser(
         "model",
@@ -629,13 +641,79 @@ def _certify_verify(app_sizes: str) -> list:
     return problems
 
 
+#: Dual-thread replay horizon of the ``certify --pairs --verify``
+#: gate, in ticks: past every stream's warm-up, long enough for the
+#: guided fast-forward to land jumps on dense lattices, and cheap
+#: enough to sweep all 39 fig.-2 pairs twice in a CI leg.
+_PAIR_VERIFY_HORIZON = 60_000
+
+
+def _certify_verify_pairs() -> list:
+    """The ``certify --pairs --verify`` gate over the fig.-2 matrix.
+
+    Per pair: (a) the composed certificate must pass its own
+    :meth:`validate` machine check against freshly compiled traces;
+    (b) a dual-thread replay under certificate guidance must produce
+    CPIs byte-identical to the fast-forward-disabled replay; (c) if
+    the guided run applied a jump, each thread's position delta must
+    lie on the certified period lattice (static joint period divides
+    every dynamic jump delta).
+    """
+    from repro.check.compose import _stream_trace, compose_pair, fig2_pairs
+    from repro.core.coexec import run_pair_cpis
+    from repro.cpu import fastpath
+    from repro.isa.streams import ILP
+
+    problems = []
+    for a, b in fig2_pairs():
+        label = f"pair {a}+{b}"
+        cert = compose_pair(a, b)
+        issues = cert.validate(_stream_trace(a, ILP.MAX),
+                               _stream_trace(b, ILP.MAX))
+        for issue in issues:
+            problems.append(f"{label}: certificate fails its machine "
+                            f"check: {issue}")
+        if issues:
+            continue
+        before = fastpath.last_jump()
+        guided = run_pair_cpis(a, b, ILP.MAX,
+                               horizon_ticks=_PAIR_VERIFY_HORIZON,
+                               fastpath=True)
+        jump = fastpath.last_jump()
+        plain = run_pair_cpis(a, b, ILP.MAX,
+                              horizon_ticks=_PAIR_VERIFY_HORIZON,
+                              fastpath=False)
+        if guided != plain:
+            problems.append(
+                f"{label}: static/dynamic disagreement — certificate-"
+                f"guided CPIs {guided} differ from the fast-forward-"
+                f"disabled replay {plain}")
+        if jump is not None and jump is not before:
+            periods = (cert.period_a, cert.period_b)
+            for tid, dp in enumerate(jump["dps"]):
+                period = periods[tid] if tid < len(periods) else 0
+                if period > 0 and dp % period != 0:
+                    problems.append(
+                        f"{label}/t{tid}: dynamic jump delta {dp} is "
+                        f"off the certified period-{period} lattice")
+    return problems
+
+
 def _cmd_certify(args: argparse.Namespace) -> int:
     from repro.check.recurrence import certificate_inventory
 
     inventory = certificate_inventory(app_sizes=args.app_sizes)
+    if args.pairs:
+        from repro.check.compose import pair_inventory
+
+        pinv = pair_inventory()
+        inventory["compose_schema_version"] = pinv["schema_version"]
+        inventory["pairs"] = pinv["pairs"]
     problems = []
     if args.verify:
         problems = _certify_verify(args.app_sizes)
+        if args.pairs:
+            problems.extend(_certify_verify_pairs())
         inventory["verify"] = {"ok": not problems, "problems": problems}
     payload = json.dumps(inventory, indent=2, sort_keys=True)
     if args.out:
@@ -656,6 +734,9 @@ def _cmd_certify(args: argparse.Namespace) -> int:
               f"({_tally(inventory['streams'])})")
         print(f"  apps:    {len(inventory['apps'])} "
               f"({_tally(inventory['apps'])})")
+        if args.pairs:
+            print(f"  pairs:   {len(inventory['pairs'])} "
+                  f"({_tally(inventory['pairs'])})")
         for entry in inventory["apps"]:
             windows = entry.get("windows") or []
             print(f"    {entry['subject']}: {entry['verdict']}"

@@ -26,7 +26,16 @@ class CacheError(ReproError):
 class CheckError(ReproError):
     """Raised when static analysis (:mod:`repro.check`) rejects an
     experiment before simulation — e.g. the sweep pre-flight finding a
-    stream whose realized ILP contradicts its declaration."""
+    stream whose realized ILP contradicts its declaration.
+
+    ``check`` names the analysis pass whose finding triggered the
+    rejection (e.g. ``"preflight"``, ``"compose"``) so callers can
+    account rejections per pass without parsing the message.
+    """
+
+    def __init__(self, message: str, check: str = "") -> None:
+        super().__init__(message)
+        self.check = check
 
 
 class ModelViolation(CheckError):

@@ -137,7 +137,15 @@ class FastpathStats:
       statically aligned phases), ``cert_jumps`` (jumps whose anchor
       pair formed under certificate guidance).  Kept separate from
       the dynamic counters so certificate-guided cells land in their
-      own acceptance column.
+      own acceptance column;
+    * pair-certificate counters — ``pair_cert_runs`` /
+      ``pair_cert_captures`` / ``pair_cert_jumps``, the dual-thread
+      analogues driven by a :class:`~repro.check.compose.
+      PairCertificate` (joint lattice residue capture).  The matching
+      stand-downs are ``pair-cert-none`` (the composition proves a
+      side admits no sound translation) and ``pair-cert-mismatch``
+      (the certificate disagrees with the traces or its guided
+      captures never paired — dynamic detection takes over).
 
     The counters are *observers only*: they never influence detection,
     so results stay byte-identical whether anyone reads them.  Workers
@@ -149,7 +157,8 @@ class FastpathStats:
     __slots__ = ("runs", "armed", "captures", "jumps", "ticks_skipped",
                  "ticks_total", "verify_failures", "wrap_sleeps",
                  "cert_runs", "cert_captures", "cert_jumps",
-                 "stand_downs", "capture_aborts")
+                 "pair_cert_runs", "pair_cert_captures",
+                 "pair_cert_jumps", "stand_downs", "capture_aborts")
 
     def __init__(self) -> None:
         self.reset()
@@ -166,6 +175,9 @@ class FastpathStats:
         self.cert_runs = 0
         self.cert_captures = 0
         self.cert_jumps = 0
+        self.pair_cert_runs = 0
+        self.pair_cert_captures = 0
+        self.pair_cert_jumps = 0
         self.stand_downs: dict = {}
         self.capture_aborts: dict = {}
 
@@ -191,6 +203,9 @@ class FastpathStats:
             "cert_runs": self.cert_runs,
             "cert_captures": self.cert_captures,
             "cert_jumps": self.cert_jumps,
+            "pair_cert_runs": self.pair_cert_runs,
+            "pair_cert_captures": self.pair_cert_captures,
+            "pair_cert_jumps": self.pair_cert_jumps,
             "stand_downs": {k: self.stand_downs[k]
                             for k in sorted(self.stand_downs)},
             "capture_aborts": {k: self.capture_aborts[k]
@@ -235,6 +250,29 @@ def merge_stats(into: dict, snap: dict) -> dict:
         else:
             into[k] = into.get(k, 0) + v
     return into
+
+
+#: Pair certificate staged for the next run's arm gate.  Set by
+#: :func:`attach_pair_certificate` just before a dual-thread run and
+#: consumed (cleared) by the first ``prepare()`` — the certificate is
+#: per-run, never process-sticky, so a later cell cannot inherit a
+#: stale hint.
+_pending_pair_cert: Optional[Any] = None
+
+
+def attach_pair_certificate(cert: Optional[Any]) -> None:
+    """Stage a :class:`~repro.check.compose.PairCertificate` for the
+    next dual-thread run.
+
+    Hints, never authority: ``prepare()`` re-derives both sides'
+    lattices from the actual traces and refuses guidance on any
+    mismatch (``pair-cert-mismatch``, dynamic detection takes over); a
+    ``none`` verdict stands the detector down outright
+    (``pair-cert-none``) because the composition *proves* the dynamic
+    detector cannot jump either.  Every guided jump still passes the
+    full structural snapshot proof."""
+    global _pending_pair_cert
+    _pending_pair_cert = cert
 
 
 def set_default_enabled(on: bool) -> None:
@@ -357,6 +395,20 @@ _BURST_MISSES = 6
 #: straight misses means the static and dynamic views genuinely
 #: disagree — not that the run is still warming up.
 _CERT_STRIKES = 24
+#: Initial tick backoff between pair-certificate-guided captures that
+#: missed (no canonical key hit).  Arithmetic lattices are dense (a
+#: handful of positions), so a residue crossing alone cannot throttle
+#: capture cost during warm-up; misses double the backoff up to
+#: :data:`_PAIR_BACKOFF_MAX` and any key hit resets it.
+_PAIR_BACKOFF0 = 8
+_PAIR_BACKOFF_MAX = 4096
+#: Pair-certificate anchor table bound: joint residue vectors already
+#: captured once.  Recurrences of an anchored vector share its
+#: canonical key, so every later capture there pairs immediately; a
+#: handful per co-execution epoch is plenty, and the oldest anchor is
+#: evicted when a new epoch (a vector wrap re-aligning the threads)
+#: mints fresh ones.
+_PAIR_ANCHORS = 8
 
 
 class _Capture:
@@ -451,6 +503,24 @@ class FastPath:
         self._cert_mode = False
         self._cert_aligned: Optional[list] = None
         self._cert_strikes = 0
+        # Pair-certificate-guided capture (repro.check.compose): per
+        # thread, the statically certified position-lattice generator.
+        # A joint lattice-residue vector seen twice provably lies on
+        # the steady-state joint limit cycle (warm-up states never
+        # recur), so fresh revisits mint capture anchors on a backoff
+        # cadence — no signature warmup needed.  Anchored vectors
+        # (captured once already) capture at every recurrence: the
+        # canonical key is a function of the joint residues, so each
+        # such capture pairs with the anchor held in the key table.  A
+        # key miss at an anchored vector means the static lattice and
+        # the dynamics disagree (that is what strikes count).
+        self._pair_cert_mode = False
+        self._pair_periods: Optional[tuple] = None
+        self._pair_res_seen: dict = {}
+        self._pair_caught: dict = {}
+        self._pair_strikes = 0
+        self._pair_next = 0
+        self._pair_backoff = _PAIR_BACKOFF0
         cfg = core.config
         # Unit busy/penalty predicates look back at most one interval:
         # next_free older than that is inert and clamps to a sentinel.
@@ -504,6 +574,18 @@ class FastPath:
         self._cert_mode = False
         self._cert_aligned = None
         self._cert_strikes = 0
+        self._pair_cert_mode = False
+        self._pair_periods = None
+        self._pair_res_seen = {}
+        self._pair_caught = {}
+        self._pair_strikes = 0
+        self._pair_next = 0
+        self._pair_backoff = _PAIR_BACKOFF0
+        global _pending_pair_cert
+        pcert = _pending_pair_cert
+        _pending_pair_cert = None
+        if pcert is not None and not self._arm_pair_cert(pcert):
+            return False
         if self._tiled_only:
             certs = [getattr(th.gen, "cert", None) for th in core.threads]
             if all(c is not None for c in certs):
@@ -535,6 +617,8 @@ class FastPath:
             return t
         if self._cert_mode:
             return self._cert_probe(t, eff_limit)
+        if self._pair_cert_mode:
+            return self._pair_cert_probe(t, eff_limit)
         if self._pass_map and t >= self._pass_at:
             nt = self._pass_check(t, eff_limit)
             if nt is not None:
@@ -672,6 +756,228 @@ class FastPath:
         self._st.bump(self._st.stand_downs, "cert-mismatch")
         self._cert_mode = False
         self._cert_aligned = None
+        self._reset_detection(self._last_parts, t)
+
+    # ------------------------------------------------------------------
+    # Level 0b: pair-certificate-guided capture (joint lattice residues)
+    # ------------------------------------------------------------------
+
+    def _arm_pair_cert(self, cert: Any) -> bool:
+        """Gate a staged :class:`~repro.check.compose.PairCertificate`
+        against the actual run at arm time.
+
+        Returns ``False`` only for the ``pair-cert-none`` stand-down (a
+        stand-down can cost speed, never correctness, so the verdict is
+        honored as-is — ``validate()`` and the sweep preflight reject
+        forged verdicts statically, mirroring the tiled ``cert-none``
+        protocol).  Any structural disagreement — wrong kind, wrong
+        thread count, a per-side lattice the traces do not re-derive —
+        records ``pair-cert-mismatch`` and returns ``True`` with
+        guidance off: dynamic detection absorbs the run byte-identically.
+        """
+        st = self._st
+        if getattr(cert, "kind", None) != "pair" \
+                or len(self.core.threads) != 2 or self._retain:
+            st.bump(st.stand_downs, "pair-cert-mismatch")
+            return True
+        if cert.verdict == "none":
+            st.bump(st.stand_downs, "pair-cert-none")
+            return False
+        mains: List[Optional[CompiledTrace]] = []
+        for th in self.core.threads:
+            gen: Any = th.gen
+            if type(gen) is CompiledTrace:
+                mains.append(gen)
+            elif type(gen) is ChainedSource:
+                main: Optional[CompiledTrace] = None
+                for part in gen.parts:
+                    if type(part) is CompiledTrace:
+                        main = part
+                mains.append(main)
+            else:
+                mains.append(None)
+        if any(m is None for m in mains):
+            st.bump(st.stand_downs, "pair-cert-mismatch")
+            return True
+        from repro.check.recurrence import certify_stream
+
+        claims = ((cert.period_a, cert.translation_a),
+                  (cert.period_b, cert.translation_b))
+        for trace, (period, translation) in zip(mains, claims):
+            assert trace is not None
+            fresh = certify_stream(trace, phase_mod=self._phase_mod,
+                                   guard_bytes=self._guard_bytes)
+            if fresh.period_pos != period \
+                    or fresh.translation != translation:
+                st.bump(st.stand_downs, "pair-cert-mismatch")
+                return True
+        if cert.verdict != "joint-periodic" or cert.joint_period_pos \
+                != math.lcm(claims[0][0], claims[1][0]):
+            st.bump(st.stand_downs, "pair-cert-mismatch")
+            return True
+        self._pair_cert_mode = True
+        self._pair_periods = (claims[0][0], claims[1][0])
+        st.pair_cert_runs += 1
+        return True
+
+    def _pair_cert_probe(self, t: int, eff_limit: int) -> int:
+        """Capture only when the joint lattice-residue vector revisits
+        a previously seen value, skipping signature warmup entirely.
+
+        The certificate proves each thread's canonical source key is a
+        function of its position *residue* mod the certified
+        ``period_pos``, so the joint state can recur only where the
+        residue vector does — a revisit is exactly a statically
+        aligned capture pair candidate, proven (or refuted) by the
+        same canonical-key equality and ``_try_pair`` proof as dynamic
+        detection.  Fresh anchors and transients back the capture
+        cadence off exponentially without penalty; a *previously
+        captured* joint state whose canonical key changed is a strike,
+        and enough straight strikes record ``pair-cert-mismatch`` and
+        hand the run to the dynamic detector.
+        """
+        periods = self._pair_periods
+        if periods is None:     # pragma: no cover — pair mode sets it
+            return t
+        parts: List[int] = []
+        sts: List[int] = []
+        for th, period in zip(self.core.threads, periods):
+            if th.gen_done:
+                parts.append(-1)
+                sts.append(-1)
+                continue
+            gen: Any = th.gen
+            if type(gen) is ChainedSource:
+                at = gen.active_trace()
+                if at is None:
+                    return t
+                part_idx, trace = at
+            else:               # CompiledTrace (prepare gated the rest)
+                if gen.pos >= gen.count:
+                    parts.append(-1)
+                    sts.append(-1)
+                    continue
+                part_idx, trace = 0, gen
+            parts.append(part_idx)
+            sts.append(trace.pos % period)
+        pt = tuple(parts)
+        if pt != self._last_parts:
+            # Part transition (a warm-up trace draining, its marker
+            # retiring): the dynamics changed, so restart the residue
+            # history on the new parts.  Anchor keys embed the part
+            # index, so stale anchors could never match anyway.
+            self._reset_detection(pt, t)
+            self._pair_res_seen.clear()
+            self._pair_caught.clear()
+            self._pair_strikes = 0
+            self._pair_next = t
+            self._pair_backoff = _PAIR_BACKOFF0
+        st_t = tuple(sts)
+        if st_t == self._last_phases:
+            return t
+        self._last_phases = st_t
+        if all(s < 0 for s in sts):
+            return t
+        if st_t not in self._pair_caught:
+            res_seen = self._pair_res_seen
+            if st_t not in res_seen:
+                if len(res_seen) >= _SIG_ENTRIES:
+                    res_seen.clear()
+                res_seen[st_t] = t
+                return t
+            # A fresh revisit mints a new anchor only on the backoff
+            # cadence: anchors recur once per joint cycle, so a few
+            # are plenty and capture cost stays bounded.  Anchored
+            # vectors skip the gate — their recurrence IS the moment
+            # the key table holds a guaranteed partner.
+            if t < self._pair_next:
+                return t
+        self._capts += 1
+        self._st.captures += 1
+        self._st.pair_cert_captures += 1
+        if self._capts > _CAPTURE_BUDGET:
+            self._armed = False
+            self._st.bump(self._st.stand_downs, "capture-budget")
+            return t
+        cap = self._capture(t)
+        if cap is None:
+            if self._abort_stand_down():
+                return t
+            # Uncapturable machine state (in-flight drains) says
+            # nothing about the lattice: back off without a strike.
+            self._pair_defer(t)
+            return t
+        self._abort_streak = 0
+        caps = self._seen.get(cap.key)
+        if caps is None:
+            self._remember(cap)
+            if st_t in self._pair_caught:
+                # This joint residue produced a capture before, yet its
+                # canonical key changed: the static lattice and the
+                # dynamics disagree.  That is what strikes count.
+                self._pair_anchor_add(st_t, t)
+                self._pair_miss(t)
+            else:
+                self._pair_anchor_add(st_t, t)
+                self._pair_defer(t)
+            return t
+        self._pair_anchor_add(st_t, t)
+        self._pair_strikes = 0
+        first = True
+        for prev in list(caps):
+            nt = self._try_pair(prev, cap, t, eff_limit, first)
+            if nt is not None:
+                if nt >= 0:
+                    self._pair_backoff = _PAIR_BACKOFF0
+                    self._st.pair_cert_jumps += 1
+                    return nt
+                return t
+            first = False
+        # Key hit but no usable pair (cold transient, horizon): keep
+        # the newest anchor fresh and back the cadence off without a
+        # strike — the lattice is right, the orbit just has not
+        # settled yet.
+        caps[0] = cap
+        self._st.verify_failures += 1
+        self._pair_defer(t)
+        return t
+
+    def _pair_anchor_add(self, st_t: tuple, t: int) -> None:
+        """Record a captured joint residue vector as an anchor,
+        evicting the stalest one at the bound — a vector wrap that
+        re-aligns the threads (a new co-execution epoch) retires old
+        anchors naturally this way."""
+        caught = self._pair_caught
+        if st_t not in caught and len(caught) >= _PAIR_ANCHORS:
+            del caught[min(caught, key=caught.__getitem__)]
+        caught[st_t] = t
+
+    def _pair_defer(self, t: int) -> None:
+        """Back the guided-capture cadence off exponentially without
+        charging a strike (anchoring a fresh joint state, an
+        uncapturable transient, a not-yet-settled orbit)."""
+        self._pair_next = t + self._pair_backoff
+        self._pair_backoff = min(self._pair_backoff * 2,
+                                 _PAIR_BACKOFF_MAX)
+
+    def _pair_miss(self, t: int) -> None:
+        """A previously captured joint state came back with a different
+        canonical key: strike; enough straight strikes hand the run to
+        dynamic detection."""
+        self._pair_strikes += 1
+        self._pair_defer(t)
+        if self._pair_strikes >= _CERT_STRIKES:
+            self._pair_cert_fallback(t)
+
+    def _pair_cert_fallback(self, t: int) -> None:
+        """Guided captures never revisited a canonical state: the pair
+        certificate is wrong for this run (stale geometry, seeded
+        defect, forged fixture).  Fall back to dynamic detection."""
+        self._st.bump(self._st.stand_downs, "pair-cert-mismatch")
+        self._pair_cert_mode = False
+        self._pair_periods = None
+        self._pair_res_seen.clear()
+        self._pair_caught.clear()
         self._reset_detection(self._last_parts, t)
 
     # ------------------------------------------------------------------
@@ -1478,16 +1784,25 @@ class FastPath:
             ti = tinfo[i]
             if ti is not None:
                 if k >= 1:
-                    ke = trace.extrapolation_limit(
+                    ke, brk = trace.extrapolation_limit_with_break(
                         ti[0], ti[1], ti[3], k, self._guard_bytes)
                     if ke < k:
                         # The recorded schedule stops repeating with
-                        # this shift (tile-row edge, pattern change):
-                        # splice — jump/step up to the break, sleep
-                        # across it, and let the proven cadence pick
-                        # the next episode up.
+                        # this shift (tile-row edge, pattern change,
+                        # mm's circular-B top chunk tripping the
+                        # guard): splice — jump/step up to the break,
+                        # sleep across it, and let the cadence pick
+                        # the next episode up.  A known break phase
+                        # prices the sleep exactly (the guarded chunk
+                        # crossed in one episode instead of repeated
+                        # two-period nibbles); an exhausted scan keeps
+                        # the conservative nibble.
                         k = ke
-                        limit_sleep = (ke + 2) * period
+                        if brk >= 0:
+                            limit_sleep = ((brk - ti[1] + ti[2])
+                                           * period // ti[2] + 2 * fine)
+                        else:
+                            limit_sleep = (ke + 2) * period
             elif dbs[i] > 0:
                 off = cap.mem_refs[i] - trace.base
                 room = trace.span - self._guard_bytes - off

@@ -307,14 +307,20 @@ class PhaseMarker:
     Markers are *hints*, never instructions: :func:`compile_tiled` uses
     them to split the recorded stream into phases, and the sync-heavy
     variants that cannot be recorded simply strip them before the core
-    sees the stream.  A marker carries no state — one module-level
-    instance (:data:`PHASE`) is enough.
+    sees the stream.  ``tag`` widens the phase signature: two phases
+    whose markers carry different tags never share a pattern id even
+    when their instruction rows coincide (bt tags each sweep direction
+    so cross-direction line phases cannot alias).  The default tag 0 is
+    the shared module-level instance (:data:`PHASE`).
     """
 
-    __slots__ = ()
+    __slots__ = ("tag",)
+
+    def __init__(self, tag: int = 0) -> None:
+        self.tag = tag
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return "PhaseMarker()"
+        return f"PhaseMarker({self.tag})"
 
 
 #: The shared marker instance workload generators yield.
@@ -492,6 +498,23 @@ class TiledTrace:
         demand stream, and the linear line translation only commutes
         with the cache dynamics while the overshoot stays in-region.
         """
+        return self.extrapolation_limit_with_break(
+            ph1, ph2, deltas, max_k, guard_bytes)[0]
+
+    def extrapolation_limit_with_break(self, ph1: int, ph2: int,
+                                       deltas: tuple, max_k: int,
+                                       guard_bytes: int
+                                       ) -> Tuple[int, int]:
+        """:meth:`extrapolation_limit` plus *where* the schedule broke.
+
+        Returns ``(k, break_phase)``: ``k`` as above, and the first
+        phase index the extrapolation must not enter (a guard trip or
+        a pattern/delta break), or ``-1`` when the scan exhausted the
+        budget or the trace without breaking.  The break phase is the
+        certified splice window: a fast-forward that slept past the
+        corresponding tick may resume capturing immediately instead of
+        re-probing the guarded chunk one short sleep at a time.
+        """
         dphase = ph2 - ph1
         phases = self.phases
         nph = len(phases)
@@ -499,6 +522,7 @@ class TiledTrace:
         extents = self.extents
         need = max_k * dphase
         good = 0
+        brk = -1
         j = 1
         while j <= need:
             b = ph2 + j
@@ -507,6 +531,7 @@ class TiledTrace:
             pa, ra = phases[ph1 + j]
             pb, rb = phases[b]
             if pa != pb:
+                brk = b
                 break
             ok = True
             for r, d in enumerate(deltas):
@@ -514,7 +539,6 @@ class TiledTrace:
                     ok = False
                     break
             if ok:
-                # Top-edge guard on the shifted phase just entered.
                 pid_prev, rprev = phases[b - 1]
                 ext = extents[pid_prev]
                 for r, d in enumerate(deltas):
@@ -524,10 +548,11 @@ class TiledTrace:
                         ok = False
                         break
             if not ok:
+                brk = b
                 break
             good = j
             j += 1
-        return good // dphase
+        return good // dphase, brk
 
 
 def compile_tiled(source: Iterable, regions: Sequence[Region]) -> TiledTrace:
@@ -549,17 +574,24 @@ def compile_tiled(source: Iterable, regions: Sequence[Region]) -> TiledTrace:
     rends = [r.end for r in regions]
     nregions = len(regions)
 
+    # A marker's tag applies to the instructions *following* it (the
+    # phase it opens); instructions before any marker carry tag 0.
     groups: List[List[Instr]] = []
+    tags: List[int] = []
     cur: List[Instr] = []
+    cur_tag = 0
     for item in source:
         if type(item) is PhaseMarker:
             if cur:
                 groups.append(cur)
+                tags.append(cur_tag)
                 cur = []
+            cur_tag = item.tag
             continue
         cur.append(item)
     if cur:
         groups.append(cur)
+        tags.append(cur_tag)
     if not groups:
         raise ConfigError("tiled trace recorded no instructions")
 
@@ -570,7 +602,7 @@ def compile_tiled(source: Iterable, regions: Sequence[Region]) -> TiledTrace:
     starts = [0]
     prev_refs = tuple(r.base for r in regions)
 
-    for group in groups:
+    for group, tag in zip(groups, tags):
         refs = list(prev_refs)
         seen = [False] * nregions
         rows: List[Tuple[Op, Optional[int], tuple, int, int, int]] = []
@@ -604,10 +636,13 @@ def compile_tiled(source: Iterable, regions: Sequence[Region]) -> TiledTrace:
             (op, dst, srcs, site, ri, (a - refs_t[ri]) if ri >= 0 else 0)
             for op, dst, srcs, site, ri, a in rows
         )
-        pid = pattern_ids.get(pat)
+        # Dedup under the marker tag: identical rows recorded in
+        # differently-tagged phases stay distinct patterns, so a
+        # tagged sweep can never pair across signature boundaries.
+        pid = pattern_ids.get((tag, pat))
         if pid is None:
             pid = len(patterns)
-            pattern_ids[pat] = pid
+            pattern_ids[(tag, pat)] = pid
             patterns.append(pat)
             ext: List[Optional[Tuple[int, int]]] = [None] * nregions
             for _op, _dst, _srcs, _site, ri, rel in pat:

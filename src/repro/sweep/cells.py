@@ -75,6 +75,22 @@ class SweepCell:
                     c["app"], c["variant"],
                     tuple(sorted(c["size"].items())),
                     self.mem_config))
+        elif self.kind == "coexec-pair":
+            # Dual-stream cells execute under pair-certificate
+            # guidance (repro.check.compose): the joint certificate's
+            # fingerprint joins the key so a compose-pass change
+            # invalidates exactly the pair cells it steers.
+            from repro.check.compose import (
+                COMPOSE_SCHEMA_VERSION,
+                mem_token,
+                pair_cert_fingerprint,
+            )
+
+            c = self.config
+            material["compose_schema_version"] = COMPOSE_SCHEMA_VERSION
+            material["pair_cert_fingerprint"] = pair_cert_fingerprint(
+                c["stream_a"], c["stream_b"], c["ilp"],
+                mem_token(self.mem_config))
         return material
 
     def key(self) -> str:

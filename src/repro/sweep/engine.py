@@ -116,7 +116,11 @@ class SweepStats:
     fails preflight or the model oracle is recorded under
     ``preflight_rejected``/``oracle_failed`` instead — a rejected cell
     is not a cache outcome, and an oracle-violating batch produced no
-    trustworthy results to account hits against.
+    trustworthy results to account hits against.  A batch killed
+    specifically by the pair-certificate machine check (the compose
+    pass) lands in ``pair_cert_rejected``, its own bucket: a forged or
+    stale joint certificate is a certification defect, not a stale
+    recipe, and the two must stay distinguishable in telemetry.
     """
 
     cells: int = 0
@@ -126,6 +130,7 @@ class SweepStats:
     cache_enabled: bool = False
     cache_dir: Optional[str] = None
     preflight_rejected: int = 0
+    pair_cert_rejected: int = 0
     oracle_failed: int = 0
     #: Elapsed wall per engine phase (volatile; lives inside the
     #: report's "sweep" block, which strip_volatile removes).
@@ -146,6 +151,7 @@ class SweepStats:
             "cache_enabled": self.cache_enabled,
             "cache_dir": self.cache_dir,
             "preflight_rejected": self.preflight_rejected,
+            "pair_cert_rejected": self.pair_cert_rejected,
             "oracle_failed": self.oracle_failed,
             "phase_wall_s": {k: self.phase_wall_s[k]
                              for k in sorted(self.phase_wall_s)},
@@ -215,8 +221,20 @@ class SweepEngine:
 
             try:
                 preflight_cells(cells)
-            except CheckError:
-                stats.preflight_rejected += n
+            except CheckError as e:
+                if getattr(e, "check", "") == "compose":
+                    stats.pair_cert_rejected += n
+                else:
+                    stats.preflight_rejected += n
+                if bus is not None:
+                    # Synthetic terminal event so the live view shows
+                    # *why* the sweep died: no cell simulated (empty
+                    # fastpath delta), idx -1, and the rejecting pass
+                    # riding along as extra fields.
+                    bus.emit("cell-end", idx=-1, cell="preflight",
+                             wall_s=_now() - t0, fastpath={},
+                             rejected=n,
+                             check=getattr(e, "check", "") or "preflight")
                 raise
         self._phase("preflight", _now() - t0)
         results: List[Any] = [None] * n

@@ -41,7 +41,11 @@ CACHE_SCHEMA_VERSION = 1
 #: v3: certificate-guided capture (repro.check.recurrence) joins the
 #: jump engine — cert-aligned anchors, cert-none disarm, cert-mismatch
 #: fallback.
-FASTPATH_SCHEMA_VERSION = 3
+#: v4: pair-certificate-guided joint capture (repro.check.compose) —
+#: lattice-residue anchors for dual-stream cells, pair-cert-none /
+#: pair-cert-mismatch stand-downs, guard-aware splice sleeps in the
+#: tiled extrapolation limit.
+FASTPATH_SCHEMA_VERSION = 4
 
 
 def canonicalize(obj: Any) -> Any:

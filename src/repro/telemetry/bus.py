@@ -57,7 +57,10 @@ EVENT_FIELDS: Dict[str, tuple] = {
     # Worker-side simulate span.  queue_wait_s = begin ts - enqueue ts.
     "cell-begin": ("idx", "cell", "queue_wait_s"),
     # wall_s covers the simulate alone; fastpath is the per-cell delta
-    # of repro.cpu.fastpath.FastpathStats.to_dict().
+    # of repro.cpu.fastpath.FastpathStats.to_dict().  A preflight
+    # rejection emits one synthetic cell-end (idx -1, cell
+    # "preflight", empty fastpath) carrying extra ``rejected`` (batch
+    # size) and ``check`` (rejecting pass, e.g. "compose") fields.
     "cell-end": ("idx", "cell", "wall_s", "fastpath"),
     # Parent-side phase spans: preflight / probe / execute / store /
     # oracle.

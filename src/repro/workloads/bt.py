@@ -47,7 +47,7 @@ from repro.isa.opcodes import Op
 from repro.mem.config import MemConfig
 from repro.runtime.sync import SenseBarrier, SyncVar, WaitMode, advance_var, wait_ge
 from repro.spr.spans import plan_spans
-from repro.isa.trace import PHASE
+from repro.isa.trace import PhaseMarker
 from repro.workloads.common import (
     ACC,
     IDX,
@@ -259,9 +259,17 @@ def build(
 
     if variant is Variant.SERIAL:
         def factory(api):
+            # Tag each line phase with its sweep direction: the three
+            # directional sweeps touch the grid through different
+            # strides, and an untagged recording lets lines from
+            # different sweeps alias into one pattern id whenever
+            # their relative rows coincide — recurrence then pairs
+            # across the sweep boundary where the delta structure is
+            # not translation-sound.
             for d in range(3):
+                marker = PhaseMarker(d)
                 for line in range(nlines):
-                    yield PHASE
+                    yield marker
                     state.solve_line(d, line)
                     yield from state.emit_line(d, line)
 

@@ -16,7 +16,7 @@ from repro.check.findings import (
 )
 from repro.isa.streams import ILP, StreamSpec
 
-GOLDEN = Path(__file__).parent / "fixtures" / "findings_schema_v2.json"
+GOLDEN = Path(__file__).parent / "fixtures" / "findings_schema_v3.json"
 
 
 def _finding(message="boom", site="here", severity=Severity.ERROR,
@@ -105,7 +105,7 @@ class TestSchemaContract:
     def test_envelope_identifies_schema(self):
         doc = CheckReport().to_dict()
         assert doc["schema_id"] == CHECK_SCHEMA_ID == "repro.check/findings"
-        assert doc["schema_version"] == CHECK_SCHEMA_VERSION == 2
+        assert doc["schema_version"] == CHECK_SCHEMA_VERSION == 3
         assert doc["schema_fingerprint"] == schema_fingerprint()
 
     def test_fingerprint_is_stable_and_well_formed(self):
@@ -116,6 +116,9 @@ class TestSchemaContract:
 
     def test_recurrence_is_a_known_pass(self):
         assert "recurrence" in CHECK_PASSES
+
+    def test_compose_is_a_known_pass(self):
+        assert CHECK_PASSES[-1] == "compose"
 
     def test_golden_fixture_matches_byte_for_byte(self):
         rendered = json.dumps(_canned_report().to_dict(),

@@ -8,7 +8,7 @@ rule out — and asserts the differential harness *kills* the mutant
 the poisoned pair outright).  A surviving mutant would mean the
 verification is vacuous for that class.
 
-The seven classes, per the detector's soundness argument:
+The nine classes, per the detector's soundness argument:
 
 * stale prefetch tag      — restore forgets to translate ``_pf_tag``
 * off-by-one wrap splice  — state extrapolates k+1 periods while the
@@ -24,10 +24,17 @@ The seven classes, per the detector's soundness argument:
                             none exists
 * corrupted cert-guided restore — the off-by-one, seeded specifically
                             under certificate guidance
+* forged pair certificate — a joint certificate composed from a
+                            different pair claims the wrong lattice
+* corrupted pair-cert-guided restore — the off-by-one, seeded under
+                            joint-lattice guidance
 """
+
+import dataclasses
 
 import pytest
 
+from repro.check.compose import _stream_trace, compose_pair
 from repro.check.recurrence import attach_certificate
 from repro.common.addrspace import AddressSpace
 from repro.cpu.fastpath import FastPath
@@ -305,3 +312,87 @@ def test_cert_guided_restore_off_by_one_is_caught(monkeypatch):
         "mutant must still jump — a refusal to engage proves nothing")
     assert mutated != baseline, (
         "seeded defect survived under certificate guidance")
+
+
+# -- 8. forged pair certificate ----------------------------------------------
+
+def _run_pair(names, fastpath, cert, horizon=_H):
+    """Like ``_run`` but with a pair certificate staged for the run."""
+    prog = Program(fastpath=fastpath)
+    for i, name in enumerate(names):
+        spec = StreamSpec(name, ilp=ILP.MAX, count=_ENDLESS)
+        region = None
+        if spec.is_memory:
+            region = prog.aspace.alloc(f"v{i}", 16384, elem_size=1)
+        trace = compile_stream(spec, region)
+        prog.add_thread(lambda api, tr=trace: tr)
+    if cert is not None:
+        _fastpath.attach_pair_certificate(cert)
+    result = prog.run(stop_at_tick=horizon)
+    return {
+        "ticks": result.ticks,
+        "retired": result.retired,
+        "units": dict(result.unit_issue_counts),
+        "monitor": [list(row) for row in result.monitor.raw],
+    }
+
+
+def test_forged_pair_certificate_is_caught():
+    """A pair certificate whose *joint* lattice is forged — both
+    per-side claims kept genuine, so every per-side gate passes — must
+    die twice over: ``validate()`` rejects it statically via the lcm
+    consistency check, and the runtime's arm gate refuses guidance
+    (``pair-cert-mismatch``), handing the run to dynamic detection
+    byte-identically."""
+    genuine = compose_pair("fload", "iload")
+    assert genuine.verdict == "joint-periodic"
+    forged = dataclasses.replace(
+        genuine, joint_period_pos=2 * genuine.joint_period_pos)
+
+    # Static kill: the machine check re-derives the joint lattice.
+    problems = forged.validate(_stream_trace("fload", ILP.MAX),
+                               _stream_trace("iload", ILP.MAX))
+    assert problems, "machine check must reject the forged pair cert"
+
+    # Runtime kill: hint-only consumption cannot corrupt results.
+    baseline = _run_pair(["fload", "iload"], False, None)
+    _fastpath.reset_stats()
+    poisoned = _run_pair(["fload", "iload"], True, forged)
+    st = _fastpath.stats()
+    assert poisoned == baseline, (
+        "a forged pair certificate must never change simulated results")
+    assert st.pair_cert_runs == 0, "the forgery must never arm pair mode"
+    assert st.pair_cert_jumps == 0
+    assert st.stand_downs.get("pair-cert-mismatch", 0) == 1
+    assert st.jumps >= 1, (
+        "dynamic detection must absorb the refused run, not stall it")
+
+
+# -- 9. corrupted pair-cert-guided restore -----------------------------------
+
+def test_pair_cert_guided_restore_off_by_one_is_caught(monkeypatch):
+    """Joint-lattice guidance changes where captures happen, not what a
+    jump must prove — the differential harness must kill a corrupted
+    restore under pair-certificate guidance exactly as it does under
+    dynamic detection."""
+    cert = compose_pair("fload", "iload")
+    assert not cert.validate(_stream_trace("fload", ILP.MAX),
+                             _stream_trace("iload", ILP.MAX))
+
+    baseline = _run_pair(["fload", "iload"], False, None)
+    _fastpath.reset_stats()
+    stock = _run_pair(["fload", "iload"], True, cert)
+    st = _fastpath.stats()
+    assert stock == baseline, (
+        "stock pair-cert-guided fastpath must be invisible")
+    assert st.pair_cert_runs == 1
+    assert st.pair_cert_jumps >= 1, (
+        "fixture run must jump under joint-lattice guidance")
+
+    _seed_off_by_one_splice(monkeypatch)
+    _fastpath.reset_stats()
+    mutated = _run_pair(["fload", "iload"], True, cert)
+    assert _fastpath.stats().pair_cert_jumps >= 1, (
+        "mutant must still jump — a refusal to engage proves nothing")
+    assert mutated != baseline, (
+        "seeded defect survived under pair-certificate guidance")

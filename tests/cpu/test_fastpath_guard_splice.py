@@ -1,0 +1,107 @@
+"""Guard-aware splice windows: ``extrapolation_limit_with_break``.
+
+The extrapolation limit used to report only *how many* recurrences are
+provable; the fast-forward then re-probed the guarded chunk one short
+sleep at a time.  The break phase turns the guard trip into a
+certified splice window: the fast-forward computes the exact sleep
+that clears the unsound chunk and resumes capturing right after it.
+
+The slow test at the bottom pins the measured payoff: mm n=64
+certified coverage must stay at least the committed 0.8437.
+"""
+
+import pytest
+
+from repro.common.addrspace import AddressSpace
+from repro.isa import F, Instr, Op
+from repro.isa.trace import PhaseMarker, compile_tiled
+
+
+def _march(region, phases, step=64, lines=2):
+    """``phases`` identical-pattern phases, each shifted ``step`` bytes."""
+    def gen():
+        for f in range(phases):
+            yield PhaseMarker()
+            base = region.base + f * step
+            for j in range(lines):
+                yield Instr.load(base + j * 64, dst=F(0))
+                yield Instr.arith(Op.FADD, dst=F(1), src=F(0))
+
+    return compile_tiled(gen(), [region])
+
+
+class TestBreakPhase:
+    def test_clean_run_reports_no_break(self):
+        region = AddressSpace().alloc("a", 1 << 20)
+        trace = _march(region, phases=16)
+        k, brk = trace.extrapolation_limit_with_break(
+            0, 1, (64,), max_k=4, guard_bytes=0)
+        assert k == 4
+        assert brk == -1
+
+    def test_trace_exhaustion_is_not_a_break(self):
+        region = AddressSpace().alloc("a", 1 << 20)
+        trace = _march(region, phases=8)
+        k, brk = trace.extrapolation_limit_with_break(
+            0, 1, (64,), max_k=100, guard_bytes=0)
+        assert k == 6           # phases 2..7 telescope from (0, 1)
+        assert brk == -1        # ran off the end, nothing broke
+
+    def test_guard_trip_names_the_first_unsound_phase(self):
+        region = AddressSpace().alloc("a", 2048)
+        guard = 256
+        trace = _march(region, phases=30)
+        k, brk = trace.extrapolation_limit_with_break(
+            0, 1, (64,), max_k=30, guard_bytes=guard)
+        # The scan refuses to enter phase b once the *previous* phase's
+        # working set came within guard_bytes of the region top; the
+        # expected break is the first such b.
+        want = next(
+            b for b in range(2, 30)
+            if region.base + (b - 1) * 64 + 64 + guard >= region.end)
+        assert brk == want
+        assert 1 <= k < 30
+        assert k == (want - 1) - 1  # good phases stop just short of brk
+
+    def test_pattern_break_names_the_breaking_phase(self):
+        region = AddressSpace().alloc("a", 1 << 20)
+
+        def gen():
+            for f in range(12):
+                yield PhaseMarker()
+                base = region.base + f * 64
+                yield Instr.load(base, dst=F(0))
+                yield Instr.arith(Op.FADD, dst=F(1), src=F(0))
+                if f == 9:      # the schedule changes shape here
+                    yield Instr.arith(Op.FMUL, dst=F(2), src=F(1))
+
+        trace = compile_tiled(gen(), [region])
+        k, brk = trace.extrapolation_limit_with_break(
+            0, 1, (64,), max_k=12, guard_bytes=0)
+        assert brk == 9
+        assert k == (brk - 1) - 1
+
+    def test_plain_limit_is_the_first_component(self):
+        region = AddressSpace().alloc("a", 2048)
+        trace = _march(region, phases=30)
+        for guard in (0, 128, 512):
+            k, _ = trace.extrapolation_limit_with_break(
+                0, 1, (64,), max_k=30, guard_bytes=guard)
+            assert trace.extrapolation_limit(
+                0, 1, (64,), max_k=30, guard_bytes=guard) == k
+
+
+@pytest.mark.slow
+def test_mm_certified_coverage_holds_the_committed_floor():
+    """The guard-aware splice regression: before break phases, mm's
+    fast-forward lost the guarded tail of every tile sweep to one-
+    short-sleep re-probing; the splice window lifted certified n=64
+    coverage to 0.8437, and it must never regress below it."""
+    from repro.core.apps import Variant, run_app_experiment
+    from repro.cpu import fastpath as _fastpath
+
+    _fastpath.reset_stats()
+    run_app_experiment("mm", Variant.SERIAL, {"n": 64}, fastpath=True)
+    st = _fastpath.stats()
+    assert st.cert_jumps >= 1
+    assert st.coverage >= 0.8437

@@ -298,6 +298,76 @@ class TestCertificateGuidance:
         assert st.armed == 1
 
 
+class TestPairCertificateGuidance:
+    """The pair-certificate arm's accounting: joint-lattice runs land
+    in ``pair_cert_runs``/``pair_cert_captures``/``pair_cert_jumps``,
+    and the two stand-down verdicts — ``pair-cert-none`` (composition
+    proves the pair fruitless) and ``pair-cert-mismatch`` (a claim the
+    actual run does not re-derive) — are attributed exactly."""
+
+    def _run_pair(self, cert, names=("fload", "iload"), horizon=220_000):
+        prog = Program(fastpath=True)
+        for i, name in enumerate(names):
+            spec = StreamSpec(name, ilp=ILP.MAX, count=1 << 30)
+            region = None
+            if spec.is_memory:
+                region = prog.aspace.alloc(f"v{i}", 16384, elem_size=1)
+            trace = compile_stream(spec, region)
+            prog.add_thread(lambda api, tr=trace: tr)
+        _fastpath.attach_pair_certificate(cert)
+        return prog.run(stop_at_tick=horizon)
+
+    def test_pair_cert_run_jumps_under_pair_counters(self):
+        from repro.check.compose import compose_pair
+
+        self._run_pair(compose_pair("fload", "iload"))
+        st = _fastpath.stats()
+        assert st.pair_cert_runs == 1
+        assert st.pair_cert_captures >= 1
+        assert st.pair_cert_jumps >= 1
+        assert st.jumps >= st.pair_cert_jumps
+        assert st.ticks_skipped > 0
+        assert st.stand_downs == {}
+
+    def test_pair_cert_none_stands_down_without_any_capture(self):
+        import dataclasses
+
+        from repro.check.compose import compose_pair
+
+        cert = dataclasses.replace(
+            compose_pair("fload", "iload"), verdict="none")
+        self._run_pair(cert, horizon=20_000)
+        st = _fastpath.stats()
+        assert st.stand_downs == {"pair-cert-none": 1}
+        assert st.armed == 0 and st.captures == 0 and st.jumps == 0
+        assert st.pair_cert_runs == 0
+
+    def test_pair_cert_mismatch_falls_back_to_dynamic_detection(self):
+        """A certificate composed for a different pair: the arm gate
+        re-derives both sides' lattices, refuses guidance under
+        ``pair-cert-mismatch``, and hands the run to dynamic detection
+        — which still jumps."""
+        from repro.check.compose import compose_pair
+
+        self._run_pair(compose_pair("fdiv", "fdiv"))
+        st = _fastpath.stats()
+        assert st.stand_downs.get("pair-cert-mismatch", 0) == 1
+        assert st.pair_cert_runs == 0
+        assert st.pair_cert_jumps == 0
+        assert st.armed == 1
+        assert st.jumps >= 1
+
+    def test_staged_certificate_is_consumed_by_one_run(self):
+        """attach_pair_certificate is per-run: the first prepare()
+        consumes the hint, so the next run cannot inherit it."""
+        from repro.check.compose import compose_pair
+
+        self._run_pair(compose_pair("fload", "iload"), horizon=20_000)
+        assert _fastpath.stats().pair_cert_runs == 1
+        self._run_pair(None, horizon=20_000)
+        assert _fastpath.stats().pair_cert_runs == 1
+
+
 class TestCountersDoNotPerturbResults:
     def test_counters_are_pure_observers(self):
         r1 = measure_stream_cpi("iadd", ILP.MAX, 2, horizon_ticks=H)

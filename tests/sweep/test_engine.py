@@ -162,6 +162,50 @@ class TestStatsAccounting:
         assert (engine.stats.cells, engine.stats.hits,
                 engine.stats.misses) == (0, 0, 0)
 
+    def test_pair_cert_rejection_lands_in_its_own_counter(
+            self, monkeypatch):
+        """The bugfix regression: a compose-pass rejection must land in
+        ``pair_cert_rejected`` — not in ``preflight_rejected``, and
+        never in the cache hit/miss totals."""
+        from repro.common.errors import CheckError
+
+        def boom(cells):
+            raise CheckError("forged pair certificate", check="compose")
+
+        monkeypatch.setattr("repro.check.preflight.preflight_cells", boom)
+        engine = SweepEngine()
+        with pytest.raises(CheckError):
+            engine.run(_cells())
+        assert engine.stats.pair_cert_rejected == len(_cells())
+        assert engine.stats.preflight_rejected == 0
+        assert (engine.stats.cells, engine.stats.hits,
+                engine.stats.misses) == (0, 0, 0)
+
+    def test_rejection_surfaces_in_telemetry_cell_end(
+            self, monkeypatch, tmp_path):
+        """The synthetic terminal event names the rejecting pass, so
+        the live view can show *why* the sweep died."""
+        from repro.common.errors import CheckError
+        from repro.telemetry import TelemetryBus, read_events
+
+        def boom(cells):
+            raise CheckError("forged pair certificate", check="compose")
+
+        monkeypatch.setattr("repro.check.preflight.preflight_cells", boom)
+        log = tmp_path / "sweep.jsonl"
+        cells = _cells()
+        with TelemetryBus(str(log)) as bus:
+            engine = SweepEngine(telemetry=bus)
+            with pytest.raises(CheckError):
+                engine.run(cells)
+        ends = [e for e in read_events(str(log), validate=True)
+                if e["ev"] == "cell-end"]
+        assert len(ends) == 1
+        assert ends[0]["idx"] == -1 and ends[0]["cell"] == "preflight"
+        assert ends[0]["rejected"] == len(cells)
+        assert ends[0]["check"] == "compose"
+        assert ends[0]["fastpath"] == {}
+
     def test_oracle_failure_voids_the_batch_accounting(self, monkeypatch):
         from repro.common.errors import CheckError
 
@@ -180,6 +224,7 @@ class TestStatsAccounting:
         engine.run(_cells()[:1])
         snap = engine.stats.to_dict()
         assert snap["preflight_rejected"] == 0
+        assert snap["pair_cert_rejected"] == 0
         assert snap["oracle_failed"] == 0
         assert list(snap["phase_wall_s"]) == sorted(snap["phase_wall_s"])
         assert snap["fastpath"]["runs"] == 1
