@@ -1,0 +1,278 @@
+"""Benchmark the serve daemon's three latency regimes; emit BENCH_serve.json.
+
+Standalone (``python benchmarks/bench_serve.py``): starts a real
+``repro serve`` daemon as a subprocess (ephemeral port, fresh scratch
+cache, telemetry off) and measures, over the wire:
+
+* **cold** — a figure-1 subset sweep against the empty cache: every
+  cell simulated in the worker pool (the baseline the fast path is
+  measured against);
+* **warm** — the same single-cell request repeated: answered from the
+  object store without touching the pool.  The acceptance gate is
+  p50 < 5 ms per batch and *zero* pool dispatches during the arm;
+* **coalesced** — 16 clients requesting one never-before-seen cell at
+  the same instant: single-flight must collapse them to exactly one
+  simulation, and every client must receive byte-identical bytes.
+
+The manifest byte-identity contract is asserted alongside: bytes from
+``GET /manifest`` equal the volatile-stripped report a ``repro fig1``
+CLI subprocess writes for the same target, even though the two sides
+compute independently (disjoint caches).
+
+Every non-``--no-ledger`` run appends a ``bench_serve`` entry to
+``benchmarks/LEDGER.jsonl``; CI's ledger-check gates the warm-hit p50
+against the same-host baseline (>25% fails).
+
+``--quick`` trims repetition counts for CI smoke use; quick runs carry
+``"quick": true`` so trajectory comparisons stay like-for-like.
+"""
+
+import argparse
+import json
+import os
+import pathlib
+import statistics
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).parents[1] / "src"))
+
+import ledger                                             # noqa: E402
+from repro.observe.report import strip_volatile           # noqa: E402
+from repro.serve.client import ServeClient                # noqa: E402
+from repro.sweep.cells import stream_recipe               # noqa: E402
+
+ROOT = pathlib.Path(__file__).parents[1]
+OUT = pathlib.Path(__file__).parent / "BENCH_serve.json"
+
+#: The warm-path product guarantee this bench enforces.
+WARM_P50_BUDGET_MS = 5.0
+
+COLD_STREAMS = ("iadd", "imul", "fadd")
+QUICK_COLD_STREAMS = ("iadd",)
+WARM_REPS = 200
+QUICK_WARM_REPS = 50
+COALESCE_CLIENTS = 16
+
+#: Small horizon keeps the cold/coalesced simulations cheap; the warm
+#: and coalescing numbers measure the daemon, not the simulator.
+BENCH_HORIZON = 8_000
+
+
+def _spec(stream: str, horizon: int = BENCH_HORIZON) -> dict:
+    return {"kind": "stream-cpi",
+            "config": {"stream": stream,
+                       "recipe": stream_recipe(stream),
+                       "ilp": "MAX", "threads": 1,
+                       "horizon_ticks": horizon}}
+
+
+def _percentiles(samples_ms):
+    ordered = sorted(samples_ms)
+
+    def pct(p):
+        idx = min(len(ordered) - 1, int(round(p * (len(ordered) - 1))))
+        return round(ordered[idx], 4)
+
+    return {"p50_ms": pct(0.50), "p95_ms": pct(0.95),
+            "max_ms": round(ordered[-1], 4),
+            "mean_ms": round(statistics.fmean(ordered), 4)}
+
+
+class Daemon:
+    """A ``repro serve`` subprocess on an ephemeral port."""
+
+    def __init__(self, cache_dir: pathlib.Path, scratch: pathlib.Path):
+        self.ready_file = scratch / "ready"
+        env = dict(os.environ,
+                   PYTHONPATH=str(ROOT / "src"), PYTHONHASHSEED="0")
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--port", "0", "--ready-file", str(self.ready_file),
+             "--cache-dir", str(cache_dir), "--no-telemetry"],
+            cwd=ROOT, env=env,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+        self.host, self.port = self._await_ready()
+
+    def _await_ready(self, timeout: float = 60.0):
+        deadline = time.monotonic() + timeout  # check: allow(wall-clock)
+        while time.monotonic() < deadline:  # check: allow(wall-clock)
+            if self.proc.poll() is not None:
+                raise RuntimeError(
+                    f"daemon exited early (rc={self.proc.returncode})")
+            if self.ready_file.exists():
+                host, port = self.ready_file.read_text().split()
+                return host, int(port)
+            time.sleep(0.05)
+        raise RuntimeError("daemon did not become ready")
+
+    def client(self) -> ServeClient:
+        return ServeClient(self.host, self.port, timeout=600.0)
+
+    def stop(self) -> None:
+        self.proc.terminate()
+        try:
+            self.proc.wait(30)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            self.proc.wait(30)
+
+
+def _bench_cold(client: ServeClient, streams) -> dict:
+    samples = []
+    for s in streams:
+        t0 = time.perf_counter()        # check: allow(wall-clock)
+        body = client.cells([_spec(s)])
+        samples.append(1000.0 * (time.perf_counter() - t0))  # check: allow(wall-clock)
+        assert body["serve"]["misses"] == 1, "cold arm found a warm cache"
+    stats = _percentiles(samples)
+    stats["cells"] = len(streams)
+    return stats
+
+
+def _bench_warm(client: ServeClient, reps: int) -> dict:
+    spec = _spec("iadd")  # computed by the cold arm: guaranteed warm
+    before = client.counters()
+    samples = []
+    for _ in range(reps):
+        t0 = time.perf_counter()        # check: allow(wall-clock)
+        body = client.cells([spec])
+        samples.append(1000.0 * (time.perf_counter() - t0))  # check: allow(wall-clock)
+        assert body["serve"]["warm_hits"] == 1
+    after = client.counters()
+    dispatched = after["pool_dispatches"] - before["pool_dispatches"]
+    assert dispatched == 0, (
+        f"warm arm reached the worker pool ({dispatched} dispatches)")
+    stats = _percentiles(samples)
+    assert stats["p50_ms"] < WARM_P50_BUDGET_MS, (
+        f"warm p50 {stats['p50_ms']}ms over the "
+        f"{WARM_P50_BUDGET_MS}ms budget")
+    stats["reps"] = reps
+    stats["requests_per_s"] = round(
+        reps / (sum(samples) / 1000.0), 1)
+    return stats
+
+
+def _bench_coalesced(daemon: Daemon) -> dict:
+    # A horizon nobody else uses: guaranteed cold and unique, so all
+    # 16 clients land on one single-flight entry.
+    spec = _spec("imul", horizon=BENCH_HORIZON + 191)
+    body = {"cells": [spec]}
+    with daemon.client() as probe:
+        before = probe.counters()
+    results = [None] * COALESCE_CLIENTS
+    latencies = [0.0] * COALESCE_CLIENTS
+    gate = threading.Barrier(COALESCE_CLIENTS)
+
+    def request(i):
+        with daemon.client() as c:
+            gate.wait()
+            t0 = time.perf_counter()        # check: allow(wall-clock)
+            status, data = c._request("POST", "/cells", body)
+            latencies[i] = 1000.0 * (time.perf_counter() - t0)  # check: allow(wall-clock)
+            assert status == 200, data[:200]
+            # The envelope's "serve" block is per-request (wall time,
+            # hit/join split); the contract is on the result payload.
+            results[i] = json.dumps(json.loads(data)["results"],
+                                    sort_keys=True)
+
+    threads = [threading.Thread(target=request, args=(i,))
+               for i in range(COALESCE_CLIENTS)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(600)
+    with daemon.client() as probe:
+        after = probe.counters()
+
+    simulated = after["simulations"] - before["simulations"]
+    assert simulated == 1, (
+        f"{COALESCE_CLIENTS} identical requests ran {simulated} "
+        f"simulations; single-flight failed")
+    assert len(set(results)) == 1 and results[0] is not None, (
+        "coalesced clients received differing bytes")
+    stats = _percentiles(latencies)
+    stats.update(clients=COALESCE_CLIENTS, simulations=simulated,
+                 coalesced=after["coalesced"] - before["coalesced"])
+    return stats
+
+
+def _assert_manifest_identity(client: ServeClient,
+                              scratch: pathlib.Path) -> dict:
+    report_path = scratch / "cli-fig1.json"
+    env = dict(os.environ,
+               PYTHONPATH=str(ROOT / "src"), PYTHONHASHSEED="0")
+    subprocess.run(
+        [sys.executable, "-m", "repro", "fig1", "--streams", "iadd",
+         "--cache-dir", str(scratch / "cli-cache"),
+         "--report", str(report_path), "--no-telemetry"],
+        cwd=ROOT, env=env, check=True,
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+    cli_doc = strip_volatile(json.loads(report_path.read_text()))
+    cli_bytes = (json.dumps(cli_doc, indent=2) + "\n").encode()
+
+    t0 = time.perf_counter()        # check: allow(wall-clock)
+    served = client.manifest("fig1", streams=["iadd"])
+    cold_s = time.perf_counter() - t0  # check: allow(wall-clock)
+    t0 = time.perf_counter()        # check: allow(wall-clock)
+    again = client.manifest("fig1", streams=["iadd"])
+    warm_s = time.perf_counter() - t0  # check: allow(wall-clock)
+    assert served == cli_bytes, (
+        "served manifest differs from the CLI report "
+        f"({len(served)} vs {len(cli_bytes)} bytes)")
+    assert again == served
+    return {"bytes": len(served), "identical": True,
+            "cold_ms": round(1000.0 * cold_s, 2),
+            "warm_ms": round(1000.0 * warm_s, 2)}
+
+
+def run_bench(quick: bool = False) -> dict:
+    scratch = pathlib.Path(tempfile.mkdtemp(prefix="bench-serve-"))
+    daemon = Daemon(scratch / "serve-cache", scratch)
+    try:
+        with daemon.client() as client:
+            client.wait_ready()
+            cold = _bench_cold(
+                client,
+                QUICK_COLD_STREAMS if quick else COLD_STREAMS)
+            warm = _bench_warm(
+                client, QUICK_WARM_REPS if quick else WARM_REPS)
+            coalesced = _bench_coalesced(daemon)
+            manifest = _assert_manifest_identity(client, scratch)
+        return {
+            "bench": "serve",
+            "quick": quick,
+            "cold": cold,
+            "warm": warm,
+            "coalesced": coalesced,
+            "manifest": manifest,
+            "total_seconds": None,  # filled by main()
+        }
+    finally:
+        daemon.stop()
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--quick", action="store_true",
+                    help="trimmed repetition counts (CI smoke)")
+    ap.add_argument("--no-ledger", action="store_true",
+                    help="do not append this run to LEDGER.jsonl")
+    args = ap.parse_args(argv)
+
+    t0 = time.perf_counter()        # check: allow(wall-clock)
+    report = run_bench(quick=args.quick)
+    report["total_seconds"] = round(
+        time.perf_counter() - t0, 3)  # check: allow(wall-clock)
+    OUT.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    if not args.no_ledger:
+        ledger.append("bench_serve", report)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

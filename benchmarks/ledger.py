@@ -54,7 +54,12 @@ REGRESSION_TOLERANCE = 1.25
 #: overhead, so a gross excursion is a bug, not noise).
 OVERHEAD_FAIL_PCT = 10.0
 
-_KINDS = ("bench_core", "bench_model", "bench_sweep")
+#: A same-host warm-hit p50 regression beyond this factor fails
+#: --check: the serve fast path is a measured product guarantee, so a
+#: >25% excursion is treated as a perf bug, not noise.
+WARM_HIT_TOLERANCE = 1.25
+
+_KINDS = ("bench_core", "bench_model", "bench_sweep", "bench_serve")
 
 
 def _git(*args: str) -> str:
@@ -196,6 +201,38 @@ def check(ledger_path=None, fingerprint=None):
                 lines.append(f"ok   bench_sweep: telemetry overhead "
                              f"{overhead:.1f}% (band "
                              f"{OVERHEAD_FAIL_PCT:.0f}%)")
+
+    # Rule 4: serve warm-path latency — the microsecond fast path is a
+    # measured guarantee; gate its p50 against the same-host baseline.
+    def _warm_p50(entry):
+        warm = entry.get("data", {}).get("warm", {})
+        p50 = warm.get("p50_ms") if isinstance(warm, dict) else None
+        return float(p50) if isinstance(p50, (int, float)) else None
+
+    serves = [e for e in entries if e["kind"] == "bench_serve"]
+    if serves:
+        newest = serves[-1]
+        p50 = _warm_p50(newest)
+        prior = [e for e in serves[:-1]
+                 if e["host"] == newest["host"]
+                 and _warm_p50(e) is not None]
+        if p50 is None or not prior:
+            lines.append(f"ok   bench_serve: no same-host warm-hit "
+                         f"baseline to gate against "
+                         f"({len(serves)} entries)")
+        else:
+            base = _warm_p50(prior[-1])
+            if p50 > WARM_HIT_TOLERANCE * base:
+                ok = False
+                lines.append(
+                    f"FAIL bench_serve: warm-hit p50 {p50:.3f}ms vs "
+                    f"{base:.3f}ms on {newest['host']} — "
+                    f">{WARM_HIT_TOLERANCE:.0%} of baseline "
+                    f"({newest['git_sha'][:10]})")
+            else:
+                lines.append(
+                    f"ok   bench_serve: warm-hit p50 {p50:.3f}ms vs "
+                    f"{base:.3f}ms baseline on {newest['host']}")
     return ok, lines
 
 

@@ -499,17 +499,97 @@ def _splice_points(trace: TiledTrace,
     return tuple(out)
 
 
+#: Memo of :func:`certify_tiled` results keyed on the structural
+#: signature below.  Every workload build re-attaches certificates
+#: (:func:`attach_certificate` in the tiled factories), and a sweep
+#: builds each workload many times over — parent-side fingerprint
+#: enumeration, preflight, the worker's own build — so lu and bt used
+#: to pay the O(nphases^2) window scan repeatedly just to re-derive
+#: the same verdict (for them: ``none``, i.e. the scan proves there is
+#: nothing to fast-forward).  The signature is a pure O(trace-size)
+#: function of everything the certificate reads, so a memo hit is
+#: exact, not heuristic; ``validate()`` would accept the cached
+#: certificate against the new trace by construction.
+_TILED_MEMO: Dict[tuple, RecurrenceCertificate] = {}
+
+#: Memo ceiling — far above the distinct (workload, size, geometry)
+#: population of any real session; cleared wholesale if ever reached.
+_TILED_MEMO_MAX = 128
+
+#: Advisory counters for the memo's effectiveness (asserted by the
+#: regression test in ``tests/check/test_recurrence_memo.py``):
+#: ``scans`` counts full window scans actually run, ``memo_hits``
+#: certificates served from the memo, ``none_skips`` the subset of
+#: hits whose verdict is ``none`` — the previously-wasted lu/bt scans.
+_SCAN_COUNTERS = {"scans": 0, "memo_hits": 0, "none_skips": 0}
+
+
+def scan_counters() -> Dict[str, int]:
+    """Snapshot of the tiled-scan memo counters."""
+    return dict(_SCAN_COUNTERS)
+
+
+def reset_scan_counters() -> Dict[str, int]:
+    """Zero the counters; returns the pre-reset snapshot (tests)."""
+    snap = dict(_SCAN_COUNTERS)
+    for k in _SCAN_COUNTERS:
+        _SCAN_COUNTERS[k] = 0
+    return snap
+
+
+def _tiled_signature(trace: TiledTrace, phase_mod: int,
+                     guard_bytes: int) -> tuple:
+    """Everything :func:`certify_tiled` reads, as one hashable value.
+
+    Windows derive from ``phases`` (pattern ids + reference vectors)
+    at the given ``phase_mod``; splices additionally read ``extents``,
+    region top edges and ``guard_bytes``; families read each pattern's
+    ``(op, region)`` rows.  Two traces equal under this signature
+    therefore certify identically — sites, operand registers and
+    instruction counts are deliberately not part of it.
+    """
+    return (
+        phase_mod,
+        guard_bytes,
+        trace.phases,
+        tuple(tuple((int(op), ri)
+                    for op, _d, _s, _site, ri, _rel in pat)
+              for pat in trace.patterns),
+        trace.extents,
+        tuple(r.end for r in trace.regions),
+    )
+
+
 def certify_tiled(trace: TiledTrace, mem_config: Any = None,
                   subject: str = "", *, phase_mod: Optional[int] = None,
                   guard_bytes: Optional[int] = None
                   ) -> RecurrenceCertificate:
-    """Certify one tiled trace: windows, splices, families, verdict."""
+    """Certify one tiled trace: windows, splices, families, verdict.
+
+    Results are memoized by structural signature: rebuilding the same
+    workload (same phases/patterns/extents at the same geometry) skips
+    the window scan and returns the cached certificate — which matters
+    most when the cached verdict is ``none``, the case where the scan
+    was pure overhead to begin with.
+    """
     if phase_mod is None or guard_bytes is None:
         pm, gb = cache_geometry(mem_config)
         phase_mod = pm if phase_mod is None else phase_mod
         guard_bytes = gb if guard_bytes is None else guard_bytes
+    sig = _tiled_signature(trace, phase_mod, guard_bytes)
+    cached = _TILED_MEMO.get(sig)
+    if cached is not None:
+        # Racing threads can at worst both scan and both store the
+        # same value; the counters are advisory, the memo is not a
+        # correctness surface.
+        _SCAN_COUNTERS["memo_hits"] += 1
+        if cached.verdict == "none":
+            _SCAN_COUNTERS["none_skips"] += 1
+        return (cached if cached.subject == subject
+                else replace(cached, subject=subject))
+    _SCAN_COUNTERS["scans"] += 1
     windows = _select_windows(_scan_windows(trace, phase_mod))
-    return RecurrenceCertificate(
+    cert = RecurrenceCertificate(
         kind="tiled",
         subject=subject,
         phase_mod=phase_mod,
@@ -521,6 +601,10 @@ def certify_tiled(trace: TiledTrace, mem_config: Any = None,
         splices=_splice_points(trace, windows, guard_bytes),
         families=_pattern_families(trace),
     )
+    if len(_TILED_MEMO) >= _TILED_MEMO_MAX:
+        _TILED_MEMO.clear()
+    _TILED_MEMO[sig] = cert
+    return cert
 
 
 def certify_stream(trace: CompiledTrace, mem_config: Any = None,

@@ -17,6 +17,7 @@
     python -m repro certify --pairs --verify  # + joint pair certificates
     python -m repro model                     # provable CPI/slowdown bounds
     python -m repro model --ilp max --json
+    python -m repro serve --port 8750         # the sweep engine as a daemon
 
 Every command prints the same renderings the benchmark harness emits.
 
@@ -208,6 +209,9 @@ def _parser() -> argparse.ArgumentParser:
     sub = p.add_subparsers(dest="command", required=True)
 
     f1 = sub.add_parser("fig1", help="figure 1: stream CPI across TLP x ILP")
+    f1.add_argument("--streams", default=None, metavar="A,B,...",
+                    help="comma-separated subset of the figure's streams "
+                    "(default: all five)")
     _add_sweep_flags(f1)
     _add_output_flags(f1)
 
@@ -314,6 +318,10 @@ def _parser() -> argparse.ArgumentParser:
     tp.add_argument("--duration", type=float, default=None, metavar="S",
                     help="exit after S seconds even if the sweep is "
                     "still running")
+    tp.add_argument("--telemetry-dir", default=None, metavar="PATH",
+                    help="directory to look the newest log up in (e.g. "
+                    "a serve daemon's spool; default: "
+                    "$REPRO_TELEMETRY_DIR or .repro-telemetry)")
 
     tl = sub.add_parser(
         "telemetry",
@@ -324,6 +332,45 @@ def _parser() -> argparse.ArgumentParser:
                     "in the telemetry directory)")
     tl.add_argument("--json", action="store_true",
                     help="print the summary as JSON")
+    tl.add_argument("--telemetry-dir", default=None, metavar="PATH",
+                    help="directory to look the newest log up in "
+                    "(default: $REPRO_TELEMETRY_DIR or .repro-telemetry)")
+
+    sv = sub.add_parser(
+        "serve",
+        help="run the sweep service: a persistent daemon with a "
+        "warm-cache fast path and request coalescing",
+    )
+    sv.add_argument("--host", default="127.0.0.1",
+                    help="address to bind (default %(default)s)")
+    sv.add_argument("--port", type=int, default=8750,
+                    help="port to bind; 0 picks an ephemeral port "
+                    "(default %(default)s)")
+    sv.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
+                    help="persistent worker-pool width "
+                    "(default %(default)s)")
+    sv.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                    metavar="PATH",
+                    help="content-addressed result cache directory "
+                    "(default %(default)s)")
+    sv.add_argument("--no-cache", action="store_true",
+                    help="serve without the object store (every request "
+                    "recomputes; disables the warm fast path)")
+    sv.add_argument("--no-check", action="store_true",
+                    help="skip the static preflight and the model-bound "
+                    "oracle on cold cells")
+    sv.add_argument("--no-fastpath", action="store_true",
+                    help="disable the steady-state fast-forward in the "
+                    "workers")
+    sv.add_argument("--no-telemetry", action="store_true",
+                    help="do not record a telemetry event log "
+                    "(also disables GET /events)")
+    sv.add_argument("--telemetry-dir", default=None, metavar="PATH",
+                    help="directory for the daemon's telemetry spool "
+                    "(default: $REPRO_TELEMETRY_DIR or .repro-telemetry)")
+    sv.add_argument("--ready-file", default=None, metavar="PATH",
+                    help="write 'host port' to PATH once the socket is "
+                    "bound (for scripted startup)")
     return p
 
 
@@ -424,10 +471,18 @@ def _write_trace(tracer: PipelineTracer, path: str) -> None:
 
 
 def _cmd_fig1(args: argparse.Namespace) -> int:
+    from repro.core.streams import FIG1_STREAMS
     from repro.model import fig1_model_section
 
+    streams = FIG1_STREAMS
+    if args.streams is not None:
+        streams = tuple(s for s in
+                        (p.strip() for p in args.streams.split(","))
+                        if s)
+        if not streams:
+            raise UsageError("--streams must name at least one stream")
     engine = _make_engine(args)
-    results = fig1_sweep(engine=engine)
+    results = fig1_sweep(streams=streams, engine=engine)
     report = build_report("fig1", results, core_config=CoreConfig(),
                           mem_config=MemConfig(),
                           sweep=engine.stats.to_dict(),
@@ -811,7 +866,7 @@ def _cmd_top(args: argparse.Namespace) -> int:
     from repro.telemetry.top import run_top
 
     return run_top(args.path, interval=args.interval, once=args.once,
-                   duration=args.duration)
+                   duration=args.duration, directory=args.telemetry_dir)
 
 
 def _cmd_telemetry(args: argparse.Namespace) -> int:
@@ -820,11 +875,12 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
     from repro.telemetry import summarize
     from repro.telemetry.bus import default_dir
 
-    path = args.path if args.path is not None else latest_log()
+    path = (args.path if args.path is not None
+            else latest_log(args.telemetry_dir))
     if path is None:
         raise UsageError(f"no telemetry log found under "
-                         f"{default_dir()!r}; run a sweep first or "
-                         f"pass a log path")
+                         f"{(args.telemetry_dir or default_dir())!r}; "
+                         f"run a sweep first or pass a log path")
     try:
         events = list(read_events(path))
     except OSError as e:
@@ -836,6 +892,35 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
         print(f"log: {path}")
         print(render_telemetry(summary))
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.app import run_server
+    from repro.serve.scheduler import CellScheduler
+
+    if getattr(args, "no_fastpath", False):
+        from repro.cpu.fastpath import set_default_enabled
+
+        set_default_enabled(False)
+    try:
+        scheduler = CellScheduler(
+            cache_dir=None if args.no_cache else args.cache_dir,
+            jobs=args.jobs,
+            preflight=not args.no_check,
+            oracle=not args.no_check,
+            telemetry_dir=args.telemetry_dir,
+            telemetry=not args.no_telemetry,
+        )
+    except CacheError as e:
+        raise UsageError(
+            f"--cache-dir {args.cache_dir!r} is unusable: {e} "
+            f"(pick a writable directory or pass --no-cache)")
+    if scheduler.bus is not None:
+        print(f"telemetry: {scheduler.bus.path} "
+              f"(view with `repro top --telemetry-dir ...`)",
+              file=sys.stderr)
+    return run_server(scheduler, host=args.host, port=args.port,
+                      ready_file=args.ready_file)
 
 
 def _dispatch(args: argparse.Namespace) -> int:
@@ -859,6 +944,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_top(args)
     if args.command == "telemetry":
         return _cmd_telemetry(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     raise AssertionError("unreachable")
 
 

@@ -17,9 +17,12 @@ from repro.core.streams import (
 )
 from repro.core.coexec import (
     CoexecResult,
+    assemble_coexec,
+    coexec_cells,
     coexec_matrix,
     coexec_pair,
     coexec_sweep,
+    fig2_panel_pairs,
     run_pair_cpis,
 )
 from repro.core.apps import (

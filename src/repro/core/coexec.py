@@ -166,24 +166,22 @@ FIG2C_PAIRS = tuple(
 )
 
 
-def coexec_sweep(
+def coexec_cells(
     pairs,
     ilp: ILP = ILP.MAX,
     core_config: Optional[CoreConfig] = None,
     mem_config: Optional[MemConfig] = None,
-    engine=None,
     solo_horizon_ticks: Optional[int] = None,
     pair_horizon_ticks: Optional[int] = None,
-) -> list[CoexecResult]:
-    """Measure an arbitrary list of stream pairs through the engine.
+) -> tuple[list, list[tuple[str, str]], list[str]]:
+    """Enumerate a pair sweep as cells: ``(cells, pairs, solos)``.
 
-    The sweep decomposes into independently cacheable cells: one solo
-    baseline per distinct stream plus one dual-thread cell per pair.
-    After redefining a single stream only its baseline and the pairs
-    containing it miss the cache — the rest of the matrix stays warm.
+    One solo-baseline cell per distinct stream followed by one
+    dual-thread cell per pair — the decomposition that makes the
+    matrix finely cacheable.  ``pairs`` and ``solos`` name the cells'
+    order so :func:`assemble_coexec` can reconstitute results.
     """
     from repro.sweep.cells import pair_cell, stream_cell
-    from repro.sweep.engine import SweepEngine
 
     pairs = [tuple(p) for p in pairs]
     for a, b in pairs:
@@ -201,8 +199,13 @@ def coexec_sweep(
                   core_config=core_config, mem_config=mem_config)
         for a, b in pairs
     ]
-    engine = engine or SweepEngine()
-    results = engine.run(cells)
+    return cells, pairs, solos
+
+
+def assemble_coexec(pairs, ilp: ILP, solos: list[str],
+                    results: list) -> list[CoexecResult]:
+    """Fold raw cell results (solo CPIs then pair CPI tuples, in
+    :func:`coexec_cells` order) into :class:`CoexecResult` rows."""
     solo_cpi = {name: r.cpi for name, r in zip(solos, results[:len(solos)])}
     return [
         CoexecResult(
@@ -216,6 +219,45 @@ def coexec_sweep(
         )
         for (a, b), (cpi_a, cpi_b) in zip(pairs, results[len(solos):])
     ]
+
+
+def coexec_sweep(
+    pairs,
+    ilp: ILP = ILP.MAX,
+    core_config: Optional[CoreConfig] = None,
+    mem_config: Optional[MemConfig] = None,
+    engine=None,
+    solo_horizon_ticks: Optional[int] = None,
+    pair_horizon_ticks: Optional[int] = None,
+) -> list[CoexecResult]:
+    """Measure an arbitrary list of stream pairs through the engine.
+
+    The sweep decomposes into independently cacheable cells: one solo
+    baseline per distinct stream plus one dual-thread cell per pair.
+    After redefining a single stream only its baseline and the pairs
+    containing it miss the cache — the rest of the matrix stays warm.
+    """
+    from repro.sweep.engine import SweepEngine
+
+    cells, pairs, solos = coexec_cells(
+        pairs, ilp=ilp, core_config=core_config, mem_config=mem_config,
+        solo_horizon_ticks=solo_horizon_ticks,
+        pair_horizon_ticks=pair_horizon_ticks)
+    engine = engine or SweepEngine()
+    return assemble_coexec(pairs, ilp, solos, engine.run(cells))
+
+
+def fig2_panel_pairs(panel: str) -> list[tuple[str, str]]:
+    """The stream pairs of one fig.-2 panel (shared by CLI and serve)."""
+    if panel == "a":
+        return [(a, b) for i, a in enumerate(FIG2A_STREAMS)
+                for b in FIG2A_STREAMS[i:]]
+    if panel == "b":
+        return [(a, b) for i, a in enumerate(FIG2B_STREAMS)
+                for b in FIG2B_STREAMS[i:]]
+    if panel == "c":
+        return list(FIG2C_PAIRS)
+    raise ConfigError(f"unknown fig2 panel {panel!r}; have a, b, c")
 
 
 def coexec_matrix(

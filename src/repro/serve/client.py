@@ -1,0 +1,179 @@
+"""A small blocking client for the serve daemon (stdlib only).
+
+One :class:`ServeClient` holds one keep-alive HTTP connection; a
+connection error tears it down and the next call reconnects.  Non-2xx
+responses raise :class:`ServeError` carrying the status and decoded
+error body, so callers branch on ``e.status`` instead of parsing
+strings.  Used by the benchmark harness, the CI smoke job and the
+tests; small enough to crib into any other tooling.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+from urllib.parse import urlencode
+
+from repro.common.errors import ReproError
+
+
+class ServeError(ReproError):
+    """A non-2xx daemon response."""
+
+    def __init__(self, status: int, payload: Any):
+        self.status = status
+        self.payload = payload
+        detail = (payload.get("error")
+                  if isinstance(payload, dict) else payload)
+        super().__init__(f"serve returned {status}: {detail}")
+
+
+class ServeClient:
+    """Blocking JSON/HTTP client for one daemon."""
+
+    def __init__(self, host: str, port: int, timeout: float = 300.0):
+        self.host = host
+        self.port = int(port)
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # -- plumbing ------------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout)
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def _request(self, method: str, path: str,
+                 body: Optional[dict] = None) -> Tuple[int, bytes]:
+        payload = (json.dumps(body).encode()
+                   if body is not None else None)
+        headers = {"Content-Type": "application/json"} if payload else {}
+        # One transparent retry: the daemon may have idle-closed the
+        # kept-alive connection between calls.
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=payload, headers=headers)
+                resp = conn.getresponse()
+                return resp.status, resp.read()
+            except (ConnectionError, http.client.HTTPException, OSError):
+                self.close()
+                if attempt:
+                    raise
+        raise AssertionError("unreachable")
+
+    def _json(self, method: str, path: str,
+              body: Optional[dict] = None) -> Any:
+        status, data = self._request(method, path, body)
+        try:
+            decoded = json.loads(data) if data else None
+        except ValueError:
+            decoded = data.decode("utf-8", "replace")
+        if not 200 <= status < 300:
+            raise ServeError(status, decoded)
+        return decoded
+
+    # -- endpoints -----------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self._json("GET", "/healthz")
+
+    def stats(self) -> dict:
+        return self._json("GET", "/stats")
+
+    def counters(self) -> Dict[str, int]:
+        return self.stats()["counters"]
+
+    def sweep(self, target: str, fresh: bool = False,
+              **params: Any) -> dict:
+        body = {"target": target, **params}
+        if fresh:
+            body["fresh"] = True
+        return self._json("POST", "/sweep", body)
+
+    def cells(self, specs: List[dict], fresh: bool = False) -> dict:
+        body: Dict[str, Any] = {"cells": specs}
+        if fresh:
+            body["fresh"] = True
+        return self._json("POST", "/cells", body)
+
+    def manifest(self, target: str, **params: Any) -> bytes:
+        """The served manifest, raw — the byte-identity contract means
+        these bytes are compared, never re-encoded."""
+        qparams = {"target": target}
+        for k, v in params.items():
+            if v is None:
+                continue
+            qparams[k] = (",".join(v) if isinstance(v, (list, tuple))
+                          else str(v))
+        status, data = self._request(
+            "GET", "/manifest?" + urlencode(qparams))
+        if status != 200:
+            try:
+                decoded: Any = json.loads(data)
+            except ValueError:
+                decoded = data.decode("utf-8", "replace")
+            raise ServeError(status, decoded)
+        return data
+
+    def events(self, limit: int, timeout: float = 30.0) -> List[dict]:
+        """Collect ``limit`` telemetry frames from the SSE stream."""
+        return list(self.iter_events(limit=limit, timeout=timeout))
+
+    def iter_events(self, limit: int,
+                    timeout: float = 30.0) -> Iterator[dict]:
+        # SSE holds the connection open; use a dedicated one so the
+        # keep-alive JSON connection stays usable concurrently.
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=timeout)
+        try:
+            conn.request("GET", f"/events?limit={int(limit)}")
+            resp = conn.getresponse()
+            if resp.status != 200:
+                raise ServeError(resp.status,
+                                 json.loads(resp.read() or b"null"))
+            seen = 0
+            while seen < limit:
+                line = resp.fp.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if not line.startswith(b"data:"):
+                    continue  # keepalive comments, blank separators
+                yield json.loads(line[len(b"data:"):].strip())
+                seen += 1
+        finally:
+            conn.close()
+
+    # -- readiness -----------------------------------------------------
+
+    def wait_ready(self, timeout: float = 30.0,
+                   interval: float = 0.05) -> dict:
+        """Poll /healthz until the daemon answers (or raise)."""
+        deadline = time.monotonic() + timeout  # check: allow(wall-clock)
+        last: Optional[Exception] = None
+        while time.monotonic() < deadline:  # check: allow(wall-clock)
+            try:
+                return self.healthz()
+            except (ServeError, OSError,
+                    http.client.HTTPException) as e:
+                last = e
+                self.close()
+                time.sleep(interval)
+        raise ReproError(f"daemon at {self.host}:{self.port} did not "
+                         f"become ready within {timeout}s: {last}")

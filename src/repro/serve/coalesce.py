@@ -1,0 +1,126 @@
+"""Single-flight request coalescing keyed on the sweep cache key.
+
+The server may field many concurrent requests for overlapping cell
+sets (autotuning loops hammer the same figure).  Computing the same
+cell twice is pure waste — the cache key is content-addressed, so two
+requests for one key *must* produce the same bytes.  The single-flight
+table guarantees at most one in-flight computation per key: the first
+requester becomes the **leader** and runs the cell; everyone else who
+arrives while it is in flight becomes a **joiner** and blocks on the
+leader's :class:`Flight` until it lands (result or error).
+
+The table holds plain :mod:`threading` primitives, not asyncio ones:
+request handlers run in executor threads (the scheduler's pool waits
+are blocking), so coalescing has to work across threads regardless of
+which event loop dispatched them.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Tuple
+
+
+class Flight:
+    """One in-flight cell computation, awaited by any number of joiners."""
+
+    __slots__ = ("key", "event", "text", "error", "joiners")
+
+    def __init__(self, key: str):
+        self.key = key
+        self.event = threading.Event()
+        #: Result payload text (the worker's canonical JSON), set by
+        #: the leader on success.
+        self.text: Optional[str] = None
+        #: Exception set by the leader on failure; joiners re-raise it.
+        self.error: Optional[BaseException] = None
+        #: How many requests joined this flight (excludes the leader).
+        self.joiners = 0
+
+    def resolve(self, text: str) -> None:
+        self.text = text
+        self.event.set()
+
+    def fail(self, error: BaseException) -> None:
+        self.error = error
+        self.event.set()
+
+    def wait(self, timeout: Optional[float] = None) -> str:
+        if not self.event.wait(timeout):
+            raise TimeoutError(
+                f"coalesced wait on cell {self.key[:12]} timed out "
+                f"after {timeout}s")
+        if self.error is not None:
+            raise self.error
+        assert self.text is not None
+        return self.text
+
+
+class SingleFlight:
+    """The per-key flight table.  All methods are thread-safe."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._flights: Dict[str, Flight] = {}
+
+    def begin(self, key: str) -> Tuple[Flight, bool]:
+        """Claim or join the flight for ``key``.
+
+        Returns ``(flight, is_leader)``.  A leader MUST eventually call
+        :meth:`finish` on the flight — success or failure — or joiners
+        hang until their timeout.
+        """
+        with self._lock:
+            flight = self._flights.get(key)
+            if flight is not None:
+                flight.joiners += 1
+                return flight, False
+            flight = Flight(key)
+            self._flights[key] = flight
+            return flight, True
+
+    def begin_many(self, keys: List[str]) -> Tuple[List[Tuple[int, Flight]],
+                                                   List[Tuple[int, Flight]]]:
+        """Claim/join a batch of keys under one lock acquisition.
+
+        Returns ``(led, joined)`` as ``(index, flight)`` lists — the
+        batch-shaped form of :meth:`begin`, taken atomically so two
+        concurrent identical batches split cleanly into one leader set
+        and one joiner set (never a deadlocked mutual wait).
+        """
+        led: List[Tuple[int, Flight]] = []
+        joined: List[Tuple[int, Flight]] = []
+        with self._lock:
+            for i, key in enumerate(keys):
+                flight = self._flights.get(key)
+                if flight is not None:
+                    flight.joiners += 1
+                    joined.append((i, flight))
+                else:
+                    flight = Flight(key)
+                    self._flights[key] = flight
+                    led.append((i, flight))
+        return led, joined
+
+    def finish(self, flight: Flight, text: Optional[str] = None,
+               error: Optional[BaseException] = None) -> None:
+        """Land a flight: publish its result (or error) and retire it.
+
+        Retiring before resolving would let a new leader start while
+        joiners still hold the old flight — harmless but wasteful; the
+        lock ordering here removes the key first so any *new* request
+        after this point starts a fresh flight (it will hit the cache
+        the leader just populated anyway).
+        """
+        with self._lock:
+            if self._flights.get(flight.key) is flight:
+                del self._flights[flight.key]
+        if error is not None:
+            flight.fail(error)
+        else:
+            assert text is not None
+            flight.resolve(text)
+
+    def in_flight(self) -> int:
+        with self._lock:
+            return len(self._flights)

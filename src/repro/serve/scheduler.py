@@ -1,0 +1,397 @@
+"""The serving scheduler: persistent pool, warm fast path, coalescing.
+
+One :class:`CellScheduler` lives for the whole daemon.  Its
+:meth:`fetch` is the single entry point every request handler uses;
+per batch of cells it:
+
+1. **probes** the object store — warm hits are answered immediately
+   (no preflight, no pool, no oracle; the stored entry passed both
+   when it was computed);
+2. enters the **single-flight table** for every miss: this request
+   leads the cells nobody else is computing and joins the flights of
+   cells already in the air;
+3. runs the engine's static **preflight** over the led cells only,
+   then shards them across the **persistent worker pool**
+   (``apply_async`` per cell — submission-order collection keeps
+   results deterministic);
+4. **publishes** fresh results to the store, cross-checks them against
+   the analytic model (the same differential oracle the engine runs),
+   and only then lands the flights — joiners never observe a result
+   the oracle rejected, and a rejected entry is discarded from the
+   store so the warm path can never serve it later.
+
+Everything the engine's workers do is reused verbatim
+(:func:`repro.sweep.engine._execute_task` and ``_pool_init``), so a
+cell computed by the daemon is byte-identical to one computed by the
+CLI — and the two share cache warmth in both directions.
+
+Counters (:class:`ServeCounters`) are the observable contract the
+benchmarks assert on: a warm batch must leave ``pool_dispatches``
+untouched, and 16 concurrent identical cold requests must record
+exactly one ``simulations`` increment.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import CheckError, ConfigError
+from repro.serve.coalesce import SingleFlight
+from repro.serve.store import CacheAdapter
+from repro.sweep.cache import ResultCache
+from repro.sweep.cells import SweepCell, cell_label, runner_for
+from repro.sweep.engine import _execute_task, _pool_init
+from repro.telemetry.bus import TelemetryBus
+from repro.telemetry.bus import now as _now
+
+#: Ceiling on how long a joiner waits for a leader's flight.  Far
+#: above any single cell's wall time; a wait this long means the
+#: leader died without landing the flight, and hanging the client
+#: forever helps nobody.
+FLIGHT_TIMEOUT_S = 600.0
+
+
+@dataclass
+class ServeCounters:
+    """Monotonic service counters, exposed by ``/stats``.
+
+    ``simulations`` counts cells actually executed (each exactly once
+    per computation, coalescing included); ``pool_dispatches`` counts
+    tasks handed to the worker pool.  They track each other unless the
+    pool is unavailable and execution fell back inline.
+    """
+
+    batches: int = 0
+    cells: int = 0
+    warm_hits: int = 0
+    misses: int = 0
+    coalesced: int = 0
+    led: int = 0
+    simulations: int = 0
+    pool_dispatches: int = 0
+    preflight_rejected: int = 0
+    oracle_failed: int = 0
+    errors: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False)
+
+    def add(self, **deltas: int) -> None:
+        with self._lock:
+            for name, d in deltas.items():
+                setattr(self, name, getattr(self, name) + d)
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "batches": self.batches,
+                "cells": self.cells,
+                "warm_hits": self.warm_hits,
+                "misses": self.misses,
+                "coalesced": self.coalesced,
+                "led": self.led,
+                "simulations": self.simulations,
+                "pool_dispatches": self.pool_dispatches,
+                "preflight_rejected": self.preflight_rejected,
+                "oracle_failed": self.oracle_failed,
+                "errors": self.errors,
+            }
+
+
+@dataclass
+class BatchOutcome:
+    """Per-request accounting, echoed in every response's ``serve``
+    section (volatile — never part of a manifest)."""
+
+    cells: int = 0
+    warm_hits: int = 0
+    misses: int = 0
+    coalesced: int = 0
+    led: int = 0
+    wall_s: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "cells": self.cells,
+            "warm_hits": self.warm_hits,
+            "misses": self.misses,
+            "coalesced": self.coalesced,
+            "led": self.led,
+            "wall_s": self.wall_s,
+        }
+
+
+class CellScheduler:
+    """Executes cell batches for the daemon; safe to call from any
+    number of request-handler threads concurrently."""
+
+    def __init__(
+        self,
+        cache_dir: Optional[str] = None,
+        jobs: int = 1,
+        preflight: bool = True,
+        oracle: bool = True,
+        telemetry_dir: Optional[str] = None,
+        telemetry: bool = True,
+    ):
+        if not isinstance(jobs, int) or jobs < 1:
+            raise ConfigError("jobs must be a positive integer")
+        self.jobs = jobs
+        self.preflight = preflight
+        self.oracle = oracle
+        cache = ResultCache(cache_dir) if cache_dir is not None else None
+        self.store = CacheAdapter(cache)
+        self.counters = ServeCounters()
+        self._flights = SingleFlight()
+        self._pool: Optional[Any] = None
+        self._pool_lock = threading.Lock()
+        self.bus: Optional[TelemetryBus] = None
+        if telemetry:
+            from repro import telemetry as _telemetry
+
+            if _telemetry.enabled_by_env():
+                path = _telemetry.new_log_path(telemetry_dir,
+                                               prefix="serve")
+                self.bus = TelemetryBus(path)
+
+    # -- pool lifecycle ------------------------------------------------
+
+    def start(self) -> None:
+        """Spin the persistent pool up-front (daemon start sequence).
+
+        Forking after the event loop and executor threads exist is
+        legal but fragile; the daemon calls this before it opens the
+        listening socket so workers inherit a quiet parent.  Also the
+        point of the exercise: clients never pay pool spin-up.
+        """
+        self._ensure_pool()
+
+    def _ensure_pool(self) -> Any:
+        with self._pool_lock:
+            if self._pool is None:
+                methods = multiprocessing.get_all_start_methods()
+                ctx = multiprocessing.get_context(
+                    "fork" if "fork" in methods else None)
+                from repro.cpu.fastpath import default_enabled
+
+                tel_path = self.bus.path if self.bus is not None else None
+                run_id = self.bus.run_id if self.bus is not None else None
+                self._pool = ctx.Pool(
+                    processes=self.jobs,
+                    initializer=_pool_init,
+                    initargs=(default_enabled(), tel_path, run_id))
+            return self._pool
+
+    def close(self) -> None:
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.terminate()
+                self._pool.join()
+                self._pool = None
+        if self.bus is not None:
+            self.bus.close()
+
+    # -- the request path ----------------------------------------------
+
+    def fetch(self, cells: Sequence[SweepCell],
+              fresh: bool = False) -> Tuple[List[str], BatchOutcome]:
+        """Resolve a batch; returns canonical payload texts in order.
+
+        ``fresh`` skips the warm probe (the cells still coalesce with
+        any identical in-flight computation, and their results
+        overwrite the store).
+        """
+        t0 = _now()
+        n = len(cells)
+        outcome = BatchOutcome(cells=n)
+        keys = [cell.key() for cell in cells]
+        labels = [cell_label(cell) for cell in cells]
+        bus = self.bus
+        if bus is not None:
+            bus.emit("sweep-begin", cells=n, jobs=self.jobs,
+                     cache_enabled=self.store.enabled)
+
+        # Phase 1: the warm fast path.  Nothing below this loop runs
+        # for a fully-warm batch — no flights, no preflight, no pool.
+        texts: List[Optional[str]] = [None] * n
+        miss_idx: List[int] = []
+        probe_t0 = _now()
+        for i, cell in enumerate(cells):
+            text = None if fresh else self.store.probe(cell, keys[i])
+            if text is not None:
+                texts[i] = text
+                outcome.warm_hits += 1
+                if bus is not None:
+                    bus.emit("cache-hit", idx=i, cell=labels[i])
+            else:
+                miss_idx.append(i)
+        if bus is not None:
+            bus.emit("phase", name="probe", wall_s=_now() - probe_t0)
+        outcome.misses = len(miss_idx)
+
+        if miss_idx:
+            self._resolve_misses(cells, keys, labels, miss_idx, texts,
+                                 outcome)
+
+        outcome.wall_s = _now() - t0
+        self.counters.add(batches=1, cells=n,
+                          warm_hits=outcome.warm_hits,
+                          misses=outcome.misses,
+                          coalesced=outcome.coalesced,
+                          led=outcome.led)
+        if bus is not None:
+            bus.emit("sweep-end", cells=n, hits=outcome.warm_hits,
+                     misses=outcome.misses, wall_s=outcome.wall_s)
+        assert all(t is not None for t in texts)
+        return [t for t in texts if t is not None], outcome
+
+    def fetch_payloads(self, cells: Sequence[SweepCell],
+                       fresh: bool = False
+                       ) -> Tuple[List[dict], BatchOutcome]:
+        texts, outcome = self.fetch(cells, fresh=fresh)
+        return [json.loads(t) for t in texts], outcome
+
+    def fetch_results(self, cells: Sequence[SweepCell],
+                      fresh: bool = False
+                      ) -> Tuple[List[Any], BatchOutcome]:
+        """Decoded driver-result objects (what the report builders eat)."""
+        payloads, outcome = self.fetch_payloads(cells, fresh=fresh)
+        return [runner_for(c.kind).decode(p)
+                for c, p in zip(cells, payloads)], outcome
+
+    # -- the cold path -------------------------------------------------
+
+    def _resolve_misses(self, cells: Sequence[SweepCell],
+                        keys: List[str], labels: List[str],
+                        miss_idx: List[int],
+                        texts: List[Optional[str]],
+                        outcome: BatchOutcome) -> None:
+        led, joined = self._flights.begin_many([keys[i] for i in miss_idx])
+        # begin_many indexes into miss_idx's order; map back to batch
+        # indices.
+        led = [(miss_idx[j], flight) for j, flight in led]
+        joined = [(miss_idx[j], flight) for j, flight in joined]
+        outcome.led = len(led)
+        outcome.coalesced = len(joined)
+
+        try:
+            if led:
+                self._lead(cells, keys, labels, led)
+        except BaseException:
+            # Leader failures must not strand joiners of *other*
+            # flights this request also joined; those leaders land
+            # their own flights.  Ours were failed inside _lead.
+            for i, flight in joined:
+                try:
+                    texts[i] = flight.wait(FLIGHT_TIMEOUT_S)
+                except BaseException:
+                    pass
+            raise
+        # Led flights are resolved by _lead itself; joined ones by
+        # whichever request leads them.  Either way the flight now
+        # holds the canonical text.
+        for i, flight in led:
+            texts[i] = flight.wait(FLIGHT_TIMEOUT_S)
+        for i, flight in joined:
+            texts[i] = flight.wait(FLIGHT_TIMEOUT_S)
+
+    def _lead(self, cells: Sequence[SweepCell], keys: List[str],
+              labels: List[str],
+              led: List[Tuple[int, Any]]) -> None:
+        """Compute the cells this request leads; land their flights."""
+        bus = self.bus
+        idxs = [i for i, _f in led]
+        flights = {i: f for i, f in led}
+
+        def _fail_all(err: BaseException) -> None:
+            for i in idxs:
+                self._flights.finish(flights[i], error=err)
+
+        t0 = _now()
+        if self.preflight:
+            from repro.check.preflight import preflight_cells
+
+            try:
+                preflight_cells([cells[i] for i in idxs])
+            except CheckError as e:
+                self.counters.add(preflight_rejected=len(idxs), errors=1)
+                if bus is not None:
+                    bus.emit("cell-end", idx=-1, cell="preflight",
+                             wall_s=_now() - t0, fastpath={},
+                             rejected=len(idxs),
+                             check=getattr(e, "check", "") or "preflight")
+                _fail_all(e)
+                raise
+        if bus is not None:
+            bus.emit("phase", name="preflight", wall_s=_now() - t0)
+
+        t0 = _now()
+        outcomes = self._execute([(i, cells[i], labels[i], t0)
+                                  for i in idxs])
+        if bus is not None:
+            bus.emit("phase", name="execute", wall_s=_now() - t0)
+
+        t0 = _now()
+        payloads = {}
+        for i, (text, _meta) in zip(idxs, outcomes):
+            payloads[i] = json.loads(text)
+            self.store.publish(cells[i], keys[i], payloads[i])
+        if bus is not None:
+            bus.emit("phase", name="store", wall_s=_now() - t0)
+
+        t0 = _now()
+        if self.oracle:
+            from repro.model.oracle import oracle_cells
+
+            try:
+                oracle_cells([cells[i] for i in idxs],
+                             [runner_for(cells[i].kind).decode(payloads[i])
+                              for i in idxs])
+            except CheckError as e:
+                # The entries are already on disk (mirroring the
+                # engine's store-then-oracle order); pull them back out
+                # so the oracle-skipping warm path can never serve a
+                # result the model proves wrong.
+                for i in idxs:
+                    self.store.discard(keys[i])
+                self.counters.add(oracle_failed=len(idxs), errors=1)
+                _fail_all(e)
+                raise
+        if bus is not None:
+            bus.emit("phase", name="oracle", wall_s=_now() - t0)
+
+        for i, (text, _meta) in zip(idxs, outcomes):
+            self._flights.finish(flights[i], text=text)
+
+    def _execute(self, tasks: List[Tuple[int, SweepCell, str, float]],
+                 ) -> List[Tuple[str, dict]]:
+        """Shard led cells across the persistent pool, in order."""
+        pool = self._ensure_pool()
+        pending = []
+        for task in tasks:
+            pending.append(pool.apply_async(_execute_task, (task,)))
+            self.counters.add(pool_dispatches=1, simulations=1)
+        return [p.get() for p in pending]
+
+    # -- introspection -------------------------------------------------
+
+    def describe(self) -> Dict[str, Any]:
+        from repro import __version__
+
+        return {
+            "version": __version__,
+            "pid": os.getpid(),
+            "jobs": self.jobs,
+            "pool_live": self._pool is not None,
+            "preflight": self.preflight,
+            "oracle": self.oracle,
+            "cache": self.store.describe(),
+            "telemetry": ({"log": self.bus.path, "run": self.bus.run_id}
+                          if self.bus is not None else None),
+            "in_flight": self._flights.in_flight(),
+            "counters": self.counters.snapshot(),
+        }

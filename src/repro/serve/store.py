@@ -1,0 +1,77 @@
+"""The server's view of the content-addressed object store.
+
+The adapter speaks the *exact* entry dialect the sweep engine writes
+(``cache_schema_version`` / ``repro_version`` / ``kind`` / ``config``
+/ ``result``), so warmth is shared both ways: a CLI sweep warms the
+daemon, a served sweep warms the next CLI run.  Three operations:
+
+* :meth:`probe` — the warm fast path.  One ``open`` + ``json.load``
+  per cell, microseconds each; a hit never touches the pool, never
+  re-runs preflight, and never re-runs the oracle (the entry passed
+  both when it was stored — the content-addressed key guarantees the
+  stored bytes still describe this exact cell).
+* :meth:`publish` — store a fresh result under the engine's entry
+  shape (atomic tmp-file + rename, via :class:`ResultCache`).
+* :meth:`discard` — drop an entry the model oracle rejected *after*
+  it was stored, so a provably-wrong result can never be served warm.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+from repro import __version__
+from repro.sweep.cache import ResultCache
+from repro.sweep.cells import SweepCell
+from repro.sweep.keys import CACHE_SCHEMA_VERSION
+
+
+class CacheAdapter:
+    """Probe/publish/discard against one :class:`ResultCache`."""
+
+    def __init__(self, cache: Optional[ResultCache]):
+        self.cache = cache
+
+    @property
+    def enabled(self) -> bool:
+        return self.cache is not None
+
+    def probe(self, cell: SweepCell, key: str) -> Optional[str]:
+        """Return the cell's canonical payload text on a warm hit.
+
+        The text is ``json.dumps`` of the stored ``result`` payload —
+        the same canonical encoding a worker returns — so warm and
+        cold paths hand byte-compatible material to the response
+        builder.  A torn or foreign entry degrades to a miss (the
+        :class:`ResultCache` corruption guard), never to served
+        garbage.
+        """
+        if self.cache is None:
+            return None
+        entry = self.cache.get(key)
+        if entry is None or entry.get("kind") != cell.kind:
+            return None
+        return json.dumps(entry["result"])
+
+    def publish(self, cell: SweepCell, key: str, payload: Dict[str, Any],
+                ) -> None:
+        if self.cache is None:
+            return
+        self.cache.put(key, {
+            "cache_schema_version": CACHE_SCHEMA_VERSION,
+            "repro_version": __version__,
+            "kind": cell.kind,
+            "config": cell.config,
+            "result": payload,
+        })
+
+    def discard(self, key: str) -> None:
+        if self.cache is not None:
+            self.cache.discard(key)
+
+    def describe(self) -> Dict[str, Any]:
+        if self.cache is None:
+            return {"enabled": False}
+        return {"enabled": True, "dir": str(self.cache.root),
+                "objects": len(self.cache)}

@@ -68,6 +68,16 @@ class ResultCache:
     def put(self, key: str, entry: dict) -> None:
         """Atomically store ``entry`` under ``key``.
 
+        Cross-process atomicity contract (every writer of
+        ``objects/`` goes through here — audited; see
+        ``tests/sweep/test_cache_atomicity.py``): the entry is fully
+        serialized into a same-directory temp file, flushed and
+        fsynced, and only then renamed over the final path with
+        ``os.replace``.  A reader therefore observes either no entry,
+        the previous complete entry, or the new complete entry — never
+        a torn mix — and a crash mid-write can at worst strand a
+        ``.tmp`` file, never a half-object under the final name.
+
         A failed write warns rather than raising: losing one cache
         entry must not lose the sweep that produced it.
         """
@@ -79,12 +89,35 @@ class ResultCache:
                 with os.fdopen(fd, "w") as fp:
                     json.dump(entry, fp)
                     fp.write("\n")
+                    fp.flush()
+                    # Without the fsync a crash after the rename could
+                    # leave a durable *name* pointing at undurable
+                    # *bytes* on some filesystems — exactly the torn
+                    # object the tmp+rename dance exists to prevent.
+                    os.fsync(fp.fileno())
                 os.replace(tmp, path)
             finally:
                 if os.path.exists(tmp):
                     os.unlink(tmp)
         except OSError as e:
             warnings.warn(f"cannot write sweep-cache entry {path}: {e}",
+                          RuntimeWarning, stacklevel=2)
+
+    def discard(self, key: str) -> None:
+        """Remove ``key``'s entry if present (idempotent).
+
+        Used by the serve scheduler when the model oracle rejects a
+        result *after* it was stored: a provably-out-of-bounds entry
+        must not survive to be served from the warm path, which
+        deliberately skips the oracle.
+        """
+        try:
+            os.unlink(self._path(key))
+        except FileNotFoundError:
+            pass
+        except OSError as e:
+            warnings.warn(f"cannot discard sweep-cache entry "
+                          f"{self._path(key)}: {e}",
                           RuntimeWarning, stacklevel=2)
 
     def __len__(self) -> int:

@@ -81,8 +81,15 @@ def _frame(events: List[dict], path: str, live: bool) -> str:
 
 def run_top(path: Optional[str] = None, interval: float = 0.5,
             once: bool = False, duration: Optional[float] = None,
-            out: Optional[IO[str]] = None) -> int:
-    """Entry point behind ``repro top``; returns a process exit code."""
+            out: Optional[IO[str]] = None,
+            directory: Optional[str] = None) -> int:
+    """Entry point behind ``repro top``; returns a process exit code.
+
+    ``directory`` overrides the telemetry directory the newest log is
+    looked up in — e.g. the serve daemon's ``--telemetry-dir`` spool,
+    which the follower reads with no daemon-specific code at all (the
+    scheduler emits the same event vocabulary as the sweep engine).
+    """
     out = sys.stdout if out is None else out
     deadline = None
     if duration is not None:
@@ -90,12 +97,13 @@ def run_top(path: Optional[str] = None, interval: float = 0.5,
     # No log yet?  A sweep may be about to start: wait for one unless
     # rendering a single frame.
     while path is None:
-        path = _bus.latest_log()
+        path = _bus.latest_log(directory)
         if path is not None:
             break
         if once:
             print("repro top: no telemetry log found "
-                  f"(dir: {_bus.default_dir()})", file=sys.stderr)
+                  f"(dir: {directory or _bus.default_dir()})",
+                  file=sys.stderr)
             return 2
         if deadline is not None \
                 and time.monotonic() >= deadline:  # check: allow(wall-clock)

@@ -1,0 +1,64 @@
+"""Shared helpers for the serve tests: an in-process daemon fixture."""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.serve.app import ServeApp
+from repro.serve.client import ServeClient
+from repro.serve.scheduler import CellScheduler
+
+
+class DaemonHandle:
+    """A ServeApp running on its own event-loop thread."""
+
+    def __init__(self, scheduler: CellScheduler):
+        self.scheduler = scheduler
+        self.host = None
+        self.port = None
+        self._ready = threading.Event()
+        self._loop = None
+        self._stop = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        asyncio.run(self._main())
+
+    async def _main(self):
+        app = ServeApp(self.scheduler)
+        await app.start("127.0.0.1", 0)
+        self.host, self.port = app.addresses[0]
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self._ready.set()
+        await self._stop.wait()
+        await app.close()
+
+    def start(self) -> "DaemonHandle":
+        self._thread.start()
+        assert self._ready.wait(30), "daemon did not come up"
+        return self
+
+    def stop(self):
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(30)
+
+    def client(self) -> ServeClient:
+        return ServeClient(self.host, self.port, timeout=120.0)
+
+
+@pytest.fixture
+def daemon_factory():
+    """Start daemons on demand; every one is torn down after the test."""
+    handles = []
+
+    def start(**scheduler_kwargs) -> DaemonHandle:
+        handle = DaemonHandle(CellScheduler(**scheduler_kwargs)).start()
+        handles.append(handle)
+        return handle
+
+    yield start
+    for h in handles:
+        h.stop()

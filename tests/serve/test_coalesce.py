@@ -1,0 +1,134 @@
+"""Single-flight table semantics: leadership, joining, batch claims."""
+
+import threading
+import time
+
+import pytest
+
+from repro.serve.coalesce import SingleFlight
+
+
+class TestLeadership:
+    def test_first_caller_leads(self):
+        sf = SingleFlight()
+        flight, leader = sf.begin("k")
+        assert leader
+        assert sf.in_flight() == 1
+
+    def test_second_caller_joins_same_flight(self):
+        sf = SingleFlight()
+        f1, lead1 = sf.begin("k")
+        f2, lead2 = sf.begin("k")
+        assert lead1 and not lead2
+        assert f1 is f2
+        assert sf.in_flight() == 1
+
+    def test_finish_clears_the_key(self):
+        sf = SingleFlight()
+        flight, _ = sf.begin("k")
+        sf.finish(flight, text="done")
+        assert sf.in_flight() == 0
+        # The key is free again: the next caller leads a new flight.
+        f2, leader = sf.begin("k")
+        assert leader and f2 is not flight
+
+    def test_joiner_receives_leader_result(self):
+        sf = SingleFlight()
+        flight, _ = sf.begin("k")
+        got = {}
+
+        def join():
+            f, leader = sf.begin("k")
+            assert not leader
+            got["text"] = f.wait(10.0)
+
+        t = threading.Thread(target=join)
+        t.start()
+        time.sleep(0.05)
+        sf.finish(flight, text="payload")
+        t.join(10)
+        assert got["text"] == "payload"
+
+    def test_joiner_receives_leader_error(self):
+        sf = SingleFlight()
+        flight, _ = sf.begin("k")
+        boom = RuntimeError("compute failed")
+        sf.finish(flight, error=boom)
+        f2, leader = sf.begin("k")  # key was released on failure
+        assert leader
+        with pytest.raises(RuntimeError, match="compute failed"):
+            flight.wait(1.0)
+
+    def test_wait_times_out(self):
+        sf = SingleFlight()
+        flight, _ = sf.begin("k")
+        with pytest.raises(TimeoutError):
+            flight.wait(0.01)
+
+
+class TestBatchClaims:
+    def test_begin_many_partitions_led_and_joined(self):
+        sf = SingleFlight()
+        pre, _ = sf.begin("b")
+        led, joined = sf.begin_many(["a", "b", "c"])
+        assert [i for i, _f in led] == [0, 2]
+        assert [i for i, _f in joined] == [1]
+        assert joined[0][1] is pre
+
+    def test_begin_many_is_atomic_across_two_batches(self):
+        """Two concurrent identical batches never deadlock: one claims
+        every key, the other joins every flight."""
+        sf = SingleFlight()
+        keys = [f"k{i}" for i in range(8)]
+        outcomes = []
+        barrier = threading.Barrier(2)
+        claimed = threading.Barrier(2)
+        lock = threading.Lock()
+
+        def run():
+            barrier.wait()
+            led, joined = sf.begin_many(keys)
+            claimed.wait()  # nobody resolves until both have claimed
+            with lock:
+                outcomes.append((len(led), len(joined)))
+            for _i, f in led:
+                sf.finish(f, text="x")
+            for _i, f in joined:
+                assert f.wait(10.0) == "x"
+
+        ts = [threading.Thread(target=run) for _ in range(2)]
+        for t in ts:
+            t.start()
+        for t in ts:
+            t.join(10)
+        assert sorted(outcomes) == [(0, 8), (8, 0)]
+
+
+class TestConcurrentCoalescing:
+    def test_16_concurrent_requests_one_computation(self):
+        """The tentpole contract at the table level: 16 threads ask for
+        one key, exactly one computes."""
+        sf = SingleFlight()
+        computed = []
+        results = [None] * 16
+        gate = threading.Barrier(16)
+
+        def request(i):
+            gate.wait()
+            flight, leader = sf.begin("cell")
+            if leader:
+                time.sleep(0.05)  # let every joiner arrive and block
+                computed.append(i)
+                sf.finish(flight, text="value")
+                results[i] = flight.wait(10.0)
+            else:
+                results[i] = flight.wait(10.0)
+
+        ts = [threading.Thread(target=request, args=(i,))
+              for i in range(16)]
+        for t in ts:
+            t.start()
+        for t in ts:
+            t.join(10)
+        assert len(computed) == 1
+        assert results == ["value"] * 16

@@ -1,0 +1,206 @@
+"""CellScheduler behaviour: warm path, cold path, cache interop,
+oracle discard, preflight rejection, concurrent coalescing."""
+
+import json
+import threading
+
+import pytest
+
+from repro.common.errors import CheckError, ConfigError
+from repro.isa.streams import ILP
+from repro.serve.scheduler import CellScheduler
+from repro.sweep import ResultCache, SweepEngine, runner_for, stream_cell
+
+#: Small horizon: each cell runs in tens of milliseconds while still
+#: reaching the steady-state marker (same constant as the engine tests).
+H = 8_000
+
+
+def _cells(names=("iadd", "fadd"), threads=(1,), ilps=(ILP.MAX,)):
+    return [stream_cell(n, ilp, t, horizon_ticks=H)
+            for n in names for t in threads for ilp in ilps]
+
+
+def _scheduler(tmp_path, **kw):
+    kw.setdefault("cache_dir", str(tmp_path / "cache"))
+    kw.setdefault("telemetry", False)
+    s = CellScheduler(**kw)
+    return s
+
+
+class TestWarmPath:
+    def test_warm_batch_never_touches_the_pool(self, tmp_path):
+        """The tentpole pillar: a fully-warm batch is answered from the
+        store with zero pool dispatches — the pool is not even built."""
+        cells = _cells()
+        cache = ResultCache(tmp_path / "cache")
+        engine_results = SweepEngine(cache=cache).run(cells)
+
+        s = _scheduler(tmp_path)
+        try:
+            results, outcome = s.fetch_results(cells)
+            snap = s.counters.snapshot()
+            assert outcome.warm_hits == len(cells)
+            assert outcome.misses == 0
+            assert snap["pool_dispatches"] == 0
+            assert snap["simulations"] == 0
+            assert s._pool is None  # never spun up
+            assert [(r.stream, r.cpi) for r in results] == \
+                [(r.stream, r.cpi) for r in engine_results]
+        finally:
+            s.close()
+
+    def test_warm_payloads_byte_identical_to_engine_encoding(self,
+                                                             tmp_path):
+        cells = _cells(names=("iadd",))
+        cache = ResultCache(tmp_path / "cache")
+        engine_results = SweepEngine(cache=cache).run(cells)
+        encoded = [runner_for(c.kind).encode(r)
+                   for c, r in zip(cells, engine_results)]
+
+        s = _scheduler(tmp_path)
+        try:
+            texts, _ = s.fetch(cells)
+            assert [json.loads(t) for t in texts] == encoded
+        finally:
+            s.close()
+
+
+class TestColdPath:
+    def test_cold_batch_computes_and_warms_the_engine(self, tmp_path):
+        """Interop in the serve->CLI direction: entries the daemon
+        publishes are hits for a subsequent SweepEngine run."""
+        cells = _cells(names=("iadd",))
+        s = _scheduler(tmp_path)
+        try:
+            results, outcome = s.fetch_results(cells)
+            assert outcome.misses == len(cells)
+            assert outcome.led == len(cells)
+            assert s.counters.snapshot()["simulations"] == len(cells)
+        finally:
+            s.close()
+
+        engine = SweepEngine(cache=ResultCache(tmp_path / "cache"))
+        engine_results = engine.run(cells)
+        assert engine.stats.hits == len(cells)
+        assert [(r.stream, r.cpi) for r in engine_results] == \
+            [(r.stream, r.cpi) for r in results]
+
+    def test_fresh_recomputes_despite_warm_store(self, tmp_path):
+        cells = _cells(names=("iadd",))
+        s = _scheduler(tmp_path)
+        try:
+            s.fetch(cells)
+            before = s.counters.snapshot()["simulations"]
+            _texts, outcome = s.fetch(cells, fresh=True)
+            assert outcome.warm_hits == 0
+            assert s.counters.snapshot()["simulations"] == \
+                before + len(cells)
+        finally:
+            s.close()
+
+    def test_disabled_cache_always_computes(self, tmp_path):
+        cells = _cells(names=("iadd",))
+        s = CellScheduler(cache_dir=None, telemetry=False)
+        try:
+            s.fetch(cells)
+            _texts, outcome = s.fetch(cells)
+            assert outcome.warm_hits == 0
+            assert s.counters.snapshot()["simulations"] == 2 * len(cells)
+        finally:
+            s.close()
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(ConfigError):
+            CellScheduler(jobs=0, telemetry=False)
+
+
+class TestPreflightRejection:
+    def test_stale_recipe_rejected_and_counted(self, tmp_path):
+        cell = _cells(names=("iadd",))[0]
+        bad = type(cell)(kind=cell.kind,
+                         config={**cell.config,
+                                 "recipe": {"ops": ["IADD"],
+                                            "stride": 999}})
+        s = _scheduler(tmp_path)
+        try:
+            with pytest.raises(CheckError):
+                s.fetch([bad])
+            snap = s.counters.snapshot()
+            assert snap["preflight_rejected"] == 1
+            assert snap["simulations"] == 0
+            # The flight was failed, not leaked.
+            assert s._flights.in_flight() == 0
+        finally:
+            s.close()
+
+
+class TestOracleDiscard:
+    def test_oracle_failure_discards_stored_entry(self, tmp_path,
+                                                  monkeypatch):
+        """A model-rejected result must not survive in the store: the
+        warm path skips the oracle, so serving it later would launder
+        a provably-wrong result past the check."""
+        import repro.model.oracle as oracle_mod
+
+        cells = _cells(names=("iadd",))
+
+        def failing_oracle(cells_, results_):
+            raise CheckError("model bound violated (injected)")
+
+        monkeypatch.setattr(oracle_mod, "oracle_cells", failing_oracle)
+        s = _scheduler(tmp_path)
+        try:
+            with pytest.raises(CheckError):
+                s.fetch(cells)
+            snap = s.counters.snapshot()
+            assert snap["oracle_failed"] == len(cells)
+            assert s._flights.in_flight() == 0
+            # The store must be empty again: the entry was published
+            # before the oracle ran, then discarded on rejection.
+            assert s.store.cache is not None
+            assert all(s.store.cache.get(c.key()) is None for c in cells)
+        finally:
+            s.close()
+
+        # And with the oracle restored, a fresh scheduler recomputes
+        # rather than serving anything stale.
+        monkeypatch.undo()
+        s2 = _scheduler(tmp_path)
+        try:
+            _texts, outcome = s2.fetch(cells)
+            assert outcome.warm_hits == 0
+        finally:
+            s2.close()
+
+
+class TestCoalescing:
+    def test_16_concurrent_identical_batches_one_simulation(self,
+                                                            tmp_path):
+        """The acceptance criterion, scheduler-level: 16 threads ask
+        for the same cold cell; exactly one simulation runs and every
+        caller gets byte-identical text."""
+        cell = stream_cell("imul", ILP.MAX, 1, horizon_ticks=H)
+        s = _scheduler(tmp_path)
+        texts = [None] * 16
+        gate = threading.Barrier(16)
+
+        def request(i):
+            gate.wait()
+            out, _ = s.fetch([cell])
+            texts[i] = out[0]
+
+        try:
+            ts = [threading.Thread(target=request, args=(i,))
+                  for i in range(16)]
+            for t in ts:
+                t.start()
+            for t in ts:
+                t.join(120)
+            snap = s.counters.snapshot()
+            assert snap["simulations"] == 1
+            assert snap["led"] == 1
+            assert snap["coalesced"] + snap["warm_hits"] == 15
+            assert len(set(texts)) == 1 and texts[0] is not None
+        finally:
+            s.close()

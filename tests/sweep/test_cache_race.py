@@ -1,0 +1,111 @@
+"""Cross-process races on one cache key.
+
+Several processes hammer the same key — writers publishing distinct
+(complete) entries, readers polling — and every observation must be
+either a miss or one of the complete entries, never a torn mix.  This
+is the runtime counterpart of the atomicity contract audited in
+``test_cache_atomicity.py``.
+"""
+
+import json
+import multiprocessing as mp
+
+from repro.sweep.cache import ResultCache
+
+KEY = "cd" + "0" * 62
+N_WRITERS = 4
+ROUNDS = 25
+
+
+def _entry(writer: int, round_: int) -> dict:
+    # Payload embeds its own identity twice; a torn read shows up as a
+    # mismatch between the two copies (or as invalid JSON upstream).
+    tag = f"w{writer}r{round_}"
+    return {"cache_schema_version": 1, "kind": "stream-cpi",
+            "config": {"tag": tag, "pad": "x" * 4096},
+            "result": {"tag": tag, "round": round_, "writer": writer}}
+
+
+def _writer(root: str, writer: int) -> None:
+    cache = ResultCache(root)
+    for r in range(ROUNDS):
+        cache.put(KEY, _entry(writer, r))
+
+
+def _reader(root: str, out: "mp.Queue") -> None:
+    import warnings
+
+    cache = ResultCache(root)
+    bad = []
+    observed = 0
+    with warnings.catch_warnings():
+        # A RuntimeWarning here would mean get() saw a torn object —
+        # exactly what this test exists to rule out.
+        warnings.simplefilter("error", RuntimeWarning)
+        for _ in range(ROUNDS * 8):
+            entry = cache.get(KEY)
+            if entry is None:
+                continue
+            observed += 1
+            if entry["config"]["tag"] != entry["result"]["tag"]:
+                bad.append(entry)
+    out.put((observed, bad))
+
+
+def test_concurrent_writers_and_readers_never_observe_torn_state(
+        tmp_path):
+    ctx = mp.get_context("spawn")
+    out = ctx.Queue()
+    # Seed the key so readers have something to observe even if spawn
+    # start-up skews the overlap window.
+    ResultCache(tmp_path).put(KEY, _entry(0, ROUNDS - 1))
+    writers = [ctx.Process(target=_writer, args=(str(tmp_path), w))
+               for w in range(N_WRITERS)]
+    readers = [ctx.Process(target=_reader, args=(str(tmp_path), out))
+               for _ in range(2)]
+    for p in readers + writers:
+        p.start()
+    for p in writers + readers:
+        p.join(120)
+        assert p.exitcode == 0, "a racing process crashed or warned"
+
+    total_observed = 0
+    for _ in readers:
+        observed, bad = out.get(timeout=30)
+        assert bad == []
+        total_observed += observed
+    assert total_observed > 0, "readers never overlapped a write"
+
+    # One winner: the final object is one writer's last complete entry.
+    cache = ResultCache(tmp_path)
+    final = cache.get(KEY)
+    assert final is not None
+    assert final["result"]["round"] == ROUNDS - 1
+    assert final["config"]["tag"] == final["result"]["tag"]
+    # And no stranded temp files from the losing writers.
+    assert list((tmp_path / "objects").rglob("*.tmp")) == []
+
+
+def test_two_process_race_single_winner_byte_identical_reads(tmp_path):
+    """Two processes racing one put each: afterwards every reader sees
+    the same bytes, and those bytes parse to one of the two entries."""
+    ctx = mp.get_context("spawn")
+    ps = [ctx.Process(target=_writer_once, args=(str(tmp_path), w))
+          for w in range(2)]
+    for p in ps:
+        p.start()
+    for p in ps:
+        p.join(60)
+        assert p.exitcode == 0
+
+    path = tmp_path / "objects" / KEY[:2] / f"{KEY}.json"
+    first = path.read_bytes()
+    second = path.read_bytes()
+    assert first == second
+    entry = json.loads(first)
+    assert entry["result"]["writer"] in (0, 1)
+    assert entry == _entry(entry["result"]["writer"], 0)
+
+
+def _writer_once(root: str, writer: int) -> None:
+    ResultCache(root).put(KEY, _entry(writer, 0))

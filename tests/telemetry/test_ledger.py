@@ -126,6 +126,43 @@ class TestCheckRules:
         assert not ok
         assert any("FAIL bench_sweep" in line for line in lines)
 
+    def test_serve_warm_hit_gate(self, ledger, tmp_path):
+        path = tmp_path / "L.jsonl"
+        _entry(ledger, path, "bench_serve",
+               {"total_seconds": 1.0, "warm": {"p50_ms": 1.0}})
+        ok, lines = ledger.check(path)
+        assert ok
+        assert any("no same-host warm-hit baseline" in line
+                   for line in lines)
+        # Within tolerance: passes with the comparison rendered.
+        _entry(ledger, path, "bench_serve",
+               {"total_seconds": 1.0, "warm": {"p50_ms": 1.2}})
+        ok, lines = ledger.check(path)
+        assert ok
+        assert any("ok   bench_serve: warm-hit p50 1.200ms vs 1.000ms"
+                   in line for line in lines)
+        # Beyond tolerance: fails.
+        _entry(ledger, path, "bench_serve",
+               {"total_seconds": 1.0, "warm": {"p50_ms": 2.0}})
+        ok, lines = ledger.check(path)
+        assert not ok
+        assert any("FAIL bench_serve: warm-hit p50 2.000ms" in line
+                   for line in lines)
+
+    def test_serve_warm_hit_cross_host_never_gated(self, ledger,
+                                                   tmp_path):
+        path = tmp_path / "L.jsonl"
+        _entry(ledger, path, "bench_serve",
+               {"total_seconds": 1.0, "warm": {"p50_ms": 1.0}},
+               host="host-a")
+        _entry(ledger, path, "bench_serve",
+               {"total_seconds": 1.0, "warm": {"p50_ms": 50.0}},
+               host="host-b")
+        ok, lines = ledger.check(path)
+        assert ok
+        assert any("no same-host warm-hit baseline" in line
+                   for line in lines)
+
     def test_regression_gate_uses_headline_wall(self, ledger, tmp_path):
         # bench_sweep entries gate on seconds_on (no total_seconds).
         path = tmp_path / "L.jsonl"

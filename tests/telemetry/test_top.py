@@ -77,6 +77,23 @@ class TestRunTop:
         assert run_top(once=True) == 2
         assert "no telemetry log" in capsys.readouterr().err
 
+    def test_directory_override_finds_daemon_spool(self, tmp_path):
+        # The serve daemon spools under its own --telemetry-dir; the
+        # follower must find the newest log there without touching the
+        # default directory or the environment.
+        spool = tmp_path / "serve-spool"
+        _write(spool / "serve-001.jsonl", _SWEEP)
+        out = io.StringIO()
+        assert run_top(once=True, out=out, directory=str(spool)) == 0
+        assert "2/2 done" in out.getvalue()
+
+    def test_directory_override_without_logs_reports_it(self, tmp_path,
+                                                        capsys):
+        missing = tmp_path / "nowhere"
+        assert run_top(once=True, directory=str(missing)) == 2
+        err = capsys.readouterr().err
+        assert "no telemetry log" in err and str(missing) in err
+
     def test_follow_exits_after_quiet_sweep_end(self, tmp_path):
         log = tmp_path / "t.jsonl"
         _write(log, _SWEEP)
