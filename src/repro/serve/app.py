@@ -53,6 +53,13 @@ from repro.serve.targets import manifest_bytes, parse_cells, resolve_target
 #: client bug, rejected before buffering it.
 MAX_BODY_BYTES = 8 << 20
 
+#: Header ceilings.  Per-line size is already capped by the
+#: StreamReader limit; these bound the *count* and cumulative bytes so
+#: a client streaming headers forever cannot grow the header dict
+#: without bound.
+MAX_HEADER_LINES = 100
+MAX_HEADER_BYTES = 64 << 10
+
 #: Handler threads.  Far above the worker-pool width on purpose: the
 #: point is that N identical concurrent requests all *enter* the
 #: single-flight table together (one leads, N-1 join), which requires
@@ -219,10 +226,18 @@ class ServeApp:
             raise ValueError("malformed request line")
         method, target = parts[0].upper(), parts[1]
         headers: Dict[str, str] = {}
+        header_bytes = 0
         while True:
             raw = await reader.readline()
             if raw in (b"\r\n", b"\n", b""):
                 break
+            header_bytes += len(raw)
+            if (len(headers) >= MAX_HEADER_LINES
+                    or header_bytes > MAX_HEADER_BYTES):
+                raise ValueError(
+                    f"too many request headers (limits: "
+                    f"{MAX_HEADER_LINES} lines, "
+                    f"{MAX_HEADER_BYTES} bytes)")
             name, sep, value = raw.decode("latin-1").partition(":")
             if not sep:
                 raise ValueError("malformed header line")

@@ -14,11 +14,12 @@ per batch of cells it:
    then shards them across the **persistent worker pool**
    (``apply_async`` per cell — submission-order collection keeps
    results deterministic);
-4. **publishes** fresh results to the store, cross-checks them against
-   the analytic model (the same differential oracle the engine runs),
-   and only then lands the flights — joiners never observe a result
-   the oracle rejected, and a rejected entry is discarded from the
-   store so the warm path can never serve it later.
+4. cross-checks fresh results against the analytic model (the same
+   differential oracle the engine runs), **publishes** them to the
+   store only once the oracle accepts, and then lands the flights —
+   neither joiners nor independent requests probing the store can
+   ever observe a result the oracle rejected, because a rejected
+   result never reaches the store in the first place.
 
 Everything the engine's workers do is reused verbatim
 (:func:`repro.sweep.engine._execute_task` and ``_pool_init``), so a
@@ -246,8 +247,16 @@ class CellScheduler:
         if bus is not None:
             bus.emit("sweep-end", cells=n, hits=outcome.warm_hits,
                      misses=outcome.misses, wall_s=outcome.wall_s)
-        assert all(t is not None for t in texts)
-        return [t for t in texts if t is not None], outcome
+        unresolved = [labels[i] for i, t in enumerate(texts)
+                      if t is None]
+        if unresolved:
+            # Positional alignment with the requested cells is the
+            # response contract; a hole here is an internal bug, and
+            # silently dropping it would misalign every later payload.
+            raise RuntimeError(
+                "batch resolution left cells without payloads: "
+                + ", ".join(unresolved))
+        return list(texts), outcome
 
     def fetch_payloads(self, cells: Sequence[SweepCell],
                        fresh: bool = False
@@ -302,70 +311,86 @@ class CellScheduler:
     def _lead(self, cells: Sequence[SweepCell], keys: List[str],
               labels: List[str],
               led: List[Tuple[int, Any]]) -> None:
-        """Compute the cells this request leads; land their flights."""
+        """Compute the cells this request leads; land their flights.
+
+        Every led flight is landed exactly once no matter how this
+        method exits.  Success resolves each flight with its canonical
+        text; *any* exception — a check rejection, a worker exception
+        re-raised by the pool, pool construction failure, a store
+        error — fails every still-open flight before propagating.  A
+        flight left unlanded would wedge its key permanently: current
+        joiners block out FLIGHT_TIMEOUT_S and every future request
+        joins the dead flight instead of leading a new one.
+        """
         bus = self.bus
         idxs = [i for i, _f in led]
         flights = {i: f for i, f in led}
 
         def _fail_all(err: BaseException) -> None:
             for i in idxs:
-                self._flights.finish(flights[i], error=err)
+                if not flights[i].event.is_set():
+                    self._flights.finish(flights[i], error=err)
 
-        t0 = _now()
-        if self.preflight:
-            from repro.check.preflight import preflight_cells
+        try:
+            t0 = _now()
+            if self.preflight:
+                from repro.check.preflight import preflight_cells
 
-            try:
-                preflight_cells([cells[i] for i in idxs])
-            except CheckError as e:
-                self.counters.add(preflight_rejected=len(idxs), errors=1)
-                if bus is not None:
-                    bus.emit("cell-end", idx=-1, cell="preflight",
-                             wall_s=_now() - t0, fastpath={},
-                             rejected=len(idxs),
-                             check=getattr(e, "check", "") or "preflight")
-                _fail_all(e)
-                raise
-        if bus is not None:
-            bus.emit("phase", name="preflight", wall_s=_now() - t0)
+                try:
+                    preflight_cells([cells[i] for i in idxs])
+                except CheckError as e:
+                    self.counters.add(preflight_rejected=len(idxs),
+                                      errors=1)
+                    if bus is not None:
+                        bus.emit("cell-end", idx=-1, cell="preflight",
+                                 wall_s=_now() - t0, fastpath={},
+                                 rejected=len(idxs),
+                                 check=getattr(e, "check", "")
+                                 or "preflight")
+                    raise
+            if bus is not None:
+                bus.emit("phase", name="preflight", wall_s=_now() - t0)
 
-        t0 = _now()
-        outcomes = self._execute([(i, cells[i], labels[i], t0)
-                                  for i in idxs])
-        if bus is not None:
-            bus.emit("phase", name="execute", wall_s=_now() - t0)
+            t0 = _now()
+            outcomes = self._execute([(i, cells[i], labels[i], t0)
+                                      for i in idxs])
+            if bus is not None:
+                bus.emit("phase", name="execute", wall_s=_now() - t0)
 
-        t0 = _now()
-        payloads = {}
-        for i, (text, _meta) in zip(idxs, outcomes):
-            payloads[i] = json.loads(text)
-            self.store.publish(cells[i], keys[i], payloads[i])
-        if bus is not None:
-            bus.emit("phase", name="store", wall_s=_now() - t0)
+            payloads = {i: json.loads(text)
+                        for i, (text, _meta) in zip(idxs, outcomes)}
 
-        t0 = _now()
-        if self.oracle:
-            from repro.model.oracle import oracle_cells
+            t0 = _now()
+            if self.oracle:
+                from repro.model.oracle import oracle_cells
 
-            try:
-                oracle_cells([cells[i] for i in idxs],
-                             [runner_for(cells[i].kind).decode(payloads[i])
-                              for i in idxs])
-            except CheckError as e:
-                # The entries are already on disk (mirroring the
-                # engine's store-then-oracle order); pull them back out
-                # so the oracle-skipping warm path can never serve a
-                # result the model proves wrong.
-                for i in idxs:
-                    self.store.discard(keys[i])
-                self.counters.add(oracle_failed=len(idxs), errors=1)
-                _fail_all(e)
-                raise
-        if bus is not None:
-            bus.emit("phase", name="oracle", wall_s=_now() - t0)
+                try:
+                    oracle_cells(
+                        [cells[i] for i in idxs],
+                        [runner_for(cells[i].kind).decode(payloads[i])
+                         for i in idxs])
+                except CheckError:
+                    self.counters.add(oracle_failed=len(idxs), errors=1)
+                    raise
+            if bus is not None:
+                bus.emit("phase", name="oracle", wall_s=_now() - t0)
 
-        for i, (text, _meta) in zip(idxs, outcomes):
-            self._flights.finish(flights[i], text=text)
+            # Publish strictly after the oracle accepts.  The warm
+            # path (and any concurrent request probing the store)
+            # skips the oracle, so a rejected result must never reach
+            # the store — not even transiently between a publish and a
+            # later discard.
+            t0 = _now()
+            for i in idxs:
+                self.store.publish(cells[i], keys[i], payloads[i])
+            if bus is not None:
+                bus.emit("phase", name="store", wall_s=_now() - t0)
+
+            for i, (text, _meta) in zip(idxs, outcomes):
+                self._flights.finish(flights[i], text=text)
+        except BaseException as e:
+            _fail_all(e)
+            raise
 
     def _execute(self, tasks: List[Tuple[int, SweepCell, str, float]],
                  ) -> List[Tuple[str, dict]]:

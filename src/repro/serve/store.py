@@ -11,9 +11,12 @@ daemon, a served sweep warms the next CLI run.  Three operations:
   both when it was stored — the content-addressed key guarantees the
   stored bytes still describe this exact cell).
 * :meth:`publish` — store a fresh result under the engine's entry
-  shape (atomic tmp-file + rename, via :class:`ResultCache`).
-* :meth:`discard` — drop an entry the model oracle rejected *after*
-  it was stored, so a provably-wrong result can never be served warm.
+  shape (atomic tmp-file + rename, via :class:`ResultCache`).  The
+  scheduler only calls this after the model oracle has accepted the
+  result, so nothing probe can return was ever oracle-rejected.
+* :meth:`discard` — drop a stored entry (administrative
+  invalidation; the cold path itself never needs it because rejected
+  results are never published).
 """
 
 from __future__ import annotations

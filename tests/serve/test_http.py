@@ -82,6 +82,23 @@ class TestRouting:
         finally:
             conn.close()
 
+    def test_unbounded_headers_400(self, tmp_path, daemon_factory):
+        """A client streaming headers forever must be cut off with a
+        400, not buffered without bound."""
+        import socket
+
+        from repro.serve.app import MAX_HEADER_LINES
+
+        d = daemon_factory(cache_dir=str(tmp_path), **WARM_KW)
+        flood = b"GET /healthz HTTP/1.1\r\n" + b"".join(
+            f"x-flood-{i}: y\r\n".encode()
+            for i in range(MAX_HEADER_LINES + 1)) + b"\r\n"
+        with socket.create_connection((d.host, d.port),
+                                      timeout=30) as sock:
+            sock.sendall(flood)
+            status = sock.makefile("rb").readline()
+        assert b"400" in status
+
 
 class TestCells:
     def test_round_trip_and_warm_second_call(self, tmp_path,

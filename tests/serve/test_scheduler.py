@@ -1,5 +1,6 @@
 """CellScheduler behaviour: warm path, cold path, cache interop,
-oracle discard, preflight rejection, concurrent coalescing."""
+oracle rejection, preflight rejection, leader-failure flight landing,
+concurrent coalescing."""
 
 import json
 import threading
@@ -135,30 +136,39 @@ class TestPreflightRejection:
             s.close()
 
 
-class TestOracleDiscard:
-    def test_oracle_failure_discards_stored_entry(self, tmp_path,
-                                                  monkeypatch):
-        """A model-rejected result must not survive in the store: the
-        warm path skips the oracle, so serving it later would launder
-        a provably-wrong result past the check."""
+class TestOracleRejection:
+    def test_oracle_failure_never_reaches_the_store(self, tmp_path,
+                                                    monkeypatch):
+        """A model-rejected result must never reach the store — not
+        even transiently.  The warm path (and any concurrent request
+        probing the store) skips the oracle, so an entry published
+        before the oracle ran could be served in the window before a
+        discard; publication therefore happens only after the oracle
+        accepts."""
         import repro.model.oracle as oracle_mod
 
         cells = _cells(names=("iadd",))
+        s = _scheduler(tmp_path)
+        assert s.store.cache is not None
+        seen_in_store = []
 
         def failing_oracle(cells_, results_):
+            # Snapshot the store from *inside* the oracle: this is the
+            # widest point of the old publish-then-discard window.
+            seen_in_store.append(
+                [s.store.cache.get(c.key()) for c in cells])
             raise CheckError("model bound violated (injected)")
 
         monkeypatch.setattr(oracle_mod, "oracle_cells", failing_oracle)
-        s = _scheduler(tmp_path)
         try:
             with pytest.raises(CheckError):
                 s.fetch(cells)
             snap = s.counters.snapshot()
             assert snap["oracle_failed"] == len(cells)
             assert s._flights.in_flight() == 0
-            # The store must be empty again: the entry was published
-            # before the oracle ran, then discarded on rejection.
-            assert s.store.cache is not None
+            # Nothing was published while the oracle deliberated, and
+            # nothing is in the store after the rejection.
+            assert seen_in_store == [[None] * len(cells)]
             assert all(s.store.cache.get(c.key()) is None for c in cells)
         finally:
             s.close()
@@ -172,6 +182,38 @@ class TestOracleDiscard:
             assert outcome.warm_hits == 0
         finally:
             s2.close()
+
+
+class TestLeaderFailureLandsFlights:
+    def test_unexpected_worker_error_frees_the_key(self, tmp_path,
+                                                   monkeypatch):
+        """Regression: a leader failing with anything *other* than a
+        CheckError (worker exception from p.get(), pool construction
+        failure, store error...) must still fail its flights.  An
+        unlanded flight wedges the key permanently — joiners block out
+        FLIGHT_TIMEOUT_S and every later request joins the dead flight
+        instead of leading a new one."""
+        cells = _cells(names=("iadd",))
+        s = _scheduler(tmp_path)
+
+        def exploding_execute(tasks):
+            raise RuntimeError("worker died (injected)")
+
+        monkeypatch.setattr(s, "_execute", exploding_execute)
+        try:
+            with pytest.raises(RuntimeError):
+                s.fetch(cells)
+            # The flight was failed and retired, not leaked.
+            assert s._flights.in_flight() == 0
+
+            # The key is immediately retryable: the next fetch leads a
+            # fresh flight and succeeds once the fault is gone.
+            monkeypatch.undo()
+            _texts, outcome = s.fetch(cells)
+            assert outcome.led == len(cells)
+            assert outcome.warm_hits == 0
+        finally:
+            s.close()
 
 
 class TestCoalescing:
